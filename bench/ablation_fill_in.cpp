@@ -1,0 +1,48 @@
+// Ablation: the Psi3-aware fill-in scheduling pass.
+//
+// Taken literally, the paper's S1 only ever schedules links whose virtual
+// queue H_ij is positive — but H_ij grows only through routed packets,
+// which need scheduled capacity. Disabling the fill-in pass demonstrates
+// the resulting cold-start deadlock: zero packets move, forever, while the
+// energy side keeps billing baseline consumption.
+#include "common.hpp"
+
+using namespace gc;
+using namespace gc::bench;
+
+int main() {
+  const int slots = horizon(60);
+  const double V = 3.0;
+  const auto cfg = sim::ScenarioConfig::paper();
+  const auto model = cfg.build();
+
+  print_title("Ablation — Psi3-aware fill-in pass (cold-start deadlock)",
+              "T = " + std::to_string(slots) + " slots, V = " + num(V));
+  print_row({"fill_in", "delivered", "admitted", "scheduled_links",
+             "avg_cost"}, 18);
+
+  for (const bool fill_in : {true, false}) {
+    auto opts = cfg.controller_options();
+    opts.fill_in = fill_in;
+    core::LyapunovController controller(model, V, opts);
+    Rng rng(7);
+    double delivered = 0.0, admitted = 0.0, scheduled = 0.0;
+    TimeAverage cost;
+    for (int t = 0; t < slots; ++t) {
+      const auto d = controller.step(model.sample_inputs(t, rng));
+      scheduled += static_cast<double>(d.schedule.size());
+      for (const auto& r : d.routes)
+        if (r.rx == model.session(r.session).destination)
+          delivered += r.packets;
+      for (const auto& a : d.admissions) admitted += a.packets;
+      cost.add(d.cost);
+    }
+    print_row({fill_in ? "on (default)" : "off (paper literal)",
+               num(delivered), num(admitted), num(scheduled),
+               num(cost.average())}, 18);
+  }
+  std::printf(
+      "\nWith the pass off, H stays zero, nothing is ever scheduled and no\n"
+      "packet moves — the decomposition needs the Psi3 coupling to start.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: how the tangent-segment count used to linearize the convex
+// cost f(P) affects (a) the S4 LP's achieved objective and (b) the
+// lower-bound LP's tightness. The PWL under-approximates f, so fewer
+// segments -> looser (lower) lower bound; the DESIGN.md claim is an
+// O(1/segments^2) gap.
+#include "common.hpp"
+
+#include "core/energy_manager.hpp"
+#include "core/lower_bound.hpp"
+
+using namespace gc;
+using namespace gc::bench;
+
+int main() {
+  const int slots = horizon(20);
+  const auto cfg = sim::ScenarioConfig::paper();
+  const auto model = cfg.build();
+  const double V = 3.0;
+
+  print_title("Ablation — PWL segment count",
+              "S4 objective on a fixed instance; lower bound over T = " +
+                  std::to_string(slots) + " slots, V = " + num(V));
+
+  // Fixed S4 instance mid-run for the objective comparison.
+  core::LyapunovController warm(model, V, cfg.controller_options());
+  Rng rng(11);
+  for (int t = 0; t < 5; ++t) warm.step(model.sample_inputs(t, rng));
+  const auto inputs = model.sample_inputs(5, rng);
+  const auto demands = core::compute_energy_demands(model, {});
+
+  print_row({"segments", "s4_objective", "lower_bound", "bound_vs_128"});
+  CsvWriter csv("ablation_pwl_segments.csv",
+                {"segments", "s4_objective", "lower_bound"});
+
+  double ref_bound = 0.0;
+  std::vector<double> bounds;
+  const std::vector<int> segs = {2, 4, 8, 16, 32, 64, 128};
+  for (int s : segs) {
+    const auto res = core::lp_energy_manage(warm.state(), inputs, demands, s);
+    core::LowerBoundSolver lb(model, V, cfg.lambda, s);
+    Rng r(7);
+    for (int t = 0; t < slots; ++t) lb.step(model.sample_inputs(t, r));
+    bounds.push_back(lb.lower_bound());
+    if (s == 128) ref_bound = lb.lower_bound();
+    csv.row({static_cast<double>(s), res.objective, lb.lower_bound()});
+  }
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const auto res =
+        core::lp_energy_manage(warm.state(), inputs, demands, segs[i]);
+    print_row({num(segs[i]), num(res.objective), num(bounds[i]),
+               num(bounds[i] - ref_bound)});
+  }
+  std::printf("\nCSV written to ablation_pwl_segments.csv\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gc::bench {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return std::atoi(v);
+}
+
+bool full_repro() { return env_int("REPRO_FULL", 0) != 0; }
+
+int horizon(int fast) {
+  const int forced = env_int("REPRO_SLOTS", 0);
+  if (forced > 0) return forced;
+  return full_repro() ? 100 : fast;
+}
+
+void print_title(const std::string& title, const std::string& subtitle) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("\n");
+}
+
+void print_row(const std::vector<std::string>& cells, int width) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+std::string num(double v) { return format_number(v); }
+
+sim::Metrics run_controller(const sim::ScenarioConfig& cfg, double V,
+                            int slots) {
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, V, cfg.controller_options());
+  return sim::run_simulation(model, controller, slots);
+}
+
+}  // namespace gc::bench

@@ -1,0 +1,36 @@
+// Shared plumbing for the figure-reproduction drivers.
+//
+// Every fig2*/ablation_* binary prints the series it regenerates as an
+// aligned table on stdout and writes the same data as CSV next to the
+// binary. Horizon and sweep sizes default to values that finish in seconds;
+// set REPRO_FULL=1 for the paper's full T = 100-slot horizon everywhere,
+// or REPRO_SLOTS=<n> to pin the horizon explicitly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/csv.hpp"
+
+namespace gc::bench {
+
+// Environment overrides.
+int env_int(const char* name, int fallback);
+bool full_repro();
+
+// Default horizon: `fast` normally, 100 (the paper's T) under REPRO_FULL=1,
+// REPRO_SLOTS always wins.
+int horizon(int fast);
+
+// Pretty printing.
+void print_title(const std::string& title, const std::string& subtitle);
+void print_row(const std::vector<std::string>& cells, int width = 14);
+std::string num(double v);
+
+// Runs the online controller on `cfg` for `slots` and returns the metrics.
+sim::Metrics run_controller(const sim::ScenarioConfig& cfg, double V,
+                            int slots);
+
+}  // namespace gc::bench

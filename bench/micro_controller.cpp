@@ -1,0 +1,45 @@
+// Micro-benchmarks for one full controller slot (S1 + power control + S2 +
+// S3 + S4) on the paper scenario, with both S4 solvers, plus the relaxed
+// lower-bound LP slot.
+#include <benchmark/benchmark.h>
+
+#include "core/controller.hpp"
+#include "core/lower_bound.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+void BM_ControllerSlot(benchmark::State& state) {
+  const auto cfg = gc::sim::ScenarioConfig::paper();
+  const auto model = cfg.build();
+  auto opts = cfg.controller_options();
+  opts.energy_manager =
+      state.range(0) == 0 ? gc::core::ControllerOptions::EnergyManager::Lp
+                          : gc::core::ControllerOptions::EnergyManager::Price;
+  gc::core::LyapunovController controller(model, 3.0, opts);
+  gc::Rng rng(3);
+  int t = 0;
+  for (auto _ : state) {
+    const auto d = controller.step(model.sample_inputs(t++, rng));
+    benchmark::DoNotOptimize(d.cost);
+  }
+}
+
+void BM_LowerBoundSlot(benchmark::State& state) {
+  const auto cfg = gc::sim::ScenarioConfig::paper();
+  const auto model = cfg.build();
+  gc::core::LowerBoundSolver lb(model, 3.0, cfg.lambda);
+  gc::Rng rng(3);
+  int t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb.step(model.sample_inputs(t++, rng)));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ControllerSlot)->Arg(0)->Name("BM_ControllerSlot/lp_s4");
+BENCHMARK(BM_ControllerSlot)->Arg(1)->Name("BM_ControllerSlot/price_s4");
+BENCHMARK(BM_LowerBoundSlot)->Iterations(5);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Micro-benchmarks for the simplex substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+// Random dense feasible LP with n variables and m rows.
+gc::lp::Model random_lp(int n, int m, std::uint64_t seed) {
+  gc::Rng rng(seed);
+  gc::lp::Model model;
+  std::vector<double> upper(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    upper[j] = rng.uniform(0.5, 5.0);
+    model.add_variable(0.0, upper[j], rng.uniform(-2.0, 2.0));
+  }
+  for (int i = 0; i < m; ++i) {
+    double center = 0.0;
+    std::vector<double> a(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      a[j] = rng.uniform(-1.0, 1.0);
+      center += a[j] * upper[j] * 0.5;
+    }
+    const int r = model.add_row(gc::lp::Sense::LessEqual,
+                                center + rng.uniform(0.0, 1.0));
+    for (int j = 0; j < n; ++j) model.set_coeff(r, j, a[j]);
+  }
+  return model;
+}
+
+void BM_SimplexDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const auto model = random_lp(n, m, 42);
+  for (auto _ : state) {
+    const auto sol = gc::lp::solve(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.counters["iterations"] = static_cast<double>(
+      gc::lp::solve(model).iterations);
+}
+
+void BM_SimplexSchedulingShape(benchmark::State& state) {
+  // The SF relaxations: few rows (nodes), many columns (link-band pairs).
+  const int cols = static_cast<int>(state.range(0));
+  gc::Rng rng(7);
+  gc::lp::Model model;
+  for (int j = 0; j < cols; ++j)
+    model.add_variable(0.0, 1.0, -rng.uniform(0.0, 100.0));
+  const int nodes = 22;
+  std::vector<int> rows;
+  for (int i = 0; i < nodes; ++i)
+    rows.push_back(model.add_row(gc::lp::Sense::LessEqual, 1.0));
+  for (int j = 0; j < cols; ++j) {
+    const int a = static_cast<int>(rng.uniform_int(0, nodes - 1));
+    int b = static_cast<int>(rng.uniform_int(0, nodes - 2));
+    if (b >= a) ++b;
+    model.set_coeff(rows[a], j, 1.0);
+    model.set_coeff(rows[b], j, 1.0);
+  }
+  for (auto _ : state) {
+    const auto sol = gc::lp::solve(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SimplexDense)->Args({20, 10})->Args({60, 30})->Args({150, 80});
+BENCHMARK(BM_SimplexSchedulingShape)->Arg(100)->Arg(500)->Arg(2000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Micro-benchmarks for the Foschini–Miljanic power-control substrate.
+#include <benchmark/benchmark.h>
+
+#include "net/power_control.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_PowerControl(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  gc::Rng rng(5);
+  std::vector<gc::net::Vec2> users;
+  for (int i = 0; i < links * 2; ++i)
+    users.push_back({rng.uniform(0, 2000), rng.uniform(0, 2000)});
+  gc::net::Topology topo({{500, 500}, {1500, 500}}, users,
+                         gc::net::PropagationParams{});
+  std::vector<gc::net::CoBandLink> cb;
+  for (int l = 0; l < links; ++l)
+    cb.push_back({2 + 2 * l, 3 + 2 * l, 20.0});
+  const gc::net::RadioParams radio{};
+  int iters = 0;
+  for (auto _ : state) {
+    const auto r = gc::net::solve_min_powers(topo, cb, 1.5e6, radio);
+    iters = r.iterations;
+    benchmark::DoNotOptimize(r.feasible);
+  }
+  state.counters["fm_iterations"] = iters;
+}
+
+}  // namespace
+
+BENCHMARK(BM_PowerControl)->Arg(2)->Arg(4)->Arg(8);
+
+BENCHMARK_MAIN();

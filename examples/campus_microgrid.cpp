@@ -1,0 +1,68 @@
+// Campus microgrid: a denser, smaller cell whose nodes harvest *solar*
+// energy with a day/night cycle (the paper's uniform i.i.d. model swapped
+// for the SolarRenewable profile). Runs two simulated days at 15-minute
+// slots and prints an hour-by-hour picture of how the controller shifts
+// load into the battery while the sun is up.
+#include <cstdio>
+#include <memory>
+
+#include "core/controller.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  gc::sim::ScenarioConfig cfg = gc::sim::ScenarioConfig::paper();
+  cfg.seed = 7;
+  cfg.num_users = 12;
+  cfg.area_m = 600.0;           // campus-sized cell
+  cfg.slot_seconds = 900.0;     // 15-minute slots
+  cfg.num_sessions = 3;
+  cfg.bs_batt_capacity_j = 2e6;   // bigger stationary storage (~0.55 kWh)
+  cfg.bs_batt_charge_j = 5e4;
+  cfg.bs_batt_discharge_j = 5e4;
+  cfg.bs_grid_max_j = 1.2e5;
+
+  gc::core::NetworkModel base = cfg.build();
+
+  // Swap every node's renewable for a solar panel: 96 slots per day.
+  const int slots_per_day = 96;
+  std::vector<gc::core::NodeParams> nodes;
+  for (int i = 0; i < base.num_nodes(); ++i) {
+    gc::core::NodeParams np = base.node(i);
+    const double peak_w = base.topology().is_base_station(i) ? 120.0 : 2.0;
+    np.renewable = std::make_shared<gc::energy::SolarRenewable>(
+        peak_w, cfg.slot_seconds, slots_per_day, /*clearness_lo=*/0.4);
+    nodes.push_back(std::move(np));
+  }
+  gc::core::ModelConfig mc;
+  mc.slot_seconds = cfg.slot_seconds;
+  mc.packet_bits = cfg.packet_bits;
+  gc::core::NetworkModel model(base.topology(), base.spectrum(),
+                               base.radio(), std::move(nodes),
+                               base.sessions(), base.cost(), mc);
+
+  gc::core::LyapunovController controller(model, 3.0,
+                                          cfg.controller_options());
+  const int days = 2;
+  const gc::sim::Metrics m =
+      gc::sim::run_simulation(model, controller, days * slots_per_day);
+
+  std::printf("campus microgrid: %d users, %d days at 15-min slots\n",
+              cfg.num_users, days);
+  std::printf("%-6s %-14s %-16s %-16s\n", "hour", "grid J/slot",
+              "BS battery kJ", "cost/slot");
+  for (int h = 0; h < 24 * days; ++h) {
+    double grid = 0.0, cost = 0.0;
+    for (int q = 0; q < 4; ++q) {
+      grid += m.grid_j[h * 4 + q];
+      cost += m.cost[h * 4 + q];
+    }
+    std::printf("%-6d %-14.0f %-16.1f %-16.0f\n", h % 24, grid / 4.0,
+                m.battery_bs_j[h * 4 + 3] / 1e3, cost / 4.0);
+  }
+  std::printf("\ntime-averaged cost: %.1f; curtailed %.1f kJ; "
+              "unserved %.1f J\n",
+              m.cost_avg.average(), m.total_curtailed_j / 1e3,
+              m.total_unserved_energy_j);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Tariff arbitrage: run the paper's network under a time-of-use
+// electricity tariff (cheap nights, a 5x peak from 08:00 to 20:00) and
+// watch the controller arbitrage the batteries — charging them off-peak
+// and riding through the expensive hours on stored energy — without any
+// tariff-specific logic: the Lyapunov charge threshold
+// x < V (gamma_max - m_t f'(P)) is simply higher when energy is cheap.
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "energy/tariff.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  gc::sim::ScenarioConfig cfg = gc::sim::ScenarioConfig::paper();
+  cfg.seed = 5;
+  const int slots_per_day = 24;  // hour-long slots for a readable printout
+  cfg.slot_seconds = 3600.0;
+  // Rescale the per-slot energy plumbing to the hour-long slot. Two scale
+  // rules keep the arbitrage visible (see energy/tariff.hpp): the charge
+  // quantum must be small against V * 2a * P_max (else the battery
+  // sawtooths through the whole price band in one slot), and the peak
+  // multiplier must be moderate (gamma_max carries it, so a huge swing
+  // pushes the charge threshold beyond the battery at every hour).
+  cfg.bs_batt_capacity_j = 2e6;    // ~0.55 kWh stationary storage
+  cfg.bs_batt_charge_j = 3.6e5;    // 100 W charge rate
+  cfg.bs_batt_discharge_j = 3.6e5;
+  cfg.bs_grid_max_j = 6e5;         // ~167 W
+  cfg.user_batt_capacity_j = 1.2e6;
+  cfg.user_batt_charge_j = 1.8e4;
+  cfg.user_batt_discharge_j = 1.8e4;
+  cfg.user_grid_max_j = 3.6e4;
+  cfg.packet_bits = 1.8e8;  // keep 100 kbps = 2 packets/slot at 1 h slots
+  cfg.cost_a = 0.1;         // rescale f so V*gamma_max spans the battery
+  cfg.cost_b = 1.0;
+  cfg.tariff_multipliers =
+      gc::energy::time_of_use_tariff(slots_per_day, 8, 20, 1.5, 1.0);
+
+  const auto model = cfg.build();
+  gc::core::LyapunovController controller(model, 3.0,
+                                          cfg.controller_options());
+  gc::Rng rng(2);
+
+  const int days = 3;
+  std::printf("time-of-use tariff: 1x off-peak, 1.5x 08:00-20:00; %d days\n\n",
+              days);
+  std::printf("%-6s %-8s %-14s %-16s %-14s\n", "hour", "tariff",
+              "grid kJ/slot", "BS battery MJ", "cost/slot");
+  for (int t = 0; t < days * slots_per_day; ++t) {
+    const auto d = controller.step(model.sample_inputs(t, rng));
+    double bs_batt = 0.0;
+    for (int b = 0; b < model.num_base_stations(); ++b)
+      bs_batt += controller.state().battery_j(b);
+    if (t >= slots_per_day)  // print after the warm-up day
+      std::printf("%-6d %-8.1fx %-13.1f %-16.2f %-14.0f\n",
+                  t % slots_per_day, model.tariff_multiplier(t),
+                  d.grid_total_j / 1e3, bs_batt / 1e6, d.cost);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "core/allocator.hpp"
+
+namespace gc::core {
+
+std::vector<AdmissionDecision> allocate_resources(
+    const NetworkState& state, const AllocatorParams& params) {
+  const auto& model = state.model();
+  std::vector<AdmissionDecision> out(
+      static_cast<std::size_t>(model.num_sessions()));
+  for (int s = 0; s < model.num_sessions(); ++s) {
+    int best = 0;
+    for (int b = 1; b < model.num_base_stations(); ++b)
+      if (state.q(b, s) < state.q(best, s)) best = b;
+    out[s].source_bs = best;
+    const bool admit = state.q(best, s) - params.lambda * state.V() < 0.0;
+    out[s].packets = admit ? model.session(s).max_admit_packets : 0.0;
+  }
+  return out;
+}
+
+double psi2(const NetworkState& state, const AllocatorParams& params,
+            const std::vector<AdmissionDecision>& admissions) {
+  double v = 0.0;
+  for (std::size_t s = 0; s < admissions.size(); ++s) {
+    const auto& a = admissions[s];
+    if (a.source_bs < 0 || a.packets <= 0.0) continue;
+    v += (state.q(a.source_bs, static_cast<int>(s)) -
+          params.lambda * state.V()) *
+         a.packets;
+  }
+  return v;
+}
+
+}  // namespace gc::core

@@ -1,0 +1,30 @@
+// Subproblem S2 — resource allocation (Section IV-C2).
+//
+// Minimizes Psi2 = sum_s sum_{i in B} (Q_i^s - lambda V) k_s 1{i = s_s(t)}
+// subject to (19) (exactly one source base station per session):
+//   * the source base station is the one with the smallest backlog Q_i^s
+//     (ties broken by lowest index, which is a deterministic stand-in for
+//     the paper's random tie-break);
+//   * k_s = K_s^max if Q_{s_s}^s - lambda*V < 0, else 0.
+#pragma once
+
+#include <vector>
+
+#include "core/state.hpp"
+#include "core/types.hpp"
+
+namespace gc::core {
+
+struct AllocatorParams {
+  double lambda = 1.0;  // the operator-chosen admission reward coefficient
+};
+
+std::vector<AdmissionDecision> allocate_resources(const NetworkState& state,
+                                                  const AllocatorParams& params);
+
+// The Psi2 value (eq. (36)) of a given admission vector, for tests and the
+// drift accounting.
+double psi2(const NetworkState& state, const AllocatorParams& params,
+            const std::vector<AdmissionDecision>& admissions);
+
+}  // namespace gc::core

@@ -1,0 +1,59 @@
+#include "core/controller.hpp"
+
+namespace gc::core {
+
+LyapunovController::LyapunovController(const NetworkModel& model, double V,
+                                       ControllerOptions options)
+    : model_(&model), options_(options), state_(model, V) {}
+
+SlotDecision LyapunovController::step(const SlotInputs& inputs) {
+  GC_CHECK(static_cast<int>(inputs.bandwidth_hz.size()) ==
+           model_->num_bands());
+  GC_CHECK(static_cast<int>(inputs.renewable_j.size()) == model_->num_nodes());
+  GC_CHECK(static_cast<int>(inputs.grid_connected.size()) ==
+           model_->num_nodes());
+
+  SlotDecision decision;
+
+  // S2 — source selection + admission control.
+  decision.admissions = allocate_resources(state_, options_.allocator);
+
+  // S1 — link scheduling, then constraint (24) via minimal-power control.
+  const double energy_price =
+      options_.energy_aware_scheduling
+          ? state_.V() *
+                model_->cost_at(state_.slot()).derivative(last_grid_j_)
+          : 0.0;
+  decision.schedule =
+      options_.scheduler == ControllerOptions::Scheduler::SequentialFix
+          ? sequential_fix_schedule(state_, inputs, options_.fill_in,
+                                    energy_price)
+          : greedy_schedule(state_, inputs, options_.fill_in, energy_price);
+  assign_powers(*model_, inputs, decision.schedule);
+
+  // S3 — routing over the realized capacities.
+  RoutingResult routing =
+      options_.router == ControllerOptions::Router::Greedy
+          ? greedy_route(state_, decision.schedule, decision.admissions)
+          : lp_route(state_, decision.schedule, decision.admissions);
+  decision.routes = std::move(routing.routes);
+  decision.demand_shortfall = std::move(routing.demand_shortfall);
+
+  // S4 — energy management for the demand the schedule implies.
+  const std::vector<double> demands =
+      compute_energy_demands(*model_, decision.schedule);
+  EnergyResult energy =
+      options_.energy_manager == ControllerOptions::EnergyManager::Price
+          ? price_energy_manage(state_, inputs, demands)
+          : lp_energy_manage(state_, inputs, demands);
+  decision.energy = std::move(energy.decisions);
+  decision.grid_total_j = energy.grid_total_j;
+  decision.cost = energy.cost;
+  decision.unserved_energy_j = energy.unserved_total_j;
+  last_grid_j_ = energy.grid_total_j;
+
+  state_.advance(decision);
+  return decision;
+}
+
+}  // namespace gc::core

@@ -1,0 +1,63 @@
+// The online finite-queue-aware energy-cost minimization algorithm
+// (Section IV): each slot, observe the random state, solve the four
+// subproblems S1-S4 in sequence, apply the decision, and update the queues.
+//
+// Theorem 3 guarantees every queue (Q, H, z) is strongly stable under this
+// controller; Theorem 4 makes its time-averaged cost an upper bound on the
+// offline optimum psi*_P1.
+//
+// The Fig. 2(f) baselines (multi-hop w/o renewables, one-hop w/ and w/o
+// renewables) are the same controller run on a NetworkModel whose
+// ModelConfig disables relaying and/or renewable inputs.
+#pragma once
+
+#include <memory>
+
+#include "core/allocator.hpp"
+#include "core/energy_manager.hpp"
+#include "core/model.hpp"
+#include "core/router.hpp"
+#include "core/scheduler.hpp"
+#include "core/state.hpp"
+
+namespace gc::core {
+
+struct ControllerOptions {
+  AllocatorParams allocator;
+  enum class Scheduler { SequentialFix, Greedy } scheduler = Scheduler::SequentialFix;
+  // Psi3-aware secondary scheduling pass. Required for the system to carry
+  // traffic at all (the paper's S1 alone deadlocks at cold start — see
+  // scheduler.hpp); exposed so bench/ablation_fill_in can demonstrate it.
+  bool fill_in = true;
+  // Extension (off = the paper's algorithm): charge scheduling candidates
+  // V*f'(P(t-1)) for the base-station energy they would spend, closing the
+  // S1<->S4 coupling the decomposition drops.
+  bool energy_aware_scheduling = false;
+  // Lp solves S4 exactly (up to a fine PWL of f) like the paper's CPLEX;
+  // Price is the faster closed-form decomposition, within ~2% of optimal
+  // but all-or-nothing at the marginal node (see bench/ablation_energy_managers).
+  enum class EnergyManager { Lp, Price } energy_manager = EnergyManager::Lp;
+  enum class Router { Greedy, Lp } router = Router::Greedy;
+};
+
+class LyapunovController {
+ public:
+  LyapunovController(const NetworkModel& model, double V,
+                     ControllerOptions options = {});
+
+  const NetworkState& state() const { return state_; }
+  double V() const { return state_.V(); }
+
+  // Runs one slot: solves S2 (admission), S1 (scheduling + power control),
+  // S3 (routing) and S4 (energy management), advances all queue laws, and
+  // returns the applied decision.
+  SlotDecision step(const SlotInputs& inputs);
+
+ private:
+  const NetworkModel* model_;
+  ControllerOptions options_;
+  NetworkState state_;
+  double last_grid_j_ = 0.0;  // P(t-1), for energy-aware scheduling
+};
+
+}  // namespace gc::core

@@ -1,0 +1,64 @@
+// Subproblem S4 — energy management (Section IV-C4).
+//
+// Given the slot's schedule (which fixes each node's energy demand E_i via
+// eqs. (2) and (23)), choose per node the renewable split (r_i, c_i^r), the
+// battery action (c_i, d_i), and the grid draws (g_i, c_i^g) minimizing
+//   Psi4 = sum_i z_i (c_i - d_i) + V f(P(t)),
+// subject to (9)-(14), where P(t) sums the *base stations'* grid draws.
+//
+// The paper solves S4 with CPLEX. We provide two solvers:
+//
+//  * price_energy_manage: exploits that S4 separates across nodes
+//    once the grid's marginal price pi = V f'(P) is known. Each node's best
+//    response to pi has a closed form that respects the charge-XOR-discharge
+//    rule (9) by construction; aggregate base-station demand D(pi) is
+//    non-increasing while V f'(.) is strictly increasing, so bisection finds
+//    the consistent price.
+//  * lp_energy_manage (controller default): one LP over all nodes with f
+//    replaced by a tangent-line PWL epigraph; exact up to the PWL gap, with
+//    degenerate charge/discharge ties cancelled afterwards so (9) holds.
+//    The price solver is within ~2% (it is all-or-nothing at the marginal
+//    node) and ~100x faster; pick it via ControllerOptions for large sweeps.
+//
+// Deviation from the paper (documented in DESIGN.md): eq. (3) forces
+// R_i = c_i^r + r_i exactly, which is infeasible when the battery is full
+// and demand is low; we allow curtailment (R_i >= c_i^r + r_i) and report
+// the curtailed energy. An `unserved_j` slack (minimized with absolute
+// priority) keeps the problem feasible when an off-grid node's battery and
+// renewables cannot cover its demand; it is zero in normal operation and is
+// exercised by the failure-injection tests.
+#pragma once
+
+#include <vector>
+
+#include "core/state.hpp"
+#include "core/types.hpp"
+
+namespace gc::core {
+
+// E_i(t) for every node under the given schedule (eqs. (2) + (23)).
+std::vector<double> compute_energy_demands(
+    const NetworkModel& model, const std::vector<ScheduledLink>& schedule);
+
+struct EnergyResult {
+  std::vector<NodeEnergyDecision> decisions;  // indexed by node
+  double grid_total_j = 0.0;                  // P(t)
+  double cost = 0.0;                          // f(P(t))
+  double objective = 0.0;  // sum z_i (c_i - d_i) + V f(P)
+  double unserved_total_j = 0.0;
+};
+
+EnergyResult price_energy_manage(const NetworkState& state,
+                                 const SlotInputs& inputs,
+                                 const std::vector<double>& demands_j);
+
+EnergyResult lp_energy_manage(const NetworkState& state,
+                              const SlotInputs& inputs,
+                              const std::vector<double>& demands_j,
+                              int pwl_segments = 64);
+
+// Psi4 (eq. (38)) of a given decision vector, for tests.
+double psi4(const NetworkState& state,
+            const std::vector<NodeEnergyDecision>& decisions);
+
+}  // namespace gc::core

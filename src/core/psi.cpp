@@ -1,0 +1,57 @@
+#include "core/psi.hpp"
+
+#include "core/energy_manager.hpp"
+#include "core/router.hpp"
+
+namespace gc::core {
+
+double lyapunov(const NetworkState& state) {
+  const auto& model = state.model();
+  double total = 0.0;
+  for (int i = 0; i < model.num_nodes(); ++i) {
+    for (int s = 0; s < model.num_sessions(); ++s) {
+      const double q = state.q(i, s);
+      total += q * q;
+    }
+    const double z = state.z(i);
+    total += z * z;
+    for (int j = 0; j < model.num_nodes(); ++j) {
+      if (i == j) continue;
+      const double h = state.h(i, j);
+      total += h * h;
+    }
+  }
+  return 0.5 * total;
+}
+
+double psi1_hat(const NetworkState& state,
+                const std::vector<ScheduledLink>& schedule) {
+  double total = 0.0;
+  for (const auto& sl : schedule)
+    total += state.h(sl.tx, sl.rx) * sl.capacity_packets;
+  return -state.model().beta() * total;
+}
+
+double psi2_hat(const NetworkState& state, double lambda,
+                const std::vector<AdmissionDecision>& admissions) {
+  return psi2(state, AllocatorParams{lambda}, admissions);
+}
+
+double psi3_hat(const NetworkState& state,
+                const std::vector<RouteDecision>& routes) {
+  return routing_objective(state, routes);
+}
+
+double psi4_hat(const NetworkState& state,
+                const std::vector<NodeEnergyDecision>& decisions) {
+  return psi4(state, decisions);
+}
+
+double penalty(const NetworkState& state, double lambda,
+               const SlotDecision& decision) {
+  double admitted = 0.0;
+  for (const auto& a : decision.admissions) admitted += a.packets;
+  return state.V() * (decision.cost - lambda * admitted);
+}
+
+}  // namespace gc::core

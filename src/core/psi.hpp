@@ -1,0 +1,48 @@
+// The drift-plus-penalty machinery of Section IV-B made inspectable:
+// the Lyapunov function L(Theta), the opportunistic terms Psi1..Psi4 of
+// eqs. (35)-(38) evaluated at a concrete SlotDecision, and the penalty
+// V(f(P) - lambda sum_s k_s).
+//
+// Lemma 1 states
+//   Delta(Theta(t)) + V E[f(P) - lambda sum k | Theta]
+//       <= B + Psi1 + Psi2 + Psi3 + Psi4,
+// and the decomposition minimizes the right-hand side term by term. These
+// evaluators let tests verify the inequality numerically slot by slot
+// (tests/core/psi_test.cpp) and let ablations report how much each
+// subproblem contributes to the bound.
+#pragma once
+
+#include "core/allocator.hpp"
+#include "core/state.hpp"
+#include "core/types.hpp"
+
+namespace gc::core {
+
+// L(Theta(t)) = 1/2 [ sum Q^2 + sum H^2 + sum z^2 ]  (Section IV-B).
+double lyapunov(const NetworkState& state);
+
+// Psi1-hat (eq. (35)) in packet units: -beta * sum_ij H_ij * cap_packets,
+// summed over the scheduled links.
+double psi1_hat(const NetworkState& state,
+                const std::vector<ScheduledLink>& schedule);
+
+// Psi2-hat (eq. (36)): sum_s (Q_{s_s}^s - lambda V) k_s. (Alias of
+// allocator's psi2; redeclared here for discoverability.)
+double psi2_hat(const NetworkState& state, double lambda,
+                const std::vector<AdmissionDecision>& admissions);
+
+// Psi3-hat (eq. (37)): sum over routed packets of
+// (-Q_i^s + Q_j^s + beta H_ij).
+double psi3_hat(const NetworkState& state,
+                const std::vector<RouteDecision>& routes);
+
+// Psi4-hat (eq. (38)): sum_i z_i (c_i - d_i) + V f(P). (Alias of
+// energy_manager's psi4.)
+double psi4_hat(const NetworkState& state,
+                const std::vector<NodeEnergyDecision>& decisions);
+
+// The penalty term V (f(P(t)) - lambda sum_s k_s(t)).
+double penalty(const NetworkState& state, double lambda,
+               const SlotDecision& decision);
+
+}  // namespace gc::core

@@ -1,0 +1,149 @@
+#include "core/state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "queueing/queues.hpp"
+
+namespace gc::core {
+
+NetworkState::NetworkState(const NetworkModel& model, double V)
+    : model_(&model), v_(V) {
+  GC_CHECK(V >= 0.0);
+  const int n = model.num_nodes();
+  q_.assign(static_cast<std::size_t>(n) * model.num_sessions(), 0.0);
+  gq_.assign(static_cast<std::size_t>(n) * n, 0.0);
+  batteries_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    batteries_.emplace_back(model.node(i).battery);
+}
+
+double NetworkState::q(int node, int session) const {
+  if (model_->session(session).destination == node) return 0.0;
+  return q_[qi(node, session)];
+}
+
+double NetworkState::g_queue(int tx, int rx) const { return gq_[li(tx, rx)]; }
+
+double NetworkState::battery_j(int node) const {
+  return batteries_[node].level_j();
+}
+
+double NetworkState::z(int node) const {
+  return batteries_[node].level_j() - model_->shift_j(node, v_);
+}
+
+const energy::Battery& NetworkState::battery(int node) const {
+  return batteries_[node];
+}
+
+double NetworkState::charge_headroom_j(int node) const {
+  return batteries_[node].charge_headroom_j();
+}
+
+double NetworkState::discharge_headroom_j(int node) const {
+  return batteries_[node].discharge_headroom_j();
+}
+
+void NetworkState::advance(const SlotDecision& decision) {
+  const int n = model_->num_nodes();
+  const int S = model_->num_sessions();
+  GC_CHECK(static_cast<int>(decision.energy.size()) == n);
+  GC_CHECK(static_cast<int>(decision.admissions.size()) == S);
+
+  // Data queues, law (15).
+  std::vector<double> served(static_cast<std::size_t>(n) * S, 0.0);
+  std::vector<double> relayed(static_cast<std::size_t>(n) * S, 0.0);
+  for (const auto& r : decision.routes) {
+    GC_CHECK(r.packets >= 0.0);
+    served[qi(r.tx, r.session)] += r.packets;
+    relayed[qi(r.rx, r.session)] += r.packets;
+  }
+  for (int s = 0; s < S; ++s) {
+    const auto& adm = decision.admissions[s];
+    for (int i = 0; i < n; ++i) {
+      if (model_->session(s).destination == i) {
+        q_[qi(i, s)] = 0.0;  // destinations keep no queue for their session
+        continue;
+      }
+      const double admitted = (i == adm.source_bs) ? adm.packets : 0.0;
+      q_[qi(i, s)] = queueing::queue_step(q_[qi(i, s)], served[qi(i, s)],
+                                          relayed[qi(i, s)] + admitted);
+    }
+  }
+
+  // Virtual link queues, law (28). Service is the scheduled capacity in
+  // packets; arrivals are the routed packets.
+  std::vector<double> link_service(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> link_arrivals(static_cast<std::size_t>(n) * n, 0.0);
+  for (const auto& sl : decision.schedule)
+    link_service[li(sl.tx, sl.rx)] += sl.capacity_packets;
+  for (const auto& r : decision.routes)
+    link_arrivals[li(r.tx, r.rx)] += r.packets;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int l = li(i, j);
+      gq_[l] = queueing::queue_step(gq_[l], link_service[l], link_arrivals[l]);
+    }
+
+  // Batteries, law (4), with eqs. (9), (11), (12) enforced inside.
+  for (int i = 0; i < n; ++i) {
+    const auto& e = decision.energy[i];
+    batteries_[i].apply(e.charge_total_j(), e.discharge_j);
+  }
+
+  ++slot_;
+}
+
+void NetworkState::set_q(int node, int session, double value) {
+  GC_CHECK(value >= 0.0);
+  q_[qi(node, session)] = value;
+}
+
+void NetworkState::set_g_queue(int tx, int rx, double value) {
+  GC_CHECK(value >= 0.0 && tx != rx);
+  gq_[li(tx, rx)] = value;
+}
+
+void NetworkState::set_battery_j(int node, double value) {
+  energy::BatteryParams p = model_->node(node).battery;
+  p.initial_level_j = value;
+  batteries_[node] = energy::Battery(p);
+}
+
+double NetworkState::total_data_queue_bs() const {
+  double total = 0.0;
+  for (int i = 0; i < model_->num_base_stations(); ++i)
+    for (int s = 0; s < model_->num_sessions(); ++s) total += q(i, s);
+  return total;
+}
+
+double NetworkState::total_data_queue_users() const {
+  double total = 0.0;
+  for (int i = model_->num_base_stations(); i < model_->num_nodes(); ++i)
+    for (int s = 0; s < model_->num_sessions(); ++s) total += q(i, s);
+  return total;
+}
+
+double NetworkState::total_battery_bs_j() const {
+  double total = 0.0;
+  for (int i = 0; i < model_->num_base_stations(); ++i)
+    total += batteries_[i].level_j();
+  return total;
+}
+
+double NetworkState::total_battery_users_j() const {
+  double total = 0.0;
+  for (int i = model_->num_base_stations(); i < model_->num_nodes(); ++i)
+    total += batteries_[i].level_j();
+  return total;
+}
+
+double NetworkState::total_virtual_queue() const {
+  double total = 0.0;
+  for (double g : gq_) total += g;
+  return total;
+}
+
+}  // namespace gc::core

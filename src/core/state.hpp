@@ -1,0 +1,75 @@
+// NetworkState: all time-varying state the online algorithm conditions on —
+// data queues Q_i^s, virtual link queues G_ij (H_ij = beta G_ij), and the
+// batteries x_i with their shifted images z_i — plus the queue-law updates
+// of eqs. (15), (28)/(30) and (4)/(31).
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/types.hpp"
+#include "energy/battery.hpp"
+
+namespace gc::core {
+
+class NetworkState {
+ public:
+  // V is the drift-plus-penalty weight; it fixes the z_i shift.
+  NetworkState(const NetworkModel& model, double V);
+
+  const NetworkModel& model() const { return *model_; }
+  double V() const { return v_; }
+  int slot() const { return slot_; }
+
+  // Q_i^s(t); identically 0 at the session's destination (the paper's
+  // destinations pass data straight up the stack).
+  double q(int node, int session) const;
+  // G_ij(t) (packets) and H_ij(t) = beta * G_ij(t).
+  double g_queue(int tx, int rx) const;
+  double h(int tx, int rx) const { return model_->beta() * g_queue(tx, rx); }
+  // Battery level x_i(t) and shifted level z_i(t) = x_i - V*gamma_max - d_max.
+  double battery_j(int node) const;
+  double z(int node) const;
+  const energy::Battery& battery(int node) const;
+
+  // Headroom helpers the energy manager needs (eqs. (11), (12)).
+  double charge_headroom_j(int node) const;
+  double discharge_headroom_j(int node) const;
+
+  // Applies one slot's decision: queue laws (15) and (28), battery law (4).
+  void advance(const SlotDecision& decision);
+
+  // Direct state injection for tests and what-if analyses; not used by the
+  // online algorithm itself.
+  void set_q(int node, int session, double value);
+  void set_g_queue(int tx, int rx, double value);
+  void set_battery_j(int node, double value);
+  // Pins the slot index (which keys time-varying tariffs); used by the
+  // lower-bound solver's scratch state and by tests.
+  void set_slot(int slot) {
+    GC_CHECK(slot >= 0);
+    slot_ = slot;
+  }
+
+  // Aggregates for the Fig. 2 panels.
+  double total_data_queue_bs() const;
+  double total_data_queue_users() const;
+  double total_battery_bs_j() const;
+  double total_battery_users_j() const;
+  double total_virtual_queue() const;
+
+ private:
+  int qi(int node, int session) const {
+    return node * model_->num_sessions() + session;
+  }
+  int li(int tx, int rx) const { return tx * model_->num_nodes() + rx; }
+
+  const NetworkModel* model_;
+  double v_;
+  int slot_ = 0;
+  std::vector<double> q_;        // N x S
+  std::vector<double> gq_;       // N x N virtual queues
+  std::vector<energy::Battery> batteries_;
+};
+
+}  // namespace gc::core

@@ -1,0 +1,88 @@
+// Shared value types for the per-slot optimization pipeline.
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gc::core {
+
+// A downlink Internet service session {d_s, v_s(t), s_s(t)} (Section II-A).
+// The destination is fixed; the source base station s_s(t) is chosen by the
+// resource-allocation subproblem each slot.
+struct Session {
+  int destination = -1;           // a user node
+  double demand_packets = 0.0;    // v_s(t), constant-rate model
+  double max_admit_packets = 0.0; // K_s^max, cap on k_s(t)
+};
+
+// Everything random that is observed at the start of a slot.
+struct SlotInputs {
+  std::vector<double> bandwidth_hz;   // W_m(t), indexed by band
+  std::vector<double> renewable_j;    // R_i(t) * dt, indexed by node
+  std::vector<char> grid_connected;   // omega_i(t), indexed by node
+};
+
+// One active alpha_ij^m(t) = 1 with its transmission power and realized
+// capacity (eq. (1)).
+struct ScheduledLink {
+  int tx = -1;
+  int rx = -1;
+  int band = -1;
+  double power_w = 0.0;
+  double capacity_bps = 0.0;
+  // floor(capacity * dt / delta): packets the link can carry this slot.
+  double capacity_packets = 0.0;
+};
+
+// l_ij^s(t) > 0 entries.
+struct RouteDecision {
+  int tx = -1;
+  int rx = -1;
+  int session = -1;
+  double packets = 0.0;
+};
+
+// Source selection + admission for one session (subproblem S2).
+struct AdmissionDecision {
+  int source_bs = -1;
+  double packets = 0.0;  // k_s(t)
+};
+
+// Energy-management variables of one node (subproblem S4). All joules.
+struct NodeEnergyDecision {
+  double demand_j = 0.0;           // E_i(t), fixed by the schedule
+  double serve_renewable_j = 0.0;  // r_i
+  double serve_grid_j = 0.0;       // g_i
+  double discharge_j = 0.0;        // d_i
+  double charge_renewable_j = 0.0; // c_i^r
+  double charge_grid_j = 0.0;      // c_i^g
+  double curtailed_j = 0.0;        // renewable neither used nor stored
+  double unserved_j = 0.0;         // demand shortfall (0 in normal operation)
+  bool connected = false;          // omega_i(t)
+
+  double charge_total_j() const { return charge_renewable_j + charge_grid_j; }
+  double grid_draw_j() const { return serve_grid_j + charge_grid_j; }
+};
+
+// The full outcome of one slot of the online algorithm.
+struct SlotDecision {
+  std::vector<ScheduledLink> schedule;
+  std::vector<RouteDecision> routes;
+  std::vector<AdmissionDecision> admissions;  // indexed by session
+  std::vector<NodeEnergyDecision> energy;     // indexed by node
+  double grid_total_j = 0.0;  // P(t): base-station grid draws only
+  double cost = 0.0;          // f(P(t))
+  // Diagnostics: unmet destination demand per session (packets) and total
+  // demand shortfall in energy (joules); both 0 in normal operation.
+  std::vector<double> demand_shortfall;
+  double unserved_energy_j = 0.0;
+
+  double routed_packets(int tx, int rx, int session) const {
+    for (const auto& r : routes)
+      if (r.tx == tx && r.rx == rx && r.session == session) return r.packets;
+    return 0.0;
+  }
+};
+
+}  // namespace gc::core

@@ -1,0 +1,34 @@
+// Constraint checker: verifies that a SlotDecision satisfies every
+// constraint of problem P1 — (9)-(14) energy, (16)-(19) routing, (22)
+// single-radio, (24) SINR, (25) capacity — against the state *before* the
+// decision was applied.
+//
+// Returns a list of human-readable violations (empty = clean). Integration
+// tests run the controller for many slots and assert emptiness throughout;
+// the simulator can run it in a debug mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/state.hpp"
+#include "core/types.hpp"
+
+namespace gc::core {
+
+struct ValidateOptions {
+  // Demand (18) may be unmeetable under the realized schedule; the decision
+  // carries the shortfall explicitly. When true, a nonzero shortfall is
+  // reported as a violation.
+  bool require_demand_met = false;
+  // Likewise for energy demand that renewable+battery+grid cannot cover.
+  bool require_energy_served = true;
+  double tolerance = 1e-6;
+};
+
+std::vector<std::string> validate_decision(const NetworkState& pre_state,
+                                           const SlotInputs& inputs,
+                                           const SlotDecision& decision,
+                                           const ValidateOptions& options = {});
+
+}  // namespace gc::core

@@ -1,0 +1,56 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+
+namespace gc::energy {
+
+namespace {
+// Decisions are produced by floating-point optimizers; tolerate roundoff at
+// this scale when validating and clamp afterwards.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+void BatteryParams::validate() const {
+  GC_CHECK(capacity_j >= 0.0);
+  GC_CHECK(max_charge_j >= 0.0);
+  GC_CHECK(max_discharge_j >= 0.0);
+  GC_CHECK_MSG(max_charge_j + max_discharge_j <= capacity_j + kSlack,
+               "eq. (13) violated: c_max + d_max > x_max");
+  GC_CHECK(initial_level_j >= 0.0 && initial_level_j <= capacity_j);
+}
+
+Battery::Battery(const BatteryParams& params)
+    : params_(params), level_(params.initial_level_j) {
+  params_.validate();
+}
+
+double Battery::charge_headroom_j() const {
+  return std::min(params_.max_charge_j, params_.capacity_j - level_);
+}
+
+double Battery::discharge_headroom_j() const {
+  return std::min(params_.max_discharge_j, level_);
+}
+
+void Battery::apply(double charge_j, double discharge_j) {
+  GC_CHECK(charge_j >= -kSlack && discharge_j >= -kSlack);
+  charge_j = std::max(charge_j, 0.0);
+  discharge_j = std::max(discharge_j, 0.0);
+  const double scale = std::max({1.0, params_.capacity_j, charge_j, discharge_j});
+  // Optimizer outputs may carry sub-tolerance residue on the zero side of
+  // eq. (9); snap it away rather than reject the slot.
+  if (charge_j <= kSlack * scale) charge_j = 0.0;
+  if (discharge_j <= kSlack * scale) discharge_j = 0.0;
+  GC_CHECK_MSG(charge_j == 0.0 || discharge_j == 0.0,
+               "eq. (9) violated: charge and discharge in the same slot");
+  GC_CHECK_MSG(charge_j <= charge_headroom_j() + kSlack * scale,
+               "eq. (11) violated: charge " << charge_j << " > headroom "
+                                            << charge_headroom_j());
+  GC_CHECK_MSG(discharge_j <= discharge_headroom_j() + kSlack * scale,
+               "eq. (12) violated: discharge "
+                   << discharge_j << " > headroom " << discharge_headroom_j());
+  level_ += charge_j - discharge_j;
+  level_ = std::clamp(level_, 0.0, params_.capacity_j);
+}
+
+}  // namespace gc::energy

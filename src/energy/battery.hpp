@@ -1,0 +1,45 @@
+// Energy storage unit of Section II-D.
+//
+// The battery is an energy queue (eq. (4)) with level x in [0, x_max]
+// (eq. (10)), per-slot charge/discharge limits c_max / d_max (eqs. (11),
+// (12)) whose sum must fit in the capacity (eq. (13)), and the efficiency
+// rule (9): never charge and discharge in the same slot.
+//
+// Energy is measured in joules throughout the library.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace gc::energy {
+
+struct BatteryParams {
+  double capacity_j = 0.0;        // x_max
+  double max_charge_j = 0.0;      // c_max per slot
+  double max_discharge_j = 0.0;   // d_max per slot
+  double initial_level_j = 0.0;   // x(0)
+
+  void validate() const;
+};
+
+class Battery {
+ public:
+  explicit Battery(const BatteryParams& params);
+
+  double level_j() const { return level_; }
+  const BatteryParams& params() const { return params_; }
+
+  // Largest admissible charge this slot: min(c_max, x_max - x) (eq. (11)).
+  double charge_headroom_j() const;
+  // Largest admissible discharge this slot: min(d_max, x) (eq. (12)).
+  double discharge_headroom_j() const;
+
+  // Applies one slot's decision (eq. (4): x <- x + c - d). Enforces (9)
+  // (charge XOR discharge), (11) and (12); throws CheckError on violation.
+  void apply(double charge_j, double discharge_j);
+
+ private:
+  BatteryParams params_;
+  double level_;
+};
+
+}  // namespace gc::energy

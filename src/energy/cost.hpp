@@ -1,0 +1,49 @@
+// Energy generation cost of Section II-E.
+//
+// The provider pays f(P(t)) for the total grid energy P(t) drawn by its base
+// stations in slot t, where f is non-negative, non-decreasing and convex.
+// The paper's evaluation uses the quadratic f(P) = a P^2 + b P + c with
+// a = 0.8, b = 0.2, c = 0.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace gc::energy {
+
+class QuadraticCost {
+ public:
+  QuadraticCost(double a, double b, double c) : a_(a), b_(b), c_(c) {
+    GC_CHECK_MSG(a >= 0.0, "f must be convex (a >= 0)");
+    GC_CHECK_MSG(b >= 0.0 && c >= 0.0, "f must be non-negative/non-decreasing");
+  }
+
+  double value(double p) const {
+    GC_CHECK(p >= -1e-9);
+    return a_ * p * p + b_ * p + c_;
+  }
+  double derivative(double p) const { return 2.0 * a_ * p + b_; }
+
+  // gamma_max of Section IV-B: the maximum of f' over the attainable grid
+  // draws [0, p_total_max].
+  double gamma_max(double p_total_max) const {
+    GC_CHECK(p_total_max >= 0.0);
+    return derivative(p_total_max);
+  }
+
+  // Inverse of f' (well-defined for a > 0); used by the price-based S4
+  // solver. Requires marginal >= b.
+  double inverse_derivative(double marginal) const {
+    GC_CHECK(a_ > 0.0);
+    GC_CHECK(marginal >= b_ - 1e-12);
+    return (marginal - b_) / (2.0 * a_);
+  }
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double c() const { return c_; }
+
+ private:
+  double a_, b_, c_;
+};
+
+}  // namespace gc::energy

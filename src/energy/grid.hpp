@@ -1,0 +1,45 @@
+// Grid connectivity of Sections II-D/E.
+//
+// omega_i(t) (eq. (6)): base stations are always connected to the power
+// grid; a mobile user is connected only occasionally, modelled by an i.i.d.
+// Bernoulli process xi_i(t). A connected node can draw at most p_i^max
+// energy from the grid per slot (eq. (14)), split between serving demand
+// (g_i) and charging the battery (c_i^g). Only base-station draws count
+// toward the provider's bill P(t).
+#pragma once
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gc::energy {
+
+struct GridParams {
+  bool always_connected = false;   // true for base stations
+  double connect_probability = 0.0;  // xi for users
+  double max_draw_j = 0.0;           // p_i^max per slot
+
+  void validate() const {
+    GC_CHECK(connect_probability >= 0.0 && connect_probability <= 1.0);
+    GC_CHECK(max_draw_j >= 0.0);
+  }
+};
+
+class GridConnection {
+ public:
+  explicit GridConnection(const GridParams& params) : params_(params) {
+    params_.validate();
+  }
+
+  // omega_i(t) for this slot.
+  bool sample_connected(Rng& rng) const {
+    return params_.always_connected || rng.bernoulli(params_.connect_probability);
+  }
+
+  double max_draw_j() const { return params_.max_draw_j; }
+  const GridParams& params() const { return params_; }
+
+ private:
+  GridParams params_;
+};
+
+}  // namespace gc::energy

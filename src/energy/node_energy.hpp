@@ -1,0 +1,31 @@
+// Per-node energy accounting of Sections II-C and III-B.
+//
+// E_i(t) = E_const + E_idle + E_TX(t)                      (eq. (2))
+// E_TX(t) = sum over scheduled outgoing links of P_ij^m * dt
+//         + sum over scheduled incoming links of P_recv * dt   (eq. (23))
+#pragma once
+
+#include "util/check.hpp"
+
+namespace gc::energy {
+
+struct NodeEnergyParams {
+  double const_power_w = 0.0;  // antenna feed, E_const / dt
+  double idle_power_w = 0.0;   // idle-mode draw, E_idle / dt
+  double recv_power_w = 0.0;   // P_recv
+  double max_tx_power_w = 0.0; // P_max
+
+  void validate() const {
+    GC_CHECK(const_power_w >= 0.0);
+    GC_CHECK(idle_power_w >= 0.0);
+    GC_CHECK(recv_power_w >= 0.0);
+    GC_CHECK(max_tx_power_w > 0.0);
+  }
+};
+
+// Baseline (traffic-independent) energy of one slot.
+inline double baseline_energy_j(const NodeEnergyParams& p, double slot_seconds) {
+  return (p.const_power_w + p.idle_power_w) * slot_seconds;
+}
+
+}  // namespace gc::energy

@@ -1,0 +1,82 @@
+// Renewable generation models of Section II-D.
+//
+// The paper models each node's renewable output R_i(t) as an i.i.d. process
+// with 0 <= R_i(t) <= R_i^max (uniform in the evaluation: U[0,1] W for
+// users, U[0,15] W for base stations). A diurnal solar model is provided
+// for the example applications; it still satisfies the boundedness
+// assumption the analysis needs.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gc::energy {
+
+class RenewableModel {
+ public:
+  virtual ~RenewableModel() = default;
+  // Energy harvested during slot `t` (joules).
+  virtual double sample_j(int slot, Rng& rng) const = 0;
+  // Upper bound R_max * dt (joules) used by the analysis constants.
+  virtual double max_j() const = 0;
+};
+
+// R_i(t) ~ U[0, peak_w] * dt, the paper's evaluation model.
+class UniformRenewable final : public RenewableModel {
+ public:
+  UniformRenewable(double peak_w, double slot_seconds)
+      : peak_j_(peak_w * slot_seconds) {
+    GC_CHECK(peak_w >= 0.0 && slot_seconds > 0.0);
+  }
+  double sample_j(int /*slot*/, Rng& rng) const override {
+    return rng.uniform(0.0, peak_j_);
+  }
+  double max_j() const override { return peak_j_; }
+
+ private:
+  double peak_j_;
+};
+
+// No renewable source (the "w/o renewable energy" baselines of Fig. 2(f)).
+class NoRenewable final : public RenewableModel {
+ public:
+  double sample_j(int, Rng&) const override { return 0.0; }
+  double max_j() const override { return 0.0; }
+};
+
+// Solar panel with a day/night cycle: clear-sky half-sine profile scaled by
+// a random cloudiness factor in [clearness_lo, 1]. Used by the
+// campus-microgrid example.
+class SolarRenewable final : public RenewableModel {
+ public:
+  SolarRenewable(double peak_w, double slot_seconds, int slots_per_day,
+                 double clearness_lo = 0.3)
+      : peak_j_(peak_w * slot_seconds),
+        slots_per_day_(slots_per_day),
+        clearness_lo_(clearness_lo) {
+    GC_CHECK(peak_w >= 0.0 && slot_seconds > 0.0);
+    GC_CHECK(slots_per_day >= 2);
+    GC_CHECK(clearness_lo >= 0.0 && clearness_lo <= 1.0);
+  }
+  double sample_j(int slot, Rng& rng) const override {
+    const double phase =
+        static_cast<double>(slot % slots_per_day_) / slots_per_day_;
+    // Daylight during the middle half of the day.
+    const double sun = phase < 0.25 || phase > 0.75
+                           ? 0.0
+                           : std::sin((phase - 0.25) * 2.0 * M_PI);
+    const double clearness = rng.uniform(clearness_lo_, 1.0);
+    return peak_j_ * sun * clearness;
+  }
+  double max_j() const override { return peak_j_; }
+
+ private:
+  double peak_j_;
+  int slots_per_day_;
+  double clearness_lo_;
+};
+
+}  // namespace gc::energy

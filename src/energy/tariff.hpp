@@ -1,0 +1,37 @@
+// Time-varying electricity tariffs (extension; the paper's f is static).
+//
+// A tariff is a cyclic vector of positive multipliers applied to the cost
+// function: slot t pays m_{t mod N} * f(P). The Lyapunov machinery carries
+// over by defining gamma_max with the *maximum* multiplier (the z-shift
+// must upper-bound f' over every slot); the algorithm then performs
+// battery arbitrage on its own — the charge threshold
+// x < V (gamma_max - m_t f'(P)) is high when energy is cheap and low when
+// it is expensive (see examples/tariff_arbitrage.cpp).
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gc::energy {
+
+// A flat tariff (multiplier 1 everywhere) is the empty vector by
+// convention; these helpers build common shapes.
+
+// Time-of-use: `peak_mult` between [peak_begin, peak_end) slots of each
+// day, `offpeak_mult` elsewhere.
+inline std::vector<double> time_of_use_tariff(int slots_per_day,
+                                              int peak_begin, int peak_end,
+                                              double peak_mult,
+                                              double offpeak_mult) {
+  GC_CHECK(slots_per_day >= 1);
+  GC_CHECK(0 <= peak_begin && peak_begin <= peak_end &&
+           peak_end <= slots_per_day);
+  GC_CHECK(peak_mult > 0.0 && offpeak_mult > 0.0);
+  std::vector<double> out(static_cast<std::size_t>(slots_per_day),
+                          offpeak_mult);
+  for (int t = peak_begin; t < peak_end; ++t) out[t] = peak_mult;
+  return out;
+}
+
+}  // namespace gc::energy

@@ -1,0 +1,71 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::lp {
+
+int Model::add_variable(double lower, double upper, double objective_coeff,
+                        std::string name) {
+  GC_CHECK_MSG(std::isfinite(lower),
+               "variable '" << name << "' needs a finite lower bound");
+  GC_CHECK_MSG(!(upper < lower), "variable '" << name << "' has upper < lower");
+  vars_.push_back(Var{lower, upper, objective_coeff, std::move(name)});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int Model::add_row(Sense sense, double rhs, std::string name) {
+  GC_CHECK_MSG(std::isfinite(rhs), "row '" << name << "' needs finite rhs");
+  rows_.push_back(Row{sense, rhs, std::move(name), {}});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+void Model::set_coeff(int row, int var, double value) {
+  check_var(var);
+  auto& entries = rows_[check_row(row)].entries;
+  for (auto& [v, c] : entries) {
+    if (v == var) {
+      c = value;
+      return;
+    }
+  }
+  entries.emplace_back(var, value);
+}
+
+void Model::set_objective_coeff(int var, double value) {
+  vars_[check_var(var)].obj = value;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  GC_CHECK(static_cast<int>(x.size()) == num_variables());
+  double v = 0.0;
+  for (int j = 0; j < num_variables(); ++j) v += vars_[j].obj * x[j];
+  return v;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  GC_CHECK(static_cast<int>(x.size()) == num_variables());
+  double worst = 0.0;
+  for (int j = 0; j < num_variables(); ++j) {
+    worst = std::max(worst, vars_[j].lower - x[j]);
+    if (std::isfinite(vars_[j].upper)) worst = std::max(worst, x[j] - vars_[j].upper);
+  }
+  for (const auto& row : rows_) {
+    double lhs = 0.0;
+    for (auto [v, c] : row.entries) lhs += c * x[v];
+    switch (row.sense) {
+      case Sense::LessEqual:
+        worst = std::max(worst, lhs - row.rhs);
+        break;
+      case Sense::GreaterEqual:
+        worst = std::max(worst, row.rhs - lhs);
+        break;
+      case Sense::Equal:
+        worst = std::max(worst, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace gc::lp

@@ -1,0 +1,96 @@
+// Linear-program container: variables with bounds, rows with sense/rhs,
+// sparse coefficients, and a minimization objective.
+//
+// This module replaces the role CPLEX 12.4 plays in the paper's evaluation
+// (the relaxed LPs inside the sequential-fix scheduler, the S4 energy
+// management program after piecewise linearization, and the relaxed
+// lower-bound problem P3-bar).
+//
+// Conventions:
+//  * objective is always MINIMIZED;
+//  * every variable must have a finite lower bound (callers shift if they
+//    need a free variable); upper bounds may be +infinity;
+//  * rows are a <= / = / >= comparison against a finite right-hand side.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gc::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { LessEqual, Equal, GreaterEqual };
+
+class Model {
+ public:
+  // Returns the new variable's index.
+  int add_variable(double lower, double upper, double objective_coeff,
+                   std::string name = "");
+
+  // Returns the new row's index. Coefficients are added with set_coeff.
+  int add_row(Sense sense, double rhs, std::string name = "");
+
+  // Sets (overwrites) the coefficient of `var` in `row`. Duplicate calls for
+  // the same (row, var) keep only the last value.
+  void set_coeff(int row, int var, double value);
+
+  void set_objective_coeff(int var, double value);
+
+  int num_variables() const { return static_cast<int>(vars_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  double lower(int var) const { return vars_[check_var(var)].lower; }
+  double upper(int var) const { return vars_[check_var(var)].upper; }
+  double objective_coeff(int var) const {
+    return vars_[check_var(var)].obj;
+  }
+  const std::string& variable_name(int var) const {
+    return vars_[check_var(var)].name;
+  }
+  Sense row_sense(int row) const { return rows_[check_row(row)].sense; }
+  double row_rhs(int row) const { return rows_[check_row(row)].rhs; }
+  const std::string& row_name(int row) const {
+    return rows_[check_row(row)].name;
+  }
+  // (var, coeff) pairs of a row, duplicates already merged.
+  const std::vector<std::pair<int, double>>& row_entries(int row) const {
+    return rows_[check_row(row)].entries;
+  }
+
+  // Value of the objective at a point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  // Max violation of rows and bounds at a point; 0 means feasible.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  struct Var {
+    double lower, upper, obj;
+    std::string name;
+  };
+  struct Row {
+    Sense sense;
+    double rhs;
+    std::string name;
+    std::vector<std::pair<int, double>> entries;
+  };
+
+  int check_var(int v) const {
+    GC_CHECK_MSG(v >= 0 && v < num_variables(), "bad var index " << v);
+    return v;
+  }
+  int check_row(int r) const {
+    GC_CHECK_MSG(r >= 0 && r < num_rows(), "bad row index " << r);
+    return r;
+  }
+
+  std::vector<Var> vars_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gc::lp

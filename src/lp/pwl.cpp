@@ -1,0 +1,31 @@
+#include "lp/pwl.hpp"
+
+#include <algorithm>
+
+namespace gc::lp {
+
+std::vector<TangentSegment> tangent_segments(
+    const std::function<double(double)>& f,
+    const std::function<double(double)>& df, double lo, double hi, int count) {
+  GC_CHECK(count >= 1);
+  GC_CHECK(lo <= hi);
+  std::vector<TangentSegment> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    const double p =
+        count == 1 ? lo : lo + (hi - lo) * static_cast<double>(k) /
+                                   static_cast<double>(count - 1);
+    const double slope = df(p);
+    out.push_back(TangentSegment{slope, f(p) - slope * p});
+  }
+  return out;
+}
+
+double pwl_value(const std::vector<TangentSegment>& segments, double p) {
+  GC_CHECK(!segments.empty());
+  double best = segments.front().value(p);
+  for (const auto& s : segments) best = std::max(best, s.value(p));
+  return best;
+}
+
+}  // namespace gc::lp

@@ -1,0 +1,35 @@
+// Piecewise-linear under-approximation of a convex function by tangent
+// lines.
+//
+// Used to embed the convex grid-energy cost f(P) into linear programs (the
+// paper hands the convex subproblem and the relaxed lower-bound problem to
+// CPLEX; we linearize instead). Because every tangent of a convex function
+// lies below the function, max_k (slope_k * P + intercept_k) <= f(P), so an
+// LP minimum computed with the tangents *under-estimates* the true optimum —
+// exactly the direction required to keep Theorem 5's lower bound valid.
+// The gap shrinks as O(1/segments^2) for smooth f.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gc::lp {
+
+struct TangentSegment {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double value(double p) const { return slope * p + intercept; }
+};
+
+// Tangents of `f` (with derivative `df`) at `count` points spread uniformly
+// over [lo, hi], endpoints included. Requires count >= 1 and lo <= hi.
+std::vector<TangentSegment> tangent_segments(
+    const std::function<double(double)>& f,
+    const std::function<double(double)>& df, double lo, double hi, int count);
+
+// The PWL approximation: max over segments (the epigraph form used in LPs).
+double pwl_value(const std::vector<TangentSegment>& segments, double p);
+
+}  // namespace gc::lp

@@ -1,0 +1,363 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace gc::lp {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Optimal: return "Optimal";
+    case Status::Infeasible: return "Infeasible";
+    case Status::Unbounded: return "Unbounded";
+    case Status::IterationLimit: return "IterationLimit";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class VarState : std::uint8_t { AtLower, AtUpper, Basic };
+
+class Simplex {
+ public:
+  Simplex(const Model& model, const Options& opt) : model_(model), opt_(opt) {
+    build();
+  }
+
+  Solution run();
+
+ private:
+  void build();
+  // One simplex phase on objective `cost_`.
+  Status iterate(int* iter_budget);
+  void recompute_basic_values();
+  double current_cost() const;
+  int price(bool bland);  // entering column or -1
+  void pivot(int row, int col);
+
+  double nonbasic_value(int j) const {
+    return state_[j] == VarState::AtUpper ? hi_[j] : lo_[j];
+  }
+
+  const Model& model_;
+  const Options& opt_;
+
+  int m_ = 0;        // rows
+  int nstruct_ = 0;  // structural variables
+  int ntot_ = 0;     // structural + slack + artificial
+  int width_ = 0;    // ntot_ + 1 (rhs column)
+
+  std::vector<double> tab_;  // m_ x width_, row-major; column ntot_ is B^-1 b
+  std::vector<double> lo_, hi_, cost_;
+  std::vector<VarState> state_;
+  std::vector<int> basis_;  // basis_[i] = variable basic in row i
+  std::vector<double> xb_;  // value of basis_[i]
+  std::vector<double> dscratch_;
+  int first_artificial_ = 0;
+
+  double& T(int i, int j) {
+    return tab_[static_cast<std::size_t>(i) * width_ + j];
+  }
+  double T(int i, int j) const {
+    return tab_[static_cast<std::size_t>(i) * width_ + j];
+  }
+};
+
+void Simplex::build() {
+  m_ = model_.num_rows();
+  nstruct_ = model_.num_variables();
+
+  int nslack = 0;
+  for (int r = 0; r < m_; ++r)
+    if (model_.row_sense(r) != Sense::Equal) ++nslack;
+
+  first_artificial_ = nstruct_ + nslack;
+  ntot_ = first_artificial_ + m_;
+  width_ = ntot_ + 1;
+  tab_.assign(static_cast<std::size_t>(m_) * width_, 0.0);
+
+  lo_.assign(ntot_, 0.0);
+  hi_.assign(ntot_, kInf);
+  cost_.assign(ntot_, 0.0);
+  state_.assign(ntot_, VarState::AtLower);
+  basis_.assign(m_, -1);
+  xb_.assign(m_, 0.0);
+  dscratch_.assign(ntot_, 0.0);
+
+  for (int j = 0; j < nstruct_; ++j) {
+    lo_[j] = model_.lower(j);
+    hi_[j] = model_.upper(j);
+    GC_CHECK_MSG(std::isfinite(lo_[j]),
+                 "variable " << j << " lacks a finite lower bound");
+  }
+
+  for (int r = 0; r < m_; ++r) {
+    for (auto [v, c] : model_.row_entries(r)) T(r, v) = c;
+    T(r, ntot_) = model_.row_rhs(r);
+  }
+
+  // Slacks: "<=" gets a +1 slack in [0, inf); ">=" a -1 surplus in [0, inf).
+  int s = nstruct_;
+  for (int r = 0; r < m_; ++r) {
+    switch (model_.row_sense(r)) {
+      case Sense::LessEqual:
+        T(r, s++) = 1.0;
+        break;
+      case Sense::GreaterEqual:
+        T(r, s++) = -1.0;
+        break;
+      case Sense::Equal:
+        break;
+    }
+  }
+  GC_CHECK(s == first_artificial_);
+
+  // Artificial basis. Basic columns must form an identity, so rows whose
+  // starting residual is negative are negated wholesale (the equation is
+  // unchanged; only its orientation flips) before the +1 artificial enters.
+  for (int r = 0; r < m_; ++r) {
+    double resid = T(r, ntot_);
+    for (int j = 0; j < first_artificial_; ++j) {
+      const double a = T(r, j);
+      if (a != 0.0) resid -= a * nonbasic_value(j);
+    }
+    if (resid < 0.0) {
+      for (int j = 0; j < width_; ++j) T(r, j) = -T(r, j);
+      resid = -resid;
+    }
+    const int art = first_artificial_ + r;
+    T(r, art) = 1.0;
+    basis_[r] = art;
+    state_[art] = VarState::Basic;
+    xb_[r] = resid;
+  }
+}
+
+double Simplex::current_cost() const {
+  double c = 0.0;
+  for (int j = 0; j < ntot_; ++j)
+    if (state_[j] != VarState::Basic && cost_[j] != 0.0)
+      c += cost_[j] * nonbasic_value(j);
+  for (int i = 0; i < m_; ++i) c += cost_[basis_[i]] * xb_[i];
+  return c;
+}
+
+void Simplex::recompute_basic_values() {
+  // x_B = (B^-1 b) - sum_{nonbasic j} (B^-1 A_j) * xval_j; both factors live
+  // in the updated tableau.
+  for (int i = 0; i < m_; ++i) {
+    double v = T(i, ntot_);
+    const double* row = &tab_[static_cast<std::size_t>(i) * width_];
+    for (int j = 0; j < ntot_; ++j) {
+      if (state_[j] == VarState::Basic) continue;
+      const double a = row[j];
+      if (a == 0.0) continue;
+      const double xv = nonbasic_value(j);
+      if (xv != 0.0) v -= a * xv;
+    }
+    xb_[i] = v;
+  }
+}
+
+int Simplex::price(bool bland) {
+  // Reduced costs d_j = c_j - c_B^T (B^-1 A_j), accumulated row-wise so the
+  // dense tableau is walked cache-friendly.
+  double* d = dscratch_.data();
+  for (int j = 0; j < ntot_; ++j) d[j] = cost_[j];
+  for (int i = 0; i < m_; ++i) {
+    const double cb = cost_[basis_[i]];
+    if (cb == 0.0) continue;
+    const double* row = &tab_[static_cast<std::size_t>(i) * width_];
+    for (int j = 0; j < ntot_; ++j) d[j] -= cb * row[j];
+  }
+
+  int best = -1;
+  double best_score = 0.0;
+  for (int j = 0; j < ntot_; ++j) {
+    if (state_[j] == VarState::Basic) continue;
+    if (hi_[j] - lo_[j] <= 0.0) continue;  // fixed, cannot move
+    double score = 0.0;
+    if (state_[j] == VarState::AtLower && d[j] < -opt_.opt_tol)
+      score = -d[j];
+    else if (state_[j] == VarState::AtUpper && d[j] > opt_.opt_tol)
+      score = d[j];
+    if (score > 0.0) {
+      if (bland) return j;  // lowest eligible index
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+  }
+  return best;
+}
+
+void Simplex::pivot(int row, int col) {
+  const double inv = 1.0 / T(row, col);
+  double* prow = &tab_[static_cast<std::size_t>(row) * width_];
+  for (int j = 0; j < width_; ++j) prow[j] *= inv;
+  prow[col] = 1.0;  // kill roundoff
+  for (int i = 0; i < m_; ++i) {
+    if (i == row) continue;
+    const double f = T(i, col);
+    if (f == 0.0) continue;
+    double* irow = &tab_[static_cast<std::size_t>(i) * width_];
+    for (int j = 0; j < width_; ++j) irow[j] -= f * prow[j];
+    irow[col] = 0.0;
+  }
+}
+
+Status Simplex::iterate(int* iter_budget) {
+  bool bland = false;
+  int stall = 0;
+  double best_obj = current_cost();
+  int since_refresh = 0;
+  constexpr double kTie = 1e-10;
+
+  while (true) {
+    if (*iter_budget <= 0) return Status::IterationLimit;
+    const int e = price(bland);
+    if (e < 0) return Status::Optimal;
+    --*iter_budget;
+
+    const double dir = state_[e] == VarState::AtLower ? 1.0 : -1.0;
+    const double span = hi_[e] - lo_[e];  // may be +inf
+
+    // Ratio test: entering moves by t >= 0 in direction dir; basic i changes
+    // at rate delta_i = -dir * T(i, e).
+    double t_best = kInf;
+    int leave_row = -1;
+    bool leave_at_upper = false;
+    double leave_pivot = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const double a = T(i, e);
+      if (std::abs(a) < opt_.pivot_tol) continue;
+      const double delta = -dir * a;
+      const int b = basis_[i];
+      double t;
+      bool to_upper;
+      if (delta > 0.0) {
+        if (!std::isfinite(hi_[b])) continue;
+        t = (hi_[b] - xb_[i]) / delta;
+        to_upper = true;
+      } else {
+        t = (lo_[b] - xb_[i]) / delta;  // delta<0, numerator<=0 -> t>=0
+        to_upper = false;
+      }
+      if (t < 0.0) t = 0.0;  // roundoff guard
+      bool take = false;
+      if (leave_row < 0 || t < t_best - kTie) {
+        take = true;
+      } else if (t <= t_best + kTie) {
+        take = bland ? (b < basis_[leave_row])
+                     : (std::abs(a) > std::abs(leave_pivot));
+      }
+      if (take) {
+        t_best = std::min(t, t_best);
+        leave_row = i;
+        leave_at_upper = to_upper;
+        leave_pivot = a;
+      }
+    }
+
+    if (span <= t_best) {
+      // Entering hits its own opposite bound first: bound flip, no pivot.
+      if (!std::isfinite(span)) return Status::Unbounded;
+      state_[e] = state_[e] == VarState::AtLower ? VarState::AtUpper
+                                                 : VarState::AtLower;
+      for (int i = 0; i < m_; ++i) {
+        const double a = T(i, e);
+        if (a != 0.0) xb_[i] -= dir * a * span;
+      }
+    } else {
+      GC_CHECK(leave_row >= 0);
+      const double t = t_best;
+      const double enter_val = nonbasic_value(e) + dir * t;
+      for (int i = 0; i < m_; ++i) {
+        if (i == leave_row) continue;
+        const double a = T(i, e);
+        if (a != 0.0) xb_[i] -= dir * a * t;
+      }
+      const int leaving = basis_[leave_row];
+      state_[leaving] = leave_at_upper ? VarState::AtUpper : VarState::AtLower;
+      pivot(leave_row, e);
+      basis_[leave_row] = e;
+      state_[e] = VarState::Basic;
+      xb_[leave_row] = enter_val;
+      if (++since_refresh >= opt_.refresh_every) {
+        recompute_basic_values();
+        since_refresh = 0;
+      }
+    }
+
+    // Stall detection -> permanent Bland's rule (termination guarantee).
+    const double obj = current_cost();
+    if (obj < best_obj - 1e-10 * (1.0 + std::abs(best_obj))) {
+      best_obj = obj;
+      stall = 0;
+    } else if (!bland && ++stall >= opt_.stall_limit) {
+      bland = true;
+    }
+  }
+}
+
+Solution Simplex::run() {
+  Solution sol;
+  int budget = opt_.max_iterations;
+
+  // Phase I: minimize the sum of artificials.
+  for (int j = 0; j < ntot_; ++j) cost_[j] = 0.0;
+  for (int r = 0; r < m_; ++r) cost_[first_artificial_ + r] = 1.0;
+  Status st = iterate(&budget);
+  recompute_basic_values();
+  const double infeas = current_cost();
+  sol.infeasibility = infeas;
+  sol.iterations = opt_.max_iterations - budget;
+  if (st == Status::IterationLimit) {
+    sol.status = st;
+    return sol;
+  }
+  GC_CHECK_MSG(st != Status::Unbounded, "phase I cannot be unbounded");
+  if (infeas > opt_.feas_tol * (1.0 + std::abs(infeas))) {
+    sol.status = Status::Infeasible;
+    return sol;
+  }
+
+  // Phase II: pin artificials at zero; minimize the caller's objective.
+  for (int r = 0; r < m_; ++r) {
+    const int a = first_artificial_ + r;
+    hi_[a] = 0.0;
+    if (state_[a] == VarState::AtUpper) state_[a] = VarState::AtLower;
+  }
+  for (int j = 0; j < ntot_; ++j) cost_[j] = 0.0;
+  for (int j = 0; j < nstruct_; ++j) cost_[j] = model_.objective_coeff(j);
+  st = iterate(&budget);
+  recompute_basic_values();
+  sol.iterations = opt_.max_iterations - budget;
+  sol.status = st;
+
+  sol.x.assign(nstruct_, 0.0);
+  for (int j = 0; j < nstruct_; ++j)
+    if (state_[j] != VarState::Basic) sol.x[j] = nonbasic_value(j);
+  for (int i = 0; i < m_; ++i)
+    if (basis_[i] < nstruct_) sol.x[basis_[i]] = xb_[i];
+  // Clamp tiny bound violations left by floating-point drift.
+  for (int j = 0; j < nstruct_; ++j) {
+    sol.x[j] = std::max(sol.x[j], model_.lower(j));
+    if (std::isfinite(model_.upper(j)))
+      sol.x[j] = std::min(sol.x[j], model_.upper(j));
+  }
+  sol.objective = model_.objective_value(sol.x);
+  return sol;
+}
+
+}  // namespace
+
+Solution solve(const Model& model, const Options& options) {
+  Simplex s(model, options);
+  return s.run();
+}
+
+}  // namespace gc::lp

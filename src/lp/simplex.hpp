@@ -1,0 +1,56 @@
+// Two-phase primal simplex for bounded-variable linear programs.
+//
+// Method: rows are converted to equalities with slack variables; an
+// artificial variable per row forms the initial basis. Phase I minimizes the
+// sum of artificials (infeasibility); phase II minimizes the caller's
+// objective with the artificials pinned to zero. Nonbasic variables rest at
+// a finite bound; the dense tableau (B^-1 A, augmented with B^-1 b) is
+// updated by elementary row operations per pivot, with periodic
+// recomputation of basic values to control drift.
+//
+// Pricing is Dantzig (most negative reduced cost) with a permanent switch to
+// Bland's rule after a stall, which guarantees termination on degenerate
+// problems.
+//
+// Scale: designed for the dense mid-size LPs this project produces (a few
+// thousand columns, a few hundred rows), where a dense tableau beats sparse
+// bookkeeping.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace gc::lp {
+
+enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+
+const char* to_string(Status s);
+
+struct Options {
+  int max_iterations = 200000;
+  // Feasibility tolerance on bounds / rows (absolute, relative to the
+  // problem's magnitude which callers keep O(1)..O(1e6)).
+  double feas_tol = 1e-7;
+  // Reduced-cost optimality tolerance.
+  double opt_tol = 1e-7;
+  // Minimum |pivot| accepted.
+  double pivot_tol = 1e-9;
+  // Iterations without objective improvement before switching to Bland.
+  int stall_limit = 200;
+  // Recompute basic values from the tableau every this many pivots.
+  int refresh_every = 128;
+};
+
+struct Solution {
+  Status status = Status::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;  // structural variables only
+  int iterations = 0;
+  // Residual infeasibility the solver itself measured (phase I objective).
+  double infeasibility = 0.0;
+};
+
+Solution solve(const Model& model, const Options& options = {});
+
+}  // namespace gc::lp

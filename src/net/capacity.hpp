@@ -1,0 +1,37 @@
+// Physical-model link capacity of Section II-B.
+//
+// A transmission succeeds iff its SINR clears the threshold Gamma, in which
+// case the link carries a fixed spectral efficiency (eq. (1)):
+//   c_ij^m(t) = W_m(t) * log2(1 + Gamma)   [bits/s]   if SINR >= Gamma,
+//               0                                      otherwise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/check.hpp"
+
+namespace gc::net {
+
+struct RadioParams {
+  double sinr_threshold = 1.0;        // Gamma
+  double noise_psd_w_per_hz = 1e-20;  // eta (same at all receivers, Sec. VI)
+};
+
+// Nominal capacity in bits/s when the SINR threshold is met (eq. (1)).
+double nominal_capacity_bps(double bandwidth_hz, double sinr_threshold);
+
+// An active transmission on one band: tx sends to rx at `power_w`.
+struct Transmission {
+  int tx = -1;
+  int rx = -1;
+  double power_w = 0.0;
+};
+
+// SINR of transmissions[which] given every other entry as interference
+// (the denominator of the expression below eq. (1)).
+double sinr(const Topology& topo, std::span<const Transmission> transmissions,
+            std::size_t which, double bandwidth_hz, const RadioParams& radio);
+
+}  // namespace gc::net

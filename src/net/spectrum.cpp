@@ -1,0 +1,54 @@
+#include "net/spectrum.hpp"
+
+namespace gc::net {
+
+Spectrum::Spectrum(const SpectrumConfig& config, int num_nodes,
+                   int num_base_stations, Rng& rng)
+    : config_(config) {
+  GC_CHECK(config.num_random_bands >= 0);
+  GC_CHECK(config.num_random_bands < 31);
+  GC_CHECK(config.cellular_bandwidth_hz > 0.0);
+  GC_CHECK(config.random_bandwidth_lo_hz <= config.random_bandwidth_hi_hz);
+  GC_CHECK(config.user_band_probability >= 0.0 &&
+           config.user_band_probability <= 1.0);
+  GC_CHECK(num_base_stations >= 0 && num_base_stations <= num_nodes);
+
+  const std::uint32_t all =
+      (num_bands() >= 32) ? ~0u : ((1u << num_bands()) - 1u);
+  avail_.assign(static_cast<std::size_t>(num_nodes), 0u);
+  for (int i = 0; i < num_nodes; ++i) {
+    if (i < num_base_stations) {
+      avail_[i] = all;  // base stations access every band
+    } else {
+      std::uint32_t mask = 1u;  // cellular band always available
+      for (int m = 1; m < num_bands(); ++m)
+        if (rng.bernoulli(config.user_band_probability)) mask |= (1u << m);
+      avail_[i] = mask;
+    }
+  }
+
+  bandwidth_hz_.assign(static_cast<std::size_t>(num_bands()), 0.0);
+  bandwidth_hz_[0] = config.cellular_bandwidth_hz;
+  for (int m = 1; m < num_bands(); ++m)
+    bandwidth_hz_[m] = config.random_bandwidth_lo_hz;
+}
+
+void Spectrum::sample_slot(Rng& rng) {
+  for (int m = 1; m < num_bands(); ++m)
+    bandwidth_hz_[m] =
+        rng.uniform(config_.random_bandwidth_lo_hz, config_.random_bandwidth_hi_hz);
+}
+
+double Spectrum::bandwidth_hz(int band) const {
+  return bandwidth_hz_[check_band(band)];
+}
+
+bool Spectrum::available(int node, int band) const {
+  return (avail_[check_node(node)] >> check_band(band)) & 1u;
+}
+
+std::uint32_t Spectrum::availability_mask(int node) const {
+  return avail_[check_node(node)];
+}
+
+}  // namespace gc::net

@@ -1,0 +1,65 @@
+// Spectrum model of Section II-A: a set of bands M whose bandwidths
+// {W_m(t)} are random processes observed at the start of each slot, and a
+// static per-node availability set M_i (base stations can access every band;
+// each user sees the cellular band plus a random subset of the others).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gc::net {
+
+struct SpectrumConfig {
+  // Band 0 is the licensed cellular band with a constant bandwidth.
+  double cellular_bandwidth_hz = 1e6;
+  // Bands 1..num_random_bands have i.i.d. uniform bandwidth each slot.
+  int num_random_bands = 4;
+  double random_bandwidth_lo_hz = 1e6;
+  double random_bandwidth_hi_hz = 2e6;
+  // Probability that a given random band is available at a given user
+  // (drawn once at construction; the paper uses a static random subset).
+  double user_band_probability = 0.5;
+};
+
+class Spectrum {
+ public:
+  // `rng` seeds the static availability sets; per-slot bandwidths are drawn
+  // by sample_slot.
+  Spectrum(const SpectrumConfig& config, int num_nodes, int num_base_stations,
+           Rng& rng);
+
+  int num_bands() const { return 1 + config_.num_random_bands; }
+  int num_nodes() const { return static_cast<int>(avail_.size()); }
+
+  // Draws W_m(t) for the new slot.
+  void sample_slot(Rng& rng);
+
+  double bandwidth_hz(int band) const;
+  bool available(int node, int band) const;
+  // True iff band is in M_i intersect M_j.
+  bool link_band_ok(int tx, int rx, int band) const {
+    return available(tx, band) && available(rx, band);
+  }
+  std::uint32_t availability_mask(int node) const;
+
+  const SpectrumConfig& config() const { return config_; }
+
+ private:
+  int check_band(int b) const {
+    GC_CHECK_MSG(b >= 0 && b < num_bands(), "bad band index " << b);
+    return b;
+  }
+  int check_node(int n) const {
+    GC_CHECK_MSG(n >= 0 && n < num_nodes(), "bad node index " << n);
+    return n;
+  }
+
+  SpectrumConfig config_;
+  std::vector<std::uint32_t> avail_;  // bitmask per node
+  std::vector<double> bandwidth_hz_;  // current slot, indexed by band
+};
+
+}  // namespace gc::net

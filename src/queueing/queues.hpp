@@ -1,0 +1,90 @@
+// Queue processes used by the paper.
+//
+//  * DataQueue      — network-layer per-session buffer Q_i^s, law (15):
+//                     Q <- max(Q - served, 0) + relayed_in + admitted.
+//  * VirtualLinkQueue — link-layer virtual queue of Section IV-A. We track
+//                     G_ij (law (28), packets) and expose H_ij = beta*G_ij
+//                     (law (30)); keeping G and scaling by beta is exactly
+//                     equivalent to running (30) and avoids duplicate state.
+//  * ShiftedEnergyQueue — z_i(t) = x_i(t) - V*gamma_max - d_i^max of
+//                     Section IV-B, law (31) driven by the battery.
+//
+// Queue lengths are doubles so that the relaxed lower-bound solver can run
+// the same laws on fractional decisions; the online controller only ever
+// feeds integers into DataQueue.
+#pragma once
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gc::queueing {
+
+// One step of the generic single-server law of Theorem 1:
+// q' = max(q - service, 0) + arrivals.
+inline double queue_step(double q, double service, double arrivals) {
+  GC_CHECK(q >= 0.0 && service >= -1e-12 && arrivals >= -1e-12);
+  return std::max(q - std::max(service, 0.0), 0.0) + std::max(arrivals, 0.0);
+}
+
+class DataQueue {
+ public:
+  double length() const { return q_; }
+
+  // served: sum_j l_ij^s; relayed_in: sum_j l_ji^s; admitted: k_s * 1{src}.
+  void update(double served, double relayed_in, double admitted) {
+    q_ = queue_step(q_, served, relayed_in + admitted);
+  }
+
+ private:
+  double q_ = 0.0;  // Q(0) = 0 per Section IV-B
+};
+
+class VirtualLinkQueue {
+ public:
+  explicit VirtualLinkQueue(double beta = 1.0) : beta_(beta) {
+    GC_CHECK(beta > 0.0);
+  }
+
+  double g() const { return g_; }
+  double h() const { return beta_ * g_; }
+  double beta() const { return beta_; }
+
+  // service_packets: (1/delta) * sum_m c_ij^m alpha_ij^m dt;
+  // arrivals_packets: sum_s l_ij^s.  (law (28); h() then follows (30).)
+  void update(double service_packets, double arrivals_packets) {
+    g_ = queue_step(g_, service_packets, arrivals_packets);
+  }
+
+ private:
+  double beta_;
+  double g_ = 0.0;
+};
+
+class ShiftedEnergyQueue {
+ public:
+  // shift = V * gamma_max + d_max (Section IV-B).
+  ShiftedEnergyQueue(double initial_level_j, double shift_j)
+      : x_(initial_level_j), shift_(shift_j) {
+    GC_CHECK(initial_level_j >= 0.0);
+  }
+
+  double x() const { return x_; }
+  double z() const { return x_ - shift_; }
+  double shift() const { return shift_; }
+
+  // Law (31)/(4): x <- x + c - d. The Battery class enforces the physical
+  // constraints; this mirror exists so the controller can reason about z
+  // without owning the battery.
+  void update(double charge_j, double discharge_j) {
+    x_ += charge_j - discharge_j;
+    GC_CHECK_MSG(x_ >= -1e-6, "energy queue went negative: " << x_);
+    x_ = std::max(x_, 0.0);
+  }
+
+ private:
+  double x_;
+  double shift_;
+};
+
+}  // namespace gc::queueing

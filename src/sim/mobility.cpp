@@ -1,0 +1,52 @@
+#include "sim/mobility.hpp"
+
+#include <cmath>
+
+namespace gc::sim {
+
+RandomWaypoint::RandomWaypoint(const MobilityConfig& config,
+                               const net::Topology& topology,
+                               std::uint64_t seed)
+    : config_(config),
+      first_user_(topology.num_base_stations()),
+      rng_(seed) {
+  config_.validate();
+  trips_.resize(static_cast<std::size_t>(topology.num_users()));
+  for (auto& trip : trips_) new_trip(trip);
+}
+
+void RandomWaypoint::new_trip(Trip& trip) {
+  trip.target = {rng_.uniform(0.0, config_.area_m),
+                 rng_.uniform(0.0, config_.area_m)};
+  trip.speed_mps = rng_.uniform(config_.speed_mps_lo, config_.speed_mps_hi);
+}
+
+void RandomWaypoint::advance(double dt, net::Topology& topology) {
+  GC_CHECK(dt > 0.0);
+  GC_CHECK(topology.num_base_stations() == first_user_);
+  GC_CHECK(static_cast<std::size_t>(topology.num_users()) == trips_.size());
+  for (std::size_t u = 0; u < trips_.size(); ++u) {
+    const int node = first_user_ + static_cast<int>(u);
+    net::Vec2 pos = topology.position(node);
+    double budget = trips_[u].speed_mps * dt;
+    // A fast user can finish a trip mid-slot and start the next one.
+    while (budget > 0.0) {
+      const double dx = trips_[u].target.x - pos.x;
+      const double dy = trips_[u].target.y - pos.y;
+      const double dist = std::hypot(dx, dy);
+      if (dist <= budget) {
+        pos = trips_[u].target;
+        budget -= dist;
+        new_trip(trips_[u]);
+        if (trips_[u].speed_mps <= 0.0) break;  // parked
+      } else {
+        pos.x += dx / dist * budget;
+        pos.y += dy / dist * budget;
+        budget = 0.0;
+      }
+    }
+    topology.set_position(node, pos);
+  }
+}
+
+}  // namespace gc::sim

@@ -1,0 +1,83 @@
+#include "sim/scenario.hpp"
+
+namespace gc::sim {
+
+ScenarioConfig ScenarioConfig::tiny() {
+  ScenarioConfig c;
+  c.num_users = 5;
+  c.area_m = 800.0;
+  c.spectrum.num_random_bands = 2;
+  c.num_sessions = 2;
+  return c;
+}
+
+core::NetworkModel ScenarioConfig::build() const {
+  GC_CHECK(num_users >= 1);
+  GC_CHECK(num_sessions >= 1);
+  Rng master(seed);
+
+  Rng topo_rng = master.fork(0x7001);
+  net::Topology topo =
+      net::Topology::paper_layout(num_users, area_m, propagation, topo_rng);
+
+  Rng spec_rng = master.fork(0x7002);
+  net::Spectrum spec(spectrum, topo.num_nodes(), topo.num_base_stations(),
+                     spec_rng);
+
+  const double dt = slot_seconds;
+  std::vector<core::NodeParams> nodes;
+  nodes.reserve(static_cast<std::size_t>(topo.num_nodes()));
+  const auto bs_renewable = std::make_shared<energy::UniformRenewable>(
+      bs_renewable_peak_w, dt);
+  const auto user_renewable = std::make_shared<energy::UniformRenewable>(
+      user_renewable_peak_w, dt);
+  for (int i = 0; i < topo.num_nodes(); ++i) {
+    core::NodeParams np;
+    if (topo.is_base_station(i)) {
+      np.energy = {bs_const_w, bs_idle_w, bs_recv_w, bs_tx_max_w};
+      np.battery = {bs_batt_capacity_j, bs_batt_charge_j, bs_batt_discharge_j,
+                    bs_batt_initial_frac * bs_batt_capacity_j};
+      np.grid = {true, 0.0, bs_grid_max_j};
+      np.renewable = bs_renewable;
+      np.num_radios = bs_radios;
+    } else {
+      np.energy = {user_const_w, user_idle_w, user_recv_w, user_tx_max_w};
+      np.battery = {user_batt_capacity_j, user_batt_charge_j,
+                    user_batt_discharge_j,
+                    user_batt_initial_frac * user_batt_capacity_j};
+      np.grid = {false, user_connect_probability, user_grid_max_j};
+      np.renewable = user_renewable;
+      np.num_radios = user_radios;
+    }
+    nodes.push_back(std::move(np));
+  }
+
+  // Session destinations: distinct random users (wrapping if S > users).
+  Rng sess_rng = master.fork(0x7003);
+  std::vector<int> users(static_cast<std::size_t>(num_users));
+  for (int u = 0; u < num_users; ++u)
+    users[u] = topo.num_base_stations() + u;
+  // Fisher-Yates shuffle for distinct destinations.
+  for (int u = num_users - 1; u > 0; --u)
+    std::swap(users[u],
+              users[sess_rng.uniform_int(0, u)]);
+  std::vector<core::Session> sessions;
+  const double demand = demand_packets();
+  for (int s = 0; s < num_sessions; ++s)
+    sessions.push_back(core::Session{users[s % num_users], demand,
+                                     std::floor(admit_factor * demand)});
+
+  core::ModelConfig mc;
+  mc.slot_seconds = slot_seconds;
+  mc.packet_bits = packet_bits;
+  mc.multihop = multihop;
+  mc.renewables = renewables;
+  mc.tariff_multipliers = tariff_multipliers;
+  mc.phy_policy = phy_policy;
+
+  return core::NetworkModel(
+      std::move(topo), std::move(spec), radio, std::move(nodes),
+      std::move(sessions), energy::QuadraticCost(cost_a, cost_b, cost_c), mc);
+}
+
+}  // namespace gc::sim

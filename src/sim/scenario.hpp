@@ -1,0 +1,122 @@
+// Scenario configuration and builders.
+//
+// `ScenarioConfig::paper()` encodes the evaluation setup of Section VI:
+// a 2000 m x 2000 m square, 2 base stations, 20 random users, 1 cellular
+// band + 4 random bands, 100 kbps sessions, Gamma = 1, gamma = 4, C = 62.5,
+// 1-minute slots.
+//
+// Quantities the paper leaves unstated or mutually inconsistent (see the
+// calibration table in EXPERIMENTS.md section 0) are filled with physically
+// coherent values: session count, packet size, node baseline powers,
+// battery capacities (the paper's 0.06 kWh/min charge rate for a phone is
+// a 3.6 kW charger), user grid connectivity, the noise floor, the cost
+// coefficients, and lambda. Energy is in joules, time in seconds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "core/controller.hpp"
+#include "core/model.hpp"
+
+namespace gc::sim {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+
+  // Geometry / radio (paper values, except the noise floor — see below).
+  int num_users = 20;
+  double area_m = 2000.0;
+  net::PropagationParams propagation;  // C = 62.5, gamma = 4
+  // Gamma = 1 as in the paper. The paper's eta = 1e-20 W/Hz makes an
+  // edge-of-cell one-hop downlink cost ~1 mW out of a 20 W budget, so
+  // transmit power could never differentiate the Fig. 2(f) architectures;
+  // we raise the effective noise-plus-interference floor so that the same
+  // link needs on the order of the base station's maximum power — the
+  // regime the paper's multi-hop energy argument assumes (EXPERIMENTS.md).
+  net::RadioParams radio{1.0, 1.5e-16};
+  net::SpectrumConfig spectrum;        // 1 MHz + 4 x U[1,2] MHz
+
+  // Time / traffic. The packet size delta is a free parameter the paper
+  // never states; it sets the scale of the drift constant B (eq. (34),
+  // which grows like packets^4 through the virtual-queue term) relative to
+  // the energy cost. 3 Mbit packets (video-segment-sized; a 100 kbps
+  // session is exactly 2 packets/minute) put B/V on the same order as the
+  // cost for V in [1, 10], which is what makes the Fig. 2(a) bounds
+  // informative — see EXPERIMENTS.md.
+  double slot_seconds = 60.0;
+  double packet_bits = 3e6;
+  int num_sessions = 4;
+  double session_rate_bps = 100e3;  // paper: 100 kbps per session
+  double admit_factor = 2.0;        // K_max = factor * per-slot demand
+
+  // Node energy (coherent defaults; paper gives only P_max and renewables).
+  double bs_const_w = 30.0, bs_idle_w = 10.0, bs_recv_w = 0.5,
+         bs_tx_max_w = 20.0;
+  double user_const_w = 0.3, user_idle_w = 0.2, user_recv_w = 0.1,
+         user_tx_max_w = 1.0;
+  double bs_renewable_peak_w = 15.0;   // paper: U[0,15] W
+  double user_renewable_peak_w = 1.0;  // paper: U[0,1] W
+
+  // Batteries (joules / joules-per-slot). Users carry a phone-grade cell
+  // that starts half charged; base stations start empty (they are always
+  // on the grid).
+  double bs_batt_capacity_j = 3e5, bs_batt_charge_j = 6e3,
+         bs_batt_discharge_j = 6e3, bs_batt_initial_frac = 0.0;
+  double user_batt_capacity_j = 20e3, user_batt_charge_j = 300.0,
+         user_batt_discharge_j = 300.0, user_batt_initial_frac = 0.5;
+
+  // Grid.
+  double bs_grid_max_j = 1e4;      // per slot (~167 W)
+  double user_grid_max_j = 600.0;  // per slot when connected (10 W)
+  double user_connect_probability = 0.3;
+
+  // Cost f(P) = a P^2 + b P + c with P in joules per slot. The paper's
+  // (0.8, 0.2, 0) applies to its own (unstated) unit of P; these
+  // coefficients keep the three V-coupled scales aligned in joules:
+  // V*gamma_max spans the BS battery for V in [1, 5] (Fig. 2(d) ordering)
+  // while B/V is of the cost's order (Fig. 2(a) tightness).
+  double cost_a = 2.5, cost_b = 1.0, cost_c = 0.0;
+
+  // Architecture switches (Fig. 2(f) baselines).
+  bool multihop = true;
+  bool renewables = true;
+
+  // Radios per node (extension; the paper's constraint (22) is 1).
+  int bs_radios = 1;
+  int user_radios = 1;
+
+  // PHY policy (extension): the paper's min-power fixed-rate design, or
+  // max-power with Shannon rate adaptation (see core/model.hpp).
+  core::ModelConfig::PhyPolicy phy_policy =
+      core::ModelConfig::PhyPolicy::MinPowerFixedRate;
+
+  // Cyclic tariff multipliers (empty = flat; see energy/tariff.hpp).
+  std::vector<double> tariff_multipliers;
+
+  // Algorithm parameters. lambda*V is the source-backlog admission
+  // threshold in packets.
+  double lambda = 10.0;
+
+  // Per-session demand in packets per slot.
+  double demand_packets() const {
+    return std::floor(session_rate_bps * slot_seconds / packet_bits);
+  }
+
+  static ScenarioConfig paper() { return ScenarioConfig{}; }
+  // A small instance (2 BS, few users/sessions/bands) for tests.
+  static ScenarioConfig tiny();
+
+  // Builds the immutable model: places nodes, assigns spectrum availability
+  // and sessions deterministically from `seed`.
+  core::NetworkModel build() const;
+
+  core::ControllerOptions controller_options() const {
+    core::ControllerOptions opt;
+    opt.allocator.lambda = lambda;
+    return opt;
+  }
+};
+
+}  // namespace gc::sim

@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+#include "core/validate.hpp"
+
+namespace gc::sim {
+
+namespace {
+
+void record(Metrics& m, const core::NetworkModel& model,
+            const core::NetworkState& state,
+            const core::SlotDecision& decision) {
+  m.cost.push_back(decision.cost);
+  m.grid_j.push_back(decision.grid_total_j);
+  m.q_bs.push_back(state.total_data_queue_bs());
+  m.q_users.push_back(state.total_data_queue_users());
+  m.battery_bs_j.push_back(state.total_battery_bs_j());
+  m.battery_users_j.push_back(state.total_battery_users_j());
+
+  m.cost_avg.add(decision.cost);
+  m.q_total_stability.add(state.total_data_queue_bs() +
+                          state.total_data_queue_users());
+  m.h_total_stability.add(state.total_virtual_queue());
+  for (double s : decision.demand_shortfall) m.total_demand_shortfall += s;
+  m.total_unserved_energy_j += decision.unserved_energy_j;
+  for (const auto& e : decision.energy) m.total_curtailed_j += e.curtailed_j;
+  for (const auto& r : decision.routes)
+    if (r.rx == model.session(r.session).destination)
+      m.total_delivered_packets += r.packets;
+  for (const auto& a : decision.admissions) m.total_admitted_packets += a.packets;
+  ++m.slots;
+}
+
+}  // namespace
+
+namespace {
+
+Metrics run_loop(const core::NetworkModel& model,
+                 core::LyapunovController& controller, int slots,
+                 const SimOptions& options, RandomWaypoint* mobility,
+                 net::Topology* topology) {
+  GC_CHECK(slots >= 1);
+  Metrics m;
+  Rng input_rng(options.input_seed);
+
+  for (int t = 0; t < slots; ++t) {
+    if (mobility && t > 0)
+      mobility->advance(model.slot_seconds(), *topology);
+    const core::SlotInputs inputs = model.sample_inputs(t, input_rng);
+    if (options.validate) {
+      // validate_decision needs the pre-decision state; copy it first.
+      const core::NetworkState pre = controller.state();
+      const core::SlotDecision decision = controller.step(inputs);
+      const auto violations = core::validate_decision(pre, inputs, decision);
+      if (!violations.empty()) {
+        std::ostringstream os;
+        os << "slot " << t << " violations:";
+        for (const auto& v : violations) os << "\n  " << v;
+        GC_CHECK_MSG(false, os.str());
+      }
+      record(m, model, controller.state(), decision);
+    } else {
+      const core::SlotDecision decision = controller.step(inputs);
+      record(m, model, controller.state(), decision);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Metrics run_simulation(const core::NetworkModel& model,
+                       core::LyapunovController& controller, int slots,
+                       const SimOptions& options) {
+  return run_loop(model, controller, slots, options, nullptr, nullptr);
+}
+
+Metrics run_simulation_mobile(core::NetworkModel& model,
+                              core::LyapunovController& controller,
+                              int slots, const MobilityConfig& mobility,
+                              const SimOptions& options) {
+  RandomWaypoint walker(mobility, model.topology(), options.input_seed + 77);
+  return run_loop(model, controller, slots, options, &walker,
+                  &model.mutable_topology());
+}
+
+}  // namespace gc::sim

@@ -1,0 +1,68 @@
+// Slot-driven simulator: samples the random processes, runs a controller,
+// validates (optionally), and records the series the paper's Fig. 2 plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/model.hpp"
+#include "sim/mobility.hpp"
+#include "util/stats.hpp"
+
+namespace gc::sim {
+
+struct Metrics {
+  // Per-slot series (index = slot).
+  std::vector<double> cost;             // f(P(t))
+  std::vector<double> grid_j;           // P(t)
+  std::vector<double> q_bs;             // total BS data backlog (packets)
+  std::vector<double> q_users;          // total user data backlog (packets)
+  std::vector<double> battery_bs_j;     // total BS energy buffer
+  std::vector<double> battery_users_j;  // total user energy buffer
+
+  // Aggregates.
+  TimeAverage cost_avg;                  // psi_P3 estimate
+  StabilityTracker q_total_stability;    // strong-stability probe on sum(Q)
+  StabilityTracker h_total_stability;    // ... on sum(G)
+  double total_demand_shortfall = 0.0;   // packets across sessions/slots
+  double total_unserved_energy_j = 0.0;
+  double total_curtailed_j = 0.0;
+  double total_delivered_packets = 0.0;  // into destinations
+  double total_admitted_packets = 0.0;
+  int slots = 0;
+
+  // Little's-law estimate of the average end-to-end packet delay in slots:
+  // W = L / lambda with L the time-averaged total network backlog and
+  // lambda the delivered throughput. This is the queueing-delay face of
+  // the paper's [O(1/V), O(V)] cost/backlog tradeoff.
+  double average_delay_slots() const {
+    if (slots == 0 || total_delivered_packets <= 0.0) return 0.0;
+    double backlog_sum = 0.0;
+    for (int t = 0; t < slots; ++t) backlog_sum += q_bs[t] + q_users[t];
+    const double mean_backlog = backlog_sum / slots;
+    const double throughput = total_delivered_packets / slots;
+    return mean_backlog / throughput;
+  }
+};
+
+struct SimOptions {
+  std::uint64_t input_seed = 7;  // stream for the random processes
+  // Validate every slot's decision against the P1 constraints; throws
+  // CheckError listing the violations if any are found.
+  bool validate = false;
+};
+
+// Runs `controller` for `slots` slots against freshly sampled inputs.
+Metrics run_simulation(const core::NetworkModel& model,
+                       core::LyapunovController& controller, int slots,
+                       const SimOptions& options = {});
+
+// Same, with users walking a random-waypoint pattern between slots (the
+// controller must have been built on this same `model` instance).
+Metrics run_simulation_mobile(core::NetworkModel& model,
+                              core::LyapunovController& controller,
+                              int slots, const MobilityConfig& mobility,
+                              const SimOptions& options = {});
+
+}  // namespace gc::sim

@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking.
+//
+// GC_CHECK is always on (it guards logic errors in a research library where
+// silent corruption is worse than an abort); failures throw gc::CheckError so
+// callers and tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gc {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GC_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace gc
+
+#define GC_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::gc::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define GC_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream gc_check_os;                               \
+      gc_check_os << msg;                                           \
+      ::gc::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                 gc_check_os.str());                \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,46 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gc {
+
+std::string format_number(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  // %.10g is compact and plenty for plotting / comparisons.
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  GC_CHECK_MSG(out_.good(), "cannot open CSV file " << path);
+  GC_CHECK(arity_ > 0);
+  write_line(header);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_number(v));
+  write_line(cells);
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& values) {
+  write_line(values);
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& cells) {
+  GC_CHECK_MSG(cells.size() == arity_, "CSV arity mismatch in " << path_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  GC_CHECK_MSG(out_.good(), "CSV write failed for " << path_);
+}
+
+}  // namespace gc

@@ -1,0 +1,37 @@
+// Minimal CSV writer used by the figure benches and examples to emit series
+// that can be plotted directly against the paper's Fig. 2 panels.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gc {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  // Appends one row; must match the header arity.
+  void row(const std::vector<double>& values);
+  void row_strings(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_line(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+// Formats a double compactly (shortest round-trippable-ish representation
+// good enough for plotting).
+std::string format_number(double v);
+
+}  // namespace gc

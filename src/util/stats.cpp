@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace gc {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void StabilityTracker::add(double value) {
+  abs_sum_ += std::abs(value);
+  const double avg = abs_sum_ / static_cast<double>(partial_.size() + 1);
+  partial_.push_back(avg);
+  sup_ = std::max(sup_, avg);
+}
+
+double StabilityTracker::tail_sup_partial_average() const {
+  if (partial_.empty()) return 0.0;
+  const std::size_t start = partial_.size() / 2;
+  double sup = 0.0;
+  for (std::size_t i = start; i < partial_.size(); ++i)
+    sup = std::max(sup, partial_[i]);
+  return sup;
+}
+
+double StabilityTracker::tail_growth_rate() const {
+  const std::size_t n = partial_.size();
+  if (n < 4) return 0.0;
+  const std::size_t start = n / 2;
+  const std::size_t m = n - start;
+  // Least-squares slope of partial_[start..n) against slot index.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = start; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    const double y = partial_[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double dm = static_cast<double>(m);
+  const double denom = dm * sxx - sx * sx;
+  if (denom <= 0.0) return 0.0;
+  return (dm * sxy - sx * sy) / denom;
+}
+
+}  // namespace gc

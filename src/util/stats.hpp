@@ -1,0 +1,88 @@
+// Statistics helpers mirroring the paper's definitions:
+//
+//  * Definition 1 (time average):  a_bar = lim (1/T) sum_{t<T} E[a(t)]
+//    -> TimeAverage accumulates (1/T) sum a(t) for one sample path.
+//  * Definition 2 (strong stability): limsup (1/T) sum E[|a(t)|] < inf
+//    -> StabilityTracker tracks the running partial averages of |a(t)| and
+//       their supremum over a tail window, so tests can assert boundedness.
+//
+// RunningStat is a numerically stable (Welford) mean/variance accumulator.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gc {
+
+// Welford one-pass mean / variance / extrema.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// (1/T) sum_{t=0}^{T-1} a(t) over one sample path (Definition 1 with the
+// expectation estimated by the path itself, as the paper's simulation does).
+class TimeAverage {
+ public:
+  void add(double x) {
+    sum_ += x;
+    ++t_;
+  }
+  std::int64_t slots() const { return t_; }
+  double average() const { return t_ > 0 ? sum_ / static_cast<double>(t_) : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t t_ = 0;
+};
+
+// Empirical strong-stability probe (Definition 2). Tracks the running
+// partial averages A_T = (1/T) sum_{t<T} |a(t)| and reports
+//   sup_T A_T            (overall supremum), and
+//   sup over the last half of the horizon (tail supremum),
+// so a test can assert that the process did not drift to infinity: for a
+// strongly stable queue the tail supremum stays bounded as T grows, while an
+// unstable queue's partial averages grow roughly linearly.
+class StabilityTracker {
+ public:
+  void add(double value);
+
+  std::int64_t slots() const { return static_cast<std::int64_t>(partial_.size()); }
+  double running_average() const {
+    return partial_.empty() ? 0.0 : partial_.back();
+  }
+  double sup_partial_average() const { return sup_; }
+  // Supremum of partial averages over t in [T/2, T).
+  double tail_sup_partial_average() const;
+  // Least-squares slope of the partial-average sequence over the last half
+  // of the horizon; near zero for stable processes, positive for unstable.
+  double tail_growth_rate() const;
+
+ private:
+  double abs_sum_ = 0.0;
+  double sup_ = 0.0;
+  std::vector<double> partial_;
+};
+
+}  // namespace gc

@@ -1,0 +1,96 @@
+#include "core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace gc::core {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest()
+      : model_(sim::ScenarioConfig::tiny().build()), state_(model_, 10.0) {}
+  NetworkModel model_;
+  NetworkState state_;
+  AllocatorParams params_{5.0};  // lambda V = 50
+};
+
+TEST_F(AllocatorTest, PicksSmallestBacklogBaseStation) {
+  state_.set_q(0, 0, 30.0);
+  state_.set_q(1, 0, 10.0);
+  const auto adm = allocate_resources(state_, params_);
+  EXPECT_EQ(adm[0].source_bs, 1);
+}
+
+TEST_F(AllocatorTest, TieBreaksToLowestIndex) {
+  state_.set_q(0, 0, 10.0);
+  state_.set_q(1, 0, 10.0);
+  const auto adm = allocate_resources(state_, params_);
+  EXPECT_EQ(adm[0].source_bs, 0);
+}
+
+TEST_F(AllocatorTest, AdmitsKmaxWhenBelowLambdaV) {
+  state_.set_q(0, 0, 49.0);  // below lambda V = 50
+  state_.set_q(1, 0, 60.0);
+  const auto adm = allocate_resources(state_, params_);
+  EXPECT_EQ(adm[0].source_bs, 0);
+  EXPECT_DOUBLE_EQ(adm[0].packets, model_.session(0).max_admit_packets);
+}
+
+TEST_F(AllocatorTest, AdmitsNothingWhenAtOrAboveLambdaV) {
+  state_.set_q(0, 0, 50.0);  // Q - lambda V = 0, not < 0
+  state_.set_q(1, 0, 70.0);
+  const auto adm = allocate_resources(state_, params_);
+  EXPECT_DOUBLE_EQ(adm[0].packets, 0.0);
+}
+
+TEST_F(AllocatorTest, SessionsDecidedIndependently) {
+  state_.set_q(0, 0, 0.0);
+  state_.set_q(1, 0, 100.0);
+  state_.set_q(0, 1, 100.0);
+  state_.set_q(1, 1, 200.0);
+  const auto adm = allocate_resources(state_, params_);
+  EXPECT_DOUBLE_EQ(adm[0].packets, model_.session(0).max_admit_packets);
+  EXPECT_EQ(adm[1].source_bs, 0);
+  EXPECT_DOUBLE_EQ(adm[1].packets, 0.0);  // 100 > lambda V
+}
+
+TEST_F(AllocatorTest, Psi2MatchesEq36) {
+  state_.set_q(0, 0, 20.0);
+  std::vector<AdmissionDecision> adm(2);
+  adm[0] = {0, 40.0};
+  adm[1] = {1, 0.0};
+  // (Q - lambda V) * k = (20 - 50) * 40 = -1200.
+  EXPECT_DOUBLE_EQ(psi2(state_, params_, adm), -1200.0);
+}
+
+TEST_F(AllocatorTest, AllocatorMinimizesPsi2AgainstAlternatives) {
+  // The chosen allocation's Psi2 must weakly beat any other source/admit
+  // combination (S2 is solved exactly).
+  state_.set_q(0, 0, 35.0);
+  state_.set_q(1, 0, 80.0);
+  state_.set_q(0, 1, 70.0);
+  state_.set_q(1, 1, 55.0);
+  const auto best = allocate_resources(state_, params_);
+  const double best_val = psi2(state_, params_, best);
+  for (int src0 = 0; src0 < 2; ++src0)
+    for (int adm0 = 0; adm0 < 2; ++adm0)
+      for (int src1 = 0; src1 < 2; ++src1)
+        for (int adm1 = 0; adm1 < 2; ++adm1) {
+          std::vector<AdmissionDecision> alt(2);
+          alt[0] = {src0, adm0 * model_.session(0).max_admit_packets};
+          alt[1] = {src1, adm1 * model_.session(1).max_admit_packets};
+          EXPECT_LE(best_val, psi2(state_, params_, alt) + 1e-9);
+        }
+}
+
+TEST_F(AllocatorTest, ZeroLambdaNeverAdmits) {
+  // With lambda = 0 the threshold is Q < 0, impossible.
+  state_.set_q(0, 0, 0.0);
+  const auto adm = allocate_resources(state_, AllocatorParams{0.0});
+  EXPECT_DOUBLE_EQ(adm[0].packets, 0.0);
+}
+
+}  // namespace
+}  // namespace gc::core

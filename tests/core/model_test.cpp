@@ -1,0 +1,160 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace gc::core {
+namespace {
+
+sim::ScenarioConfig tiny() { return sim::ScenarioConfig::tiny(); }
+
+TEST(NetworkModel, BuildsPaperScenario) {
+  const auto model = sim::ScenarioConfig::paper().build();
+  EXPECT_EQ(model.num_nodes(), 22);
+  EXPECT_EQ(model.num_base_stations(), 2);
+  EXPECT_EQ(model.num_bands(), 5);
+  EXPECT_EQ(model.num_sessions(), 4);
+  // 100 kbps * 60 s / 3e6 bits = 2 packets per slot.
+  for (int s = 0; s < model.num_sessions(); ++s) {
+    EXPECT_DOUBLE_EQ(model.session(s).demand_packets, 2.0);
+    EXPECT_GE(model.session(s).destination, model.num_base_stations());
+  }
+}
+
+TEST(NetworkModel, SessionDestinationsDistinct) {
+  const auto model = sim::ScenarioConfig::paper().build();
+  for (int a = 0; a < model.num_sessions(); ++a)
+    for (int b = a + 1; b < model.num_sessions(); ++b)
+      EXPECT_NE(model.session(a).destination, model.session(b).destination);
+}
+
+TEST(NetworkModel, BetaIsMaxLinkPackets) {
+  const auto model = tiny().build();
+  double expect = 1.0;
+  for (int i = 0; i < model.num_nodes(); ++i)
+    for (int j = 0; j < model.num_nodes(); ++j)
+      if (i != j) expect = std::max(expect, model.max_link_packets(i, j));
+  EXPECT_DOUBLE_EQ(model.beta(), expect);
+  EXPECT_GT(model.beta(), 1.0);
+}
+
+TEST(NetworkModel, MaxLinkPacketsUsesBestCommonBand) {
+  const auto model = tiny().build();
+  // Between two base stations every band is common; the best is a random
+  // band at its upper bandwidth 2 MHz: 2e6 * log2(2) * 60 / 3e6 = 40.
+  EXPECT_DOUBLE_EQ(model.max_link_packets(0, 1), 40.0);
+}
+
+TEST(NetworkModel, DriftConstantPositiveAndScalesWithSessions) {
+  auto cfg = tiny();
+  const auto m1 = cfg.build();
+  cfg.num_sessions = 4;
+  const auto m2 = cfg.build();
+  EXPECT_GT(m1.drift_constant_B(), 0.0);
+  EXPECT_GT(m2.drift_constant_B(), m1.drift_constant_B());
+}
+
+TEST(NetworkModel, GammaMaxMatchesCostDerivativeAtTotalGridCap) {
+  const auto model = tiny().build();
+  const double pmax = model.max_total_grid_j();
+  EXPECT_DOUBLE_EQ(pmax, 2 * 1e4);  // two base stations
+  EXPECT_DOUBLE_EQ(model.gamma_max(), model.cost().derivative(pmax));
+}
+
+TEST(NetworkModel, ShiftFollowsSectionIVB) {
+  const auto model = tiny().build();
+  const double V = 3.0;
+  for (int i = 0; i < model.num_nodes(); ++i)
+    EXPECT_DOUBLE_EQ(
+        model.shift_j(i, V),
+        V * model.gamma_max() + model.node(i).battery.max_discharge_j);
+}
+
+TEST(NetworkModel, MultihopAllowsAllPairsOnehopOnlyDownlink) {
+  auto cfg = tiny();
+  const auto multi = cfg.build();
+  EXPECT_TRUE(multi.link_allowed(2, 3));  // user -> user
+  EXPECT_TRUE(multi.link_allowed(0, 1));  // BS -> BS
+  EXPECT_FALSE(multi.link_allowed(4, 4));
+
+  cfg.multihop = false;
+  const auto onehop = cfg.build();
+  // One-hop permits only the direct BS -> destination downlink (packets at
+  // any other user would strand there).
+  for (int b = 0; b < onehop.num_base_stations(); ++b)
+    for (int u = onehop.num_base_stations(); u < onehop.num_nodes(); ++u) {
+      bool is_dest = false;
+      for (int s = 0; s < onehop.num_sessions(); ++s)
+        if (onehop.session(s).destination == u) is_dest = true;
+      EXPECT_EQ(onehop.link_allowed(b, u), is_dest);
+    }
+  EXPECT_FALSE(onehop.link_allowed(2, 3));  // user -> user
+  EXPECT_FALSE(onehop.link_allowed(0, 1));  // BS -> BS
+  EXPECT_FALSE(onehop.link_allowed(2, 0));  // user -> BS
+}
+
+TEST(NetworkModel, SampleInputsDeterministicPerSlot) {
+  const auto model = tiny().build();
+  Rng r1(5), r2(5);
+  const auto a = model.sample_inputs(3, r1);
+  const auto b = model.sample_inputs(3, r2);
+  EXPECT_EQ(a.bandwidth_hz, b.bandwidth_hz);
+  EXPECT_EQ(a.renewable_j, b.renewable_j);
+  EXPECT_EQ(a.grid_connected, b.grid_connected);
+}
+
+TEST(NetworkModel, SampleInputsRespectPaperRanges) {
+  const auto model = sim::ScenarioConfig::paper().build();
+  Rng rng(6);
+  for (int t = 0; t < 50; ++t) {
+    const auto in = model.sample_inputs(t, rng);
+    EXPECT_DOUBLE_EQ(in.bandwidth_hz[0], 1e6);
+    for (int m = 1; m < model.num_bands(); ++m) {
+      EXPECT_GE(in.bandwidth_hz[m], 1e6);
+      EXPECT_LE(in.bandwidth_hz[m], 2e6);
+    }
+    for (int i = 0; i < model.num_nodes(); ++i) {
+      const double peak =
+          model.topology().is_base_station(i) ? 15.0 * 60.0 : 1.0 * 60.0;
+      EXPECT_GE(in.renewable_j[i], 0.0);
+      EXPECT_LE(in.renewable_j[i], peak);
+    }
+    for (int b = 0; b < model.num_base_stations(); ++b)
+      EXPECT_TRUE(in.grid_connected[b]);  // eq. (6)
+  }
+}
+
+TEST(NetworkModel, RenewablesSwitchZeroesInputs) {
+  auto cfg = tiny();
+  cfg.renewables = false;
+  const auto model = cfg.build();
+  Rng rng(7);
+  const auto in = model.sample_inputs(0, rng);
+  for (double r : in.renewable_j) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(NetworkModel, RenewableSwitchDoesNotPerturbOtherDraws) {
+  // Fig. 2(f) compares architectures on identical sample paths: the same
+  // (seed, slot) must give identical bandwidths and connectivity whether or
+  // not renewables are enabled.
+  auto cfg = tiny();
+  const auto with = cfg.build();
+  cfg.renewables = false;
+  const auto without = cfg.build();
+  Rng r1(9), r2(9);
+  const auto a = with.sample_inputs(4, r1);
+  const auto b = without.sample_inputs(4, r2);
+  EXPECT_EQ(a.bandwidth_hz, b.bandwidth_hz);
+  EXPECT_EQ(a.grid_connected, b.grid_connected);
+}
+
+TEST(NetworkModel, TinyConfigShape) {
+  const auto model = tiny().build();
+  EXPECT_EQ(model.num_nodes(), 7);
+  EXPECT_EQ(model.num_bands(), 3);
+  EXPECT_EQ(model.num_sessions(), 2);
+}
+
+}  // namespace
+}  // namespace gc::core

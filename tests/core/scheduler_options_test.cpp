@@ -1,0 +1,143 @@
+// Tests for the scheduling options: the Psi3 fill-in pass (and the
+// cold-start deadlock without it) and the energy-aware extension.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/scheduler.hpp"
+#include "sim/scenario.hpp"
+
+namespace gc::core {
+namespace {
+
+TEST(FillInOption, OffReproducesColdStartDeadlock) {
+  // The paper's S1 taken literally: H == 0 everywhere forever, so no link
+  // is ever scheduled and no packet ever moves.
+  const auto cfg = sim::ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  auto opts = cfg.controller_options();
+  opts.fill_in = false;
+  LyapunovController c(model, 2.0, opts);
+  Rng rng(3);
+  for (int t = 0; t < 25; ++t) {
+    const auto d = c.step(model.sample_inputs(t, rng));
+    EXPECT_TRUE(d.schedule.empty()) << "slot " << t;
+    EXPECT_TRUE(d.routes.empty()) << "slot " << t;
+  }
+}
+
+TEST(FillInOption, OnBreaksTheDeadlock) {
+  const auto cfg = sim::ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  LyapunovController c(model, 2.0, cfg.controller_options());
+  Rng rng(3);
+  int scheduled = 0;
+  for (int t = 0; t < 25; ++t)
+    scheduled += static_cast<int>(c.step(model.sample_inputs(t, rng)).schedule.size());
+  EXPECT_GT(scheduled, 0);
+}
+
+TEST(FillInCandidates, ExcludeBusyNodes) {
+  const auto model = sim::ScenarioConfig::tiny().build();
+  NetworkState state(model, 1.0);
+  state.set_q(0, 0, 50.0);
+  state.set_q(1, 0, 50.0);
+  SlotInputs in;
+  in.bandwidth_hz.assign(static_cast<std::size_t>(model.num_bands()), 1e6);
+  in.renewable_j.assign(static_cast<std::size_t>(model.num_nodes()), 0.0);
+  in.grid_connected.assign(static_cast<std::size_t>(model.num_nodes()), 1);
+
+  std::vector<ScheduledLink> pre(1);
+  pre[0].tx = 0;
+  pre[0].rx = 2;
+  pre[0].band = 0;
+  const auto cands = build_fill_in_candidates(state, in, pre);
+  for (const auto& c : cands) {
+    EXPECT_NE(c.tx, 0);
+    EXPECT_NE(c.rx, 0);
+    EXPECT_NE(c.tx, 2);
+    EXPECT_NE(c.rx, 2);
+  }
+  // Node 1's backlog still generates candidates.
+  EXPECT_FALSE(cands.empty());
+}
+
+TEST(FillInCandidates, RequirePositiveDifferential) {
+  const auto model = sim::ScenarioConfig::tiny().build();
+  NetworkState state(model, 1.0);  // all queues zero
+  SlotInputs in;
+  in.bandwidth_hz.assign(static_cast<std::size_t>(model.num_bands()), 1e6);
+  in.renewable_j.assign(static_cast<std::size_t>(model.num_nodes()), 0.0);
+  in.grid_connected.assign(static_cast<std::size_t>(model.num_nodes()), 1);
+  EXPECT_TRUE(build_fill_in_candidates(state, in, {}).empty());
+}
+
+TEST(EnergyAware, PenaltySuppressesRelaysButNotDelivery) {
+  const auto cfg = sim::ScenarioConfig::paper();
+  const auto model = cfg.build();
+  auto base_opts = cfg.controller_options();
+  auto aware_opts = base_opts;
+  aware_opts.energy_aware_scheduling = true;
+  LyapunovController base(model, 3.0, base_opts);
+  LyapunovController aware(model, 3.0, aware_opts);
+  Rng r1(5), r2(5);
+  int base_links = 0, aware_links = 0;
+  double aware_delivered = 0.0;
+  for (int t = 0; t < 40; ++t) {
+    base_links +=
+        static_cast<int>(base.step(model.sample_inputs(t, r1)).schedule.size());
+    const auto d = aware.step(model.sample_inputs(t, r2));
+    aware_links += static_cast<int>(d.schedule.size());
+    for (const auto& r : d.routes)
+      if (r.rx == model.session(r.session).destination)
+        aware_delivered += r.packets;
+  }
+  EXPECT_LT(aware_links, base_links);
+  EXPECT_GT(aware_delivered, 0.0);  // delivery links are exempt
+}
+
+TEST(EnergyAware, PriceZeroMatchesPaperBehavior) {
+  // marginal_energy_price = 0 (the off switch) must leave the candidate
+  // set untouched relative to the paper algorithm.
+  const auto model = sim::ScenarioConfig::tiny().build();
+  NetworkState state(model, 2.0);
+  state.set_q(0, 0, 80.0);
+  SlotInputs in;
+  in.bandwidth_hz.assign(static_cast<std::size_t>(model.num_bands()), 1.2e6);
+  in.renewable_j.assign(static_cast<std::size_t>(model.num_nodes()), 0.0);
+  in.grid_connected.assign(static_cast<std::size_t>(model.num_nodes()), 1);
+  const auto a = build_fill_in_candidates(state, in, {}, 0.0);
+  const auto b = build_fill_in_candidates(state, in, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_DOUBLE_EQ(a[k].weight, b[k].weight);
+}
+
+TEST(EnergyAware, HigherPricePrunesMoreRelayCandidates) {
+  const auto model = sim::ScenarioConfig::paper().build();
+  NetworkState state(model, 2.0);
+  // Backlog at a *user* (relaying to other users touches no BS and stays
+  // free) and at a BS (whose relay candidates get priced).
+  for (int i = 0; i < model.num_nodes(); ++i)
+    for (int s = 0; s < model.num_sessions(); ++s) state.set_q(i, s, 50.0);
+  state.set_q(0, 0, 500.0);
+  SlotInputs in;
+  in.bandwidth_hz.assign(static_cast<std::size_t>(model.num_bands()), 1.2e6);
+  in.renewable_j.assign(static_cast<std::size_t>(model.num_nodes()), 0.0);
+  in.grid_connected.assign(static_cast<std::size_t>(model.num_nodes()), 1);
+  const auto cheap = build_fill_in_candidates(state, in, {}, 0.0);
+  const auto pricey = build_fill_in_candidates(state, in, {}, 1e9);
+  EXPECT_LT(pricey.size(), cheap.size());
+  // Every surviving pricey candidate is either BS-free or a delivery link.
+  for (const auto& c : pricey) {
+    bool delivery = false;
+    for (int s = 0; s < model.num_sessions(); ++s)
+      if (model.session(s).destination == c.rx) delivery = true;
+    const bool touches_bs = model.topology().is_base_station(c.tx) ||
+                            model.topology().is_base_station(c.rx);
+    EXPECT_TRUE(delivery || !touches_bs)
+        << c.tx << "->" << c.rx << " survived an absurd price";
+  }
+}
+
+}  // namespace
+}  // namespace gc::core

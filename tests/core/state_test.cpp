@@ -1,0 +1,151 @@
+#include "core/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace gc::core {
+namespace {
+
+class StateTest : public ::testing::Test {
+ protected:
+  StateTest() : model_(sim::ScenarioConfig::tiny().build()), state_(model_, 2.0) {}
+
+  SlotDecision empty_decision() const {
+    SlotDecision d;
+    d.admissions.assign(static_cast<std::size_t>(model_.num_sessions()), {});
+    d.energy.assign(static_cast<std::size_t>(model_.num_nodes()), {});
+    return d;
+  }
+
+  NetworkModel model_;
+  NetworkState state_;
+};
+
+TEST_F(StateTest, StartsAtConfiguredInitialState) {
+  for (int i = 0; i < model_.num_nodes(); ++i) {
+    // Queues start at zero (Section IV-B); batteries at their configured
+    // initial level (base stations empty, users half charged).
+    EXPECT_DOUBLE_EQ(state_.battery_j(i),
+                     model_.node(i).battery.initial_level_j);
+    for (int s = 0; s < model_.num_sessions(); ++s)
+      EXPECT_DOUBLE_EQ(state_.q(i, s), 0.0);
+  }
+  EXPECT_EQ(state_.slot(), 0);
+}
+
+TEST_F(StateTest, AdmissionFillsSourceQueue) {
+  auto d = empty_decision();
+  d.admissions[0] = {1, 40.0};  // 40 packets admitted at BS 1
+  state_.advance(d);
+  EXPECT_DOUBLE_EQ(state_.q(1, 0), 40.0);
+  EXPECT_DOUBLE_EQ(state_.q(0, 0), 0.0);
+  EXPECT_EQ(state_.slot(), 1);
+}
+
+TEST_F(StateTest, RoutingMovesBacklogPerEq15) {
+  state_.set_q(0, 0, 50.0);
+  auto d = empty_decision();
+  d.routes.push_back({0, 3, 0, 20.0});
+  state_.advance(d);
+  EXPECT_DOUBLE_EQ(state_.q(0, 0), 30.0);
+  EXPECT_DOUBLE_EQ(state_.q(3, 0), 20.0);
+}
+
+TEST_F(StateTest, OverServiceClipsAtZeroNullPackets) {
+  // Law (15) permits serving more than the backlog (null packets): the
+  // sender clips at zero while the receiver still counts the arrivals.
+  state_.set_q(0, 0, 5.0);
+  auto d = empty_decision();
+  d.routes.push_back({0, 3, 0, 20.0});
+  state_.advance(d);
+  EXPECT_DOUBLE_EQ(state_.q(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(state_.q(3, 0), 20.0);
+}
+
+TEST_F(StateTest, DestinationKeepsNoQueue) {
+  const int dest = model_.session(0).destination;
+  auto d = empty_decision();
+  d.routes.push_back({0, dest, 0, 15.0});
+  state_.advance(d);
+  EXPECT_DOUBLE_EQ(state_.q(dest, 0), 0.0);
+}
+
+TEST_F(StateTest, VirtualQueueLawEq28) {
+  auto d = empty_decision();
+  d.routes.push_back({0, 3, 0, 12.0});
+  state_.advance(d);
+  EXPECT_DOUBLE_EQ(state_.g_queue(0, 3), 12.0);
+  EXPECT_DOUBLE_EQ(state_.h(0, 3), model_.beta() * 12.0);
+
+  // Scheduled capacity drains it even with no new arrivals.
+  auto d2 = empty_decision();
+  ScheduledLink sl;
+  sl.tx = 0;
+  sl.rx = 3;
+  sl.band = 0;
+  sl.capacity_packets = 5.0;
+  d2.schedule.push_back(sl);
+  state_.advance(d2);
+  EXPECT_DOUBLE_EQ(state_.g_queue(0, 3), 7.0);
+}
+
+TEST_F(StateTest, BatteryAdvancesWithChargeAndZTracks) {
+  auto d = empty_decision();
+  d.energy[0].charge_renewable_j = 100.0;
+  state_.advance(d);
+  EXPECT_DOUBLE_EQ(state_.battery_j(0), 100.0);
+  EXPECT_DOUBLE_EQ(state_.z(0), 100.0 - model_.shift_j(0, 2.0));
+}
+
+TEST_F(StateTest, ChargeAndDischargeTogetherThrows) {
+  auto d = empty_decision();
+  d.energy[0].charge_grid_j = 10.0;
+  d.energy[0].discharge_j = 10.0;
+  EXPECT_THROW(state_.advance(d), CheckError);
+}
+
+TEST_F(StateTest, HeadroomsMirrorBattery) {
+  state_.set_battery_j(0, 1000.0);
+  const auto& b = model_.node(0).battery;
+  EXPECT_DOUBLE_EQ(state_.charge_headroom_j(0),
+                   std::min(b.max_charge_j, b.capacity_j - 1000.0));
+  EXPECT_DOUBLE_EQ(state_.discharge_headroom_j(0),
+                   std::min(b.max_discharge_j, 1000.0));
+}
+
+TEST_F(StateTest, TotalsSplitByNodeKind) {
+  for (int i = 0; i < model_.num_nodes(); ++i) state_.set_battery_j(i, 0.0);
+  state_.set_q(0, 0, 10.0);   // BS
+  state_.set_q(4, 1, 5.0);    // user
+  state_.set_battery_j(1, 500.0);
+  state_.set_battery_j(5, 50.0);
+  EXPECT_DOUBLE_EQ(state_.total_data_queue_bs(), 10.0);
+  EXPECT_DOUBLE_EQ(state_.total_data_queue_users(), 5.0);
+  EXPECT_DOUBLE_EQ(state_.total_battery_bs_j(), 500.0);
+  EXPECT_DOUBLE_EQ(state_.total_battery_users_j(), 50.0);
+}
+
+TEST_F(StateTest, SetQOnDestinationIsMaskedByAccessor) {
+  const int dest = model_.session(1).destination;
+  state_.set_q(dest, 1, 9.0);
+  EXPECT_DOUBLE_EQ(state_.q(dest, 1), 0.0);
+}
+
+TEST_F(StateTest, MultipleRoutesAggregatePerQueue) {
+  state_.set_q(0, 0, 100.0);
+  state_.set_q(0, 1, 100.0);
+  auto d = empty_decision();
+  d.routes.push_back({0, 3, 0, 10.0});
+  d.routes.push_back({0, 4, 0, 15.0});
+  d.routes.push_back({0, 3, 1, 5.0});
+  state_.advance(d);
+  EXPECT_DOUBLE_EQ(state_.q(0, 0), 75.0);
+  EXPECT_DOUBLE_EQ(state_.q(0, 1), 95.0);
+  EXPECT_DOUBLE_EQ(state_.q(3, 0), 10.0);
+  EXPECT_DOUBLE_EQ(state_.q(4, 0), 15.0);
+  EXPECT_DOUBLE_EQ(state_.g_queue(0, 3), 15.0);
+}
+
+}  // namespace
+}  // namespace gc::core

@@ -1,0 +1,211 @@
+// Direct tests for the P1-constraint validator: each class of violation
+// must be detected, and legal decisions must pass.
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/energy_manager.hpp"
+#include "sim/scenario.hpp"
+
+namespace gc::core {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest()
+      : model_(sim::ScenarioConfig::tiny().build()), state_(model_, 2.0) {
+    Rng rng(41);
+    inputs_ = model_.sample_inputs(0, rng);
+  }
+
+  // A decision that is fully legal: nothing scheduled, nothing routed,
+  // admissions empty, energy demands exactly served.
+  SlotDecision legal_idle() const {
+    SlotDecision d;
+    d.admissions.assign(static_cast<std::size_t>(model_.num_sessions()), {});
+    d.demand_shortfall.assign(
+        static_cast<std::size_t>(model_.num_sessions()), 0.0);
+    for (int s = 0; s < model_.num_sessions(); ++s)
+      d.demand_shortfall[s] = model_.session(s).demand_packets;
+    const auto demands = compute_energy_demands(model_, {});
+    const auto energy = price_energy_manage(state_, inputs_, demands);
+    d.energy = energy.decisions;
+    d.grid_total_j = energy.grid_total_j;
+    d.cost = energy.cost;
+    return d;
+  }
+
+  bool mentions(const std::vector<std::string>& violations,
+                const std::string& needle) const {
+    for (const auto& v : violations)
+      if (v.find(needle) != std::string::npos) return true;
+    return false;
+  }
+
+  NetworkModel model_;
+  NetworkState state_;
+  SlotInputs inputs_;
+};
+
+TEST_F(ValidateTest, LegalIdleDecisionPasses) {
+  const auto v = validate_decision(state_, inputs_, legal_idle());
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST_F(ValidateTest, DetectsRadioBudgetViolation) {
+  auto d = legal_idle();
+  ScheduledLink a{0, 2, 0, 0.001, 1e6, 10.0};
+  ScheduledLink b{0, 3, 1, 0.001, 1e6, 10.0};  // node 0 used twice, 1 radio
+  d.schedule = {a, b};
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(22)"));
+}
+
+TEST_F(ValidateTest, DetectsPerBandDoubleUse) {
+  auto cfg = sim::ScenarioConfig::tiny();
+  cfg.bs_radios = 2;  // budget allows two activities...
+  const auto model = cfg.build();
+  NetworkState state(model, 2.0);
+  Rng rng(41);
+  const auto inputs = model.sample_inputs(0, rng);
+  SlotDecision d;
+  d.admissions.assign(static_cast<std::size_t>(model.num_sessions()), {});
+  d.demand_shortfall.assign(static_cast<std::size_t>(model.num_sessions()),
+                            0.0);
+  for (int s = 0; s < model.num_sessions(); ++s)
+    d.demand_shortfall[s] = model.session(s).demand_packets;
+  // ...but both on band 0 at node 0 violates (20)/(21).
+  d.schedule = {{0, 2, 0, 0.001, 1e6, 10.0}, {0, 3, 0, 0.001, 1e6, 10.0}};
+  const auto demands = compute_energy_demands(model, d.schedule);
+  const auto energy = price_energy_manage(state, inputs, demands);
+  d.energy = energy.decisions;
+  d.grid_total_j = energy.grid_total_j;
+  d.cost = energy.cost;
+  const auto v = validate_decision(state, inputs, d);
+  EXPECT_TRUE(mentions(v, "(20)/(21)"));
+}
+
+TEST_F(ValidateTest, DetectsExcessTransmitPower) {
+  auto d = legal_idle();
+  d.schedule = {{0, 2, 0, 1e6, 1e6, 10.0}};  // 1 MW from a 20 W radio
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "power out of range"));
+}
+
+TEST_F(ValidateTest, DetectsSinrViolation) {
+  auto d = legal_idle();
+  // Transmit with power far below the noise-limited requirement.
+  d.schedule = {{0, 2, 0, 1e-12, 1e6, 10.0}};
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(24)"));
+}
+
+TEST_F(ValidateTest, DetectsCapacityOverrun) {
+  auto d = legal_idle();
+  d.routes = {{0, 2, 0, 50.0}};  // no scheduled capacity at all
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(25)"));
+}
+
+TEST_F(ValidateTest, DetectsTrafficIntoSource) {
+  auto d = legal_idle();
+  d.admissions[0] = {0, 0.0};
+  ScheduledLink sl{2, 0, 0, 0.5, 1e6, 10.0};
+  d.schedule = {sl};
+  d.routes = {{2, 0, 0, 5.0}};
+  // Recompute the energy block for the new schedule so only (16) trips.
+  const auto demands = compute_energy_demands(model_, d.schedule);
+  const auto energy = price_energy_manage(state_, inputs_, demands);
+  d.energy = energy.decisions;
+  d.grid_total_j = energy.grid_total_j;
+  d.cost = energy.cost;
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(16)"));
+}
+
+TEST_F(ValidateTest, DetectsDeliveryAccountingMismatch) {
+  auto d = legal_idle();
+  d.demand_shortfall[0] = 0.0;  // claims full delivery, routed nothing
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(18)"));
+}
+
+TEST_F(ValidateTest, DetectsChargeDischargeOverlap) {
+  auto d = legal_idle();
+  d.energy[0].charge_grid_j += 100.0;
+  d.energy[0].discharge_j += 100.0;
+  d.energy[0].serve_grid_j -= 100.0;  // keep the demand balance intact
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(9)"));
+}
+
+TEST_F(ValidateTest, DetectsGridOverdraw) {
+  auto d = legal_idle();
+  d.energy[0].charge_grid_j = model_.node(0).grid.max_draw_j * 2.0;
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(14)"));
+}
+
+TEST_F(ValidateTest, DetectsDemandImbalance) {
+  auto d = legal_idle();
+  d.energy[2].serve_grid_j += 123.0;  // energy from nowhere
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "demand balance") || mentions(v, "grid draw"));
+}
+
+TEST_F(ValidateTest, DetectsGridDrawWhileDisconnected) {
+  auto d = legal_idle();
+  int off = -1;
+  for (int i = model_.num_base_stations(); i < model_.num_nodes(); ++i)
+    if (!inputs_.grid_connected[i]) off = i;
+  if (off < 0) GTEST_SKIP() << "every user happened to be connected";
+  d.energy[off].serve_grid_j += 10.0;
+  d.energy[off].unserved_j = std::max(d.energy[off].unserved_j - 10.0, 0.0);
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "disconnected") || mentions(v, "demand balance"));
+}
+
+TEST_F(ValidateTest, DetectsCostMismatch) {
+  auto d = legal_idle();
+  d.cost += 1e9;
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "cost f(P) mismatch"));
+}
+
+TEST_F(ValidateTest, DetectsGridTotalMismatch) {
+  auto d = legal_idle();
+  d.grid_total_j += 500.0;
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "P(t) mismatch"));
+}
+
+TEST_F(ValidateTest, OptionsControlShortfallStrictness) {
+  const auto d = legal_idle();  // full shortfall (nothing delivered)
+  ValidateOptions strict;
+  strict.require_demand_met = true;
+  const auto v = validate_decision(state_, inputs_, d, strict);
+  EXPECT_TRUE(mentions(v, "shortfall"));
+}
+
+TEST_F(ValidateTest, ChargeBeyondHeadroomDetected) {
+  // Battery nearly full: any charge beyond the headroom violates (11).
+  state_.set_battery_j(0, model_.node(0).battery.capacity_j - 1.0);
+  auto d = legal_idle();
+  d.energy[0].charge_grid_j = 50.0;
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(11)"));
+}
+
+TEST_F(ValidateTest, DischargeBeyondLevelDetected) {
+  // Empty battery cannot discharge (12).
+  for (int i = 0; i < model_.num_nodes(); ++i) state_.set_battery_j(i, 0.0);
+  auto d = legal_idle();
+  d.energy[0].discharge_j = 10.0;
+  d.energy[0].serve_grid_j = std::max(d.energy[0].serve_grid_j - 10.0, 0.0);
+  const auto v = validate_decision(state_, inputs_, d);
+  EXPECT_TRUE(mentions(v, "(12)") || mentions(v, "demand balance"));
+}
+
+}  // namespace
+}  // namespace gc::core

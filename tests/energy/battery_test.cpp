@@ -1,0 +1,107 @@
+#include "energy/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gc::energy {
+namespace {
+
+BatteryParams small() {
+  // x_max 100, c_max 30, d_max 40 (eq. (13): 30 + 40 <= 100), start 50.
+  return BatteryParams{100.0, 30.0, 40.0, 50.0};
+}
+
+TEST(BatteryParams, ValidatesEq13) {
+  BatteryParams p{50.0, 30.0, 30.0, 0.0};  // 30 + 30 > 50
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(BatteryParams, ValidatesInitialLevel) {
+  BatteryParams p{50.0, 20.0, 20.0, 60.0};
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(Battery, ChargeFollowsEq4) {
+  Battery b(small());
+  b.apply(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(b.level_j(), 60.0);
+}
+
+TEST(Battery, DischargeFollowsEq4) {
+  Battery b(small());
+  b.apply(0.0, 25.0);
+  EXPECT_DOUBLE_EQ(b.level_j(), 25.0);
+}
+
+TEST(Battery, SimultaneousChargeDischargeViolatesEq9) {
+  Battery b(small());
+  EXPECT_THROW(b.apply(5.0, 5.0), CheckError);
+}
+
+TEST(Battery, ChargeBeyondRateCapViolatesEq11) {
+  Battery b(small());
+  EXPECT_THROW(b.apply(31.0, 0.0), CheckError);
+}
+
+TEST(Battery, ChargeBeyondCapacityViolatesEq11) {
+  Battery b(BatteryParams{100.0, 30.0, 40.0, 90.0});
+  EXPECT_EQ(b.charge_headroom_j(), 10.0);
+  EXPECT_THROW(b.apply(15.0, 0.0), CheckError);
+}
+
+TEST(Battery, DischargeBeyondRateCapViolatesEq12) {
+  Battery b(small());
+  EXPECT_THROW(b.apply(0.0, 41.0), CheckError);
+}
+
+TEST(Battery, DischargeBeyondLevelViolatesEq12) {
+  Battery b(BatteryParams{100.0, 30.0, 40.0, 10.0});
+  EXPECT_EQ(b.discharge_headroom_j(), 10.0);
+  EXPECT_THROW(b.apply(0.0, 20.0), CheckError);
+}
+
+TEST(Battery, HeadroomsShrinkWithLevel) {
+  Battery b(small());
+  EXPECT_DOUBLE_EQ(b.charge_headroom_j(), 30.0);     // rate-limited
+  EXPECT_DOUBLE_EQ(b.discharge_headroom_j(), 40.0);  // rate-limited
+  b.apply(30.0, 0.0);
+  b.apply(15.0, 0.0);  // level 95
+  EXPECT_DOUBLE_EQ(b.charge_headroom_j(), 5.0);  // capacity-limited
+}
+
+TEST(Battery, NegativeInputsRejected) {
+  Battery b(small());
+  EXPECT_THROW(b.apply(-1.0, 0.0), CheckError);
+  EXPECT_THROW(b.apply(0.0, -1.0), CheckError);
+}
+
+TEST(Battery, ToleratesTinyFloatingPointOvershoot) {
+  Battery b(small());
+  b.apply(30.0 + 1e-12, 0.0);  // within tolerance
+  EXPECT_NEAR(b.level_j(), 80.0, 1e-9);
+}
+
+TEST(Battery, PropertyRandomWalkKeepsInvariants) {
+  // Eq. (10): 0 <= x <= x_max throughout any admissible action sequence.
+  Rng rng(42);
+  Battery b(small());
+  for (int t = 0; t < 5000; ++t) {
+    if (rng.bernoulli(0.5)) {
+      b.apply(rng.uniform(0.0, b.charge_headroom_j()), 0.0);
+    } else {
+      b.apply(0.0, rng.uniform(0.0, b.discharge_headroom_j()));
+    }
+    ASSERT_GE(b.level_j(), 0.0);
+    ASSERT_LE(b.level_j(), b.params().capacity_j);
+  }
+}
+
+TEST(Battery, ZeroActionIsNoop) {
+  Battery b(small());
+  b.apply(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(b.level_j(), 50.0);
+}
+
+}  // namespace
+}  // namespace gc::energy

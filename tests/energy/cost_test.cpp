@@ -1,0 +1,55 @@
+#include "energy/cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gc::energy {
+namespace {
+
+TEST(QuadraticCost, PaperCoefficients) {
+  // f(P) = 0.8 P^2 + 0.2 P (Sec. VI).
+  QuadraticCost f(0.8, 0.2, 0.0);
+  EXPECT_DOUBLE_EQ(f.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(10.0), 82.0);
+  EXPECT_DOUBLE_EQ(f.derivative(10.0), 16.2);
+}
+
+TEST(QuadraticCost, NonNegativeNonDecreasingConvex) {
+  QuadraticCost f(0.8, 0.2, 0.0);
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 1.0) {
+    EXPECT_GE(f.value(p), 0.0);
+    EXPECT_GT(f.value(p), prev);
+    prev = f.value(p);
+  }
+  // Convexity: midpoint below chord.
+  EXPECT_LE(f.value(5.0), 0.5 * (f.value(0.0) + f.value(10.0)));
+}
+
+TEST(QuadraticCost, GammaMaxIsDerivativeAtMax) {
+  QuadraticCost f(0.8, 0.2, 0.0);
+  EXPECT_DOUBLE_EQ(f.gamma_max(50.0), 0.8 * 2 * 50.0 + 0.2);
+}
+
+TEST(QuadraticCost, InverseDerivativeRoundTrips) {
+  QuadraticCost f(0.8, 0.2, 0.0);
+  for (double p : {0.0, 1.0, 7.5, 42.0})
+    EXPECT_NEAR(f.inverse_derivative(f.derivative(p)), p, 1e-12);
+}
+
+TEST(QuadraticCost, RejectsConcave) {
+  EXPECT_THROW(QuadraticCost(-1.0, 0.0, 0.0), CheckError);
+}
+
+TEST(QuadraticCost, RejectsNegativeLinearOrConstant) {
+  EXPECT_THROW(QuadraticCost(1.0, -0.1, 0.0), CheckError);
+  EXPECT_THROW(QuadraticCost(1.0, 0.0, -0.1), CheckError);
+}
+
+TEST(QuadraticCost, LinearCostSupported) {
+  QuadraticCost f(0.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.value(3.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.derivative(100.0), 2.0);
+}
+
+}  // namespace
+}  // namespace gc::energy

@@ -1,0 +1,48 @@
+#include "energy/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gc::energy {
+namespace {
+
+TEST(GridConnection, BaseStationsAlwaysConnected) {
+  // Eq. (6): omega = 1 for base stations.
+  GridConnection g(GridParams{true, 0.0, 720.0});
+  Rng rng(1);
+  for (int t = 0; t < 100; ++t) EXPECT_TRUE(g.sample_connected(rng));
+}
+
+TEST(GridConnection, UserConnectivityIsBernoulli) {
+  // Eq. (6): omega = xi(t) in {0, 1} i.i.d. for users.
+  GridConnection g(GridParams{false, 0.25, 100.0});
+  Rng rng(2);
+  int connected = 0;
+  const int n = 40000;
+  for (int t = 0; t < n; ++t)
+    if (g.sample_connected(rng)) ++connected;
+  EXPECT_NEAR(static_cast<double>(connected) / n, 0.25, 0.01);
+}
+
+TEST(GridConnection, NeverConnectedUser) {
+  GridConnection g(GridParams{false, 0.0, 100.0});
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) EXPECT_FALSE(g.sample_connected(rng));
+}
+
+TEST(GridConnection, MaxDrawExposed) {
+  GridConnection g(GridParams{true, 0.0, 720.0});
+  EXPECT_DOUBLE_EQ(g.max_draw_j(), 720.0);
+}
+
+TEST(GridParams, ValidatesProbability) {
+  GridParams p{false, 1.5, 10.0};
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+TEST(GridParams, ValidatesMaxDraw) {
+  GridParams p{false, 0.5, -1.0};
+  EXPECT_THROW(p.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace gc::energy

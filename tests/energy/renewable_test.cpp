@@ -1,0 +1,72 @@
+#include "energy/renewable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gc::energy {
+namespace {
+
+TEST(UniformRenewable, SamplesWithinPaperBounds) {
+  // Paper: R_i(t) i.i.d. with 0 <= R <= R_max; users U[0,1] W over 60 s.
+  UniformRenewable r(1.0, 60.0);
+  Rng rng(1);
+  for (int t = 0; t < 1000; ++t) {
+    const double j = r.sample_j(t, rng);
+    ASSERT_GE(j, 0.0);
+    ASSERT_LE(j, r.max_j());
+  }
+  EXPECT_DOUBLE_EQ(r.max_j(), 60.0);
+}
+
+TEST(UniformRenewable, MeanIsHalfPeak) {
+  UniformRenewable r(15.0, 60.0);
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int t = 0; t < n; ++t) sum += r.sample_j(t, rng);
+  EXPECT_NEAR(sum / n, 0.5 * 15.0 * 60.0, 15.0 * 60.0 * 0.01);
+}
+
+TEST(NoRenewable, AlwaysZero) {
+  NoRenewable r;
+  Rng rng(3);
+  for (int t = 0; t < 10; ++t) EXPECT_DOUBLE_EQ(r.sample_j(t, rng), 0.0);
+  EXPECT_DOUBLE_EQ(r.max_j(), 0.0);
+}
+
+TEST(SolarRenewable, NightIsDark) {
+  SolarRenewable r(100.0, 60.0, 96);  // 96 slots/day
+  Rng rng(4);
+  // First quarter of the day (slots 0..23) is night.
+  for (int t = 0; t < 24; ++t) EXPECT_DOUBLE_EQ(r.sample_j(t, rng), 0.0);
+  // Same at the end of the day.
+  for (int t = 73; t < 96; ++t) EXPECT_DOUBLE_EQ(r.sample_j(t, rng), 0.0);
+}
+
+TEST(SolarRenewable, MiddayBrightest) {
+  SolarRenewable r(100.0, 60.0, 96, 1.0);  // no clouds
+  Rng rng(5);
+  const double noon = r.sample_j(48, rng);
+  const double morning = r.sample_j(30, rng);
+  EXPECT_GT(noon, morning);
+  EXPECT_GT(noon, 0.9 * r.max_j());
+}
+
+TEST(SolarRenewable, BoundedByPeak) {
+  SolarRenewable r(50.0, 60.0, 96);
+  Rng rng(6);
+  for (int t = 0; t < 96 * 3; ++t) {
+    const double j = r.sample_j(t, rng);
+    ASSERT_GE(j, 0.0);
+    ASSERT_LE(j, r.max_j() + 1e-12);
+  }
+}
+
+TEST(SolarRenewable, PeriodicAcrossDays) {
+  SolarRenewable r(50.0, 60.0, 96, 1.0);  // deterministic (no clouds)
+  Rng rng(7);
+  Rng rng2(7);
+  EXPECT_DOUBLE_EQ(r.sample_j(40, rng), r.sample_j(40 + 96, rng2));
+}
+
+}  // namespace
+}  // namespace gc::energy

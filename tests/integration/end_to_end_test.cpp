@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace gc::sim {
+namespace {
+
+TEST(EndToEnd, TinyScenarioRunsCleanUnderFullValidation) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 2.0, cfg.controller_options());
+  SimOptions opts;
+  opts.validate = true;
+  const Metrics m = run_simulation(model, controller, 60, opts);
+  EXPECT_EQ(m.slots, 60);
+  EXPECT_GE(m.cost_avg.average(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_unserved_energy_j, 0.0);
+}
+
+TEST(EndToEnd, PaperScenarioShortHorizonRunsClean) {
+  const auto cfg = ScenarioConfig::paper();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 2.0, cfg.controller_options());
+  SimOptions opts;
+  opts.validate = true;
+  const Metrics m = run_simulation(model, controller, 12, opts);
+  EXPECT_EQ(m.slots, 12);
+  // Base stations always pay for their baseline consumption.
+  EXPECT_GT(m.cost_avg.average(), 0.0);
+}
+
+TEST(EndToEnd, TrafficActuallyFlows) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 2.0, cfg.controller_options());
+  const Metrics m = run_simulation(model, controller, 80);
+  EXPECT_GT(m.total_admitted_packets, 0.0);
+  EXPECT_GT(m.total_delivered_packets, 0.0);
+}
+
+TEST(EndToEnd, MetricsSeriesHaveOneEntryPerSlot) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 1.0, cfg.controller_options());
+  const Metrics m = run_simulation(model, controller, 25);
+  EXPECT_EQ(m.cost.size(), 25u);
+  EXPECT_EQ(m.q_bs.size(), 25u);
+  EXPECT_EQ(m.q_users.size(), 25u);
+  EXPECT_EQ(m.battery_bs_j.size(), 25u);
+  EXPECT_EQ(m.battery_users_j.size(), 25u);
+}
+
+TEST(EndToEnd, RunsAreReproducibleBitForBit) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController c1(model, 2.0, cfg.controller_options());
+  core::LyapunovController c2(model, 2.0, cfg.controller_options());
+  const Metrics m1 = run_simulation(model, c1, 30);
+  const Metrics m2 = run_simulation(model, c2, 30);
+  EXPECT_EQ(m1.cost, m2.cost);
+  EXPECT_EQ(m1.q_bs, m2.q_bs);
+  EXPECT_EQ(m1.battery_users_j, m2.battery_users_j);
+}
+
+TEST(EndToEnd, DifferentInputSeedsDiverge) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController c1(model, 2.0, cfg.controller_options());
+  core::LyapunovController c2(model, 2.0, cfg.controller_options());
+  SimOptions o1, o2;
+  o1.input_seed = 1;
+  o2.input_seed = 2;
+  const Metrics m1 = run_simulation(model, c1, 30, o1);
+  const Metrics m2 = run_simulation(model, c2, 30, o2);
+  EXPECT_NE(m1.cost, m2.cost);
+}
+
+TEST(EndToEnd, BatteriesNeverExceedCapacity) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 5.0, cfg.controller_options());
+  run_simulation(model, controller, 60);
+  for (int i = 0; i < model.num_nodes(); ++i) {
+    EXPECT_GE(controller.state().battery_j(i), 0.0);
+    EXPECT_LE(controller.state().battery_j(i),
+              model.node(i).battery.capacity_j);
+  }
+}
+
+TEST(EndToEnd, FourArchitecturesAllRun) {
+  for (const bool multihop : {true, false}) {
+    for (const bool renewables : {true, false}) {
+      auto cfg = ScenarioConfig::tiny();
+      cfg.multihop = multihop;
+      cfg.renewables = renewables;
+      const auto model = cfg.build();
+      core::LyapunovController controller(model, 2.0,
+                                          cfg.controller_options());
+      const Metrics m = run_simulation(model, controller, 20);
+      EXPECT_EQ(m.slots, 20) << multihop << renewables;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gc::sim

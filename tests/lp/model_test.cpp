@@ -1,0 +1,71 @@
+#include "lp/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gc::lp {
+namespace {
+
+TEST(LpModel, AddVariableReturnsSequentialIndices) {
+  Model m;
+  EXPECT_EQ(m.add_variable(0, 1, 2.0), 0);
+  EXPECT_EQ(m.add_variable(0, kInf, -1.0), 1);
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_EQ(m.lower(1), 0.0);
+  EXPECT_EQ(m.upper(1), kInf);
+  EXPECT_EQ(m.objective_coeff(0), 2.0);
+}
+
+TEST(LpModel, RejectsInfiniteLowerBound) {
+  Model m;
+  EXPECT_THROW(m.add_variable(-kInf, 0, 0.0), CheckError);
+}
+
+TEST(LpModel, RejectsInvertedBounds) {
+  Model m;
+  EXPECT_THROW(m.add_variable(2.0, 1.0, 0.0), CheckError);
+}
+
+TEST(LpModel, SetCoeffOverwritesDuplicates) {
+  Model m;
+  const int x = m.add_variable(0, 10, 0.0);
+  const int r = m.add_row(Sense::LessEqual, 5.0);
+  m.set_coeff(r, x, 1.0);
+  m.set_coeff(r, x, 3.0);
+  ASSERT_EQ(m.row_entries(r).size(), 1u);
+  EXPECT_EQ(m.row_entries(r)[0].second, 3.0);
+}
+
+TEST(LpModel, ObjectiveValue) {
+  Model m;
+  m.add_variable(0, 10, 2.0);
+  m.add_variable(0, 10, -1.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({3.0, 4.0}), 2.0);
+}
+
+TEST(LpModel, MaxViolationDetectsRowAndBoundBreaches) {
+  Model m;
+  const int x = m.add_variable(0, 2, 0.0);
+  const int r = m.add_row(Sense::LessEqual, 1.0);
+  m.set_coeff(r, x, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({1.5}), 0.5);   // row breach
+  EXPECT_DOUBLE_EQ(m.max_violation({-1.0}), 1.0);  // bound breach
+}
+
+TEST(LpModel, MaxViolationEqualityIsTwoSided) {
+  Model m;
+  const int x = m.add_variable(0, 10, 0.0);
+  const int r = m.add_row(Sense::Equal, 4.0);
+  m.set_coeff(r, x, 2.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({1.0}), 2.0);
+}
+
+TEST(LpModel, RejectsNonFiniteRhs) {
+  Model m;
+  EXPECT_THROW(m.add_row(Sense::LessEqual, kInf), CheckError);
+}
+
+}  // namespace
+}  // namespace gc::lp

@@ -1,0 +1,77 @@
+#include "lp/pwl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gc::lp {
+namespace {
+
+double quad(double p) { return 0.8 * p * p + 0.2 * p; }
+double dquad(double p) { return 1.6 * p + 0.2; }
+
+TEST(Pwl, TangentsTouchAtAnchorPoints) {
+  const auto segs = tangent_segments(quad, dquad, 0.0, 10.0, 5);
+  ASSERT_EQ(segs.size(), 5u);
+  for (int k = 0; k < 5; ++k) {
+    const double p = 10.0 * k / 4.0;
+    EXPECT_NEAR(pwl_value(segs, p), quad(p), 1e-9);
+  }
+}
+
+TEST(Pwl, UnderApproximatesEverywhere) {
+  const auto segs = tangent_segments(quad, dquad, 0.0, 10.0, 4);
+  for (double p = 0.0; p <= 10.0; p += 0.05)
+    EXPECT_LE(pwl_value(segs, p), quad(p) + 1e-12);
+}
+
+TEST(Pwl, MoreSegmentsTighten) {
+  const auto coarse = tangent_segments(quad, dquad, 0.0, 10.0, 3);
+  const auto fine = tangent_segments(quad, dquad, 0.0, 10.0, 30);
+  double worst_coarse = 0.0, worst_fine = 0.0;
+  for (double p = 0.0; p <= 10.0; p += 0.01) {
+    worst_coarse = std::max(worst_coarse, quad(p) - pwl_value(coarse, p));
+    worst_fine = std::max(worst_fine, quad(p) - pwl_value(fine, p));
+  }
+  EXPECT_LT(worst_fine, worst_coarse / 10.0);
+  EXPECT_GT(worst_coarse, 0.0);
+}
+
+TEST(Pwl, GapShrinksQuadratically) {
+  // For a quadratic, the max gap between anchors scales as (spacing)^2 / 2
+  // times the curvature: doubling segments ~quarters the gap.
+  auto gap = [&](int count) {
+    const auto segs = tangent_segments(quad, dquad, 0.0, 8.0, count);
+    double worst = 0.0;
+    for (double p = 0.0; p <= 8.0; p += 0.001)
+      worst = std::max(worst, quad(p) - pwl_value(segs, p));
+    return worst;
+  };
+  const double g8 = gap(8);
+  const double g16 = gap(16);
+  EXPECT_NEAR(g16 / g8, 0.25, 0.08);
+}
+
+TEST(Pwl, SingleSegmentIsTangentAtLo) {
+  const auto segs = tangent_segments(quad, dquad, 2.0, 6.0, 1);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_NEAR(segs[0].slope, dquad(2.0), 1e-12);
+  EXPECT_NEAR(segs[0].value(2.0), quad(2.0), 1e-12);
+}
+
+TEST(Pwl, LinearFunctionIsExact) {
+  auto lin = [](double p) { return 3.0 * p + 1.0; };
+  auto dlin = [](double) { return 3.0; };
+  const auto segs = tangent_segments(lin, dlin, 0.0, 5.0, 4);
+  for (double p = 0.0; p <= 5.0; p += 0.25)
+    EXPECT_NEAR(pwl_value(segs, p), lin(p), 1e-12);
+}
+
+TEST(Pwl, RejectsBadArguments) {
+  EXPECT_THROW(tangent_segments(quad, dquad, 0.0, 1.0, 0), CheckError);
+  EXPECT_THROW(tangent_segments(quad, dquad, 2.0, 1.0, 3), CheckError);
+  EXPECT_THROW(pwl_value({}, 1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace gc::lp

@@ -1,0 +1,79 @@
+#include "net/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gc::net {
+namespace {
+
+TEST(Capacity, PaperFormula) {
+  // c = W log2(1 + Gamma); with Gamma = 1 this is exactly W.
+  EXPECT_DOUBLE_EQ(nominal_capacity_bps(1e6, 1.0), 1e6);
+  EXPECT_NEAR(nominal_capacity_bps(2e6, 3.0), 4e6, 1e-6);
+}
+
+TEST(Capacity, ZeroBandwidthZeroCapacity) {
+  EXPECT_DOUBLE_EQ(nominal_capacity_bps(0.0, 1.0), 0.0);
+}
+
+TEST(Capacity, RejectsNonPositiveThreshold) {
+  EXPECT_THROW(nominal_capacity_bps(1e6, 0.0), CheckError);
+}
+
+class SinrTest : public ::testing::Test {
+ protected:
+  // BS at origin, nodes on a line.
+  Topology topo_{{{0, 0}}, {{100, 0}, {200, 0}, {1000, 0}},
+                 PropagationParams{}};
+  RadioParams radio_{};  // Gamma = 1, eta = 1e-20
+};
+
+TEST_F(SinrTest, NoiseOnlySinrMatchesClosedForm) {
+  const std::vector<Transmission> txs = {{0, 1, 0.5}};
+  const double w = 1e6;
+  const double expected =
+      topo_.gain(0, 1) * 0.5 / (radio_.noise_psd_w_per_hz * w);
+  EXPECT_NEAR(sinr(topo_, txs, 0, w, radio_), expected, expected * 1e-12);
+}
+
+TEST_F(SinrTest, InterferenceReducesSinr) {
+  const std::vector<Transmission> solo = {{0, 1, 0.5}};
+  const std::vector<Transmission> both = {{0, 1, 0.5}, {3, 2, 0.5}};
+  const double w = 1e6;
+  EXPECT_LT(sinr(topo_, both, 0, w, radio_), sinr(topo_, solo, 0, w, radio_));
+}
+
+TEST_F(SinrTest, InterferenceTermMatchesClosedForm) {
+  const std::vector<Transmission> txs = {{0, 1, 0.4}, {3, 2, 0.8}};
+  const double w = 1.5e6;
+  const double noise = radio_.noise_psd_w_per_hz * w;
+  const double interference = topo_.gain(3, 1) * 0.8;
+  const double expected = topo_.gain(0, 1) * 0.4 / (noise + interference);
+  EXPECT_NEAR(sinr(topo_, txs, 0, w, radio_), expected, expected * 1e-12);
+}
+
+TEST_F(SinrTest, ZeroPowerInterferersIgnored) {
+  const std::vector<Transmission> txs = {{0, 1, 0.4}, {3, 2, 0.0}};
+  const std::vector<Transmission> solo = {{0, 1, 0.4}};
+  const double w = 1e6;
+  EXPECT_DOUBLE_EQ(sinr(topo_, txs, 0, w, radio_),
+                   sinr(topo_, solo, 0, w, radio_));
+}
+
+TEST_F(SinrTest, ReceiverTransmittingOnBandIsRejected) {
+  // Self-interference constraint (21): node 1 cannot receive while node 1
+  // transmits on the same band.
+  const std::vector<Transmission> txs = {{0, 1, 0.4}, {1, 2, 0.4}};
+  EXPECT_THROW(sinr(topo_, txs, 0, 1e6, radio_), CheckError);
+}
+
+TEST_F(SinrTest, CloserTransmitterHigherSinr) {
+  const std::vector<Transmission> near = {{0, 1, 0.5}};
+  const std::vector<Transmission> far = {{0, 3, 0.5}};
+  EXPECT_GT(sinr(topo_, near, 0, 1e6, radio_),
+            sinr(topo_, far, 0, 1e6, radio_));
+}
+
+}  // namespace
+}  // namespace gc::net

@@ -1,0 +1,130 @@
+#include "net/power_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gc::net {
+namespace {
+
+RadioParams radio() { return RadioParams{}; }  // Gamma = 1, eta = 1e-20
+
+TEST(PowerControl, EmptySetIsFeasible) {
+  Topology topo({{0, 0}}, {{10, 0}}, PropagationParams{});
+  const auto r = solve_min_powers(topo, {}, 1e6, radio());
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.powers_w.empty());
+}
+
+TEST(PowerControl, SingleLinkNoiseOnlyClosedForm) {
+  Topology topo({{0, 0}}, {{300, 0}}, PropagationParams{});
+  const std::vector<CoBandLink> links = {{0, 1, 1.0}};
+  const double w = 1e6;
+  const auto r = solve_min_powers(topo, links, w, radio());
+  ASSERT_TRUE(r.feasible);
+  const double expected = 1.0 * (1e-20 * w) / topo.gain(0, 1);
+  EXPECT_NEAR(r.powers_w[0], expected, expected * 1e-6);
+}
+
+TEST(PowerControl, TwoLinkFixedPointMatchesLinearSolve) {
+  // Two links: (0 -> 1) and (2 -> 3). The minimal powers solve
+  //   g01 p0 = Gamma (N + g21 p1),   g23 p1 = Gamma (N + g03 p0).
+  Topology topo({{0, 0}, {600, 0}}, {{100, 0}, {700, 0}},
+                PropagationParams{});
+  // Nodes: 0 (BS), 1 (BS at 600), 2 (user at 100), 3 (user at 700).
+  const std::vector<CoBandLink> links = {{0, 2, 5.0}, {1, 3, 5.0}};
+  const double w = 1e6;
+  const double n = 1e-20 * w;
+  const double gamma = 1.0;
+  const double g02 = topo.gain(0, 2), g12 = topo.gain(1, 2);
+  const double g13 = topo.gain(1, 3), g03 = topo.gain(0, 3);
+  // Solve the 2x2 system by hand.
+  // p0 = gamma (n + g12 p1) / g02; p1 = gamma (n + g03 p0) / g13.
+  const double a = gamma * g12 / g02, b = gamma * n / g02;
+  const double c = gamma * g03 / g13, d = gamma * n / g13;
+  const double p1 = (d + c * b) / (1 - a * c);
+  const double p0 = a * p1 + b;
+  const auto r = solve_min_powers(topo, links, w, radio());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.powers_w[0], p0, std::abs(p0) * 1e-5);
+  EXPECT_NEAR(r.powers_w[1], p1, std::abs(p1) * 1e-5);
+}
+
+TEST(PowerControl, ResultMeetsSinrThreshold) {
+  Rng rng(77);
+  PropagationParams prop;
+  std::vector<Vec2> users;
+  for (int i = 0; i < 6; ++i)
+    users.push_back({rng.uniform(0, 2000), rng.uniform(0, 2000)});
+  Topology topo({{500, 500}, {1500, 500}}, users, prop);
+  const std::vector<CoBandLink> links = {{0, 2, 20.0}, {1, 5, 20.0}};
+  const double w = 1.5e6;
+  const auto r = solve_min_powers(topo, links, w, radio());
+  ASSERT_TRUE(r.feasible);
+  std::vector<Transmission> txs;
+  for (std::size_t i = 0; i < links.size(); ++i)
+    txs.push_back({links[i].tx, links[i].rx, r.powers_w[i]});
+  for (std::size_t i = 0; i < txs.size(); ++i)
+    EXPECT_GE(sinr(topo, txs, i, w, radio()),
+              radio().sinr_threshold * (1 - 1e-6));
+}
+
+TEST(PowerControl, MinimalityAgainstScaledDown) {
+  // Scaling any feasible solution down by 5% must break some SINR: the
+  // fixed point is component-wise minimal.
+  Topology topo({{0, 0}, {900, 0}}, {{200, 0}, {1100, 0}},
+                PropagationParams{});
+  const std::vector<CoBandLink> links = {{0, 2, 10.0}, {1, 3, 10.0}};
+  const double w = 1e6;
+  const auto r = solve_min_powers(topo, links, w, radio());
+  ASSERT_TRUE(r.feasible);
+  std::vector<Transmission> txs;
+  for (std::size_t i = 0; i < links.size(); ++i)
+    txs.push_back({links[i].tx, links[i].rx, r.powers_w[i] * 0.95});
+  bool violated = false;
+  for (std::size_t i = 0; i < txs.size(); ++i)
+    if (sinr(topo, txs, i, w, radio()) < radio().sinr_threshold) violated = true;
+  EXPECT_TRUE(violated);
+}
+
+TEST(PowerControl, InfeasibleWhenCrossGainsTooStrong) {
+  // Receivers right next to the other link's transmitter: spectral radius
+  // of the interference map exceeds 1 -> no feasible power vector.
+  Topology topo({{0, 0}, {10, 0}}, {{11, 0}, {1, 0}}, PropagationParams{});
+  // Link A: 0 -> 2 (rx at 11, hugging tx 1); link B: 1 -> 3 (rx at 1).
+  const std::vector<CoBandLink> links = {{0, 2, 100.0}, {1, 3, 100.0}};
+  const auto r = solve_min_powers(topo, links, 1e6, radio());
+  EXPECT_FALSE(r.feasible);
+  EXPECT_GE(r.violating_link, 0);
+  EXPECT_LT(r.violating_link, 2);
+}
+
+TEST(PowerControl, InfeasibleWhenCapTooSmall) {
+  Topology topo({{0, 0}}, {{1500, 0}}, PropagationParams{});
+  // Needs ~ Gamma*N/g = 1e-14/ (62.5 * 1500^-4) ~ 0.8 mW; cap far below.
+  const std::vector<CoBandLink> links = {{0, 1, 1e-9}};
+  const auto r = solve_min_powers(topo, links, 1e6, radio());
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.violating_link, 0);
+}
+
+TEST(PowerControl, RejectsNonPositiveCap) {
+  Topology topo({{0, 0}}, {{100, 0}}, PropagationParams{});
+  const std::vector<CoBandLink> links = {{0, 1, 0.0}};
+  EXPECT_THROW(solve_min_powers(topo, links, 1e6, radio()), CheckError);
+}
+
+TEST(PowerControl, MorePowerNeededOnWiderBand) {
+  Topology topo({{0, 0}}, {{400, 0}}, PropagationParams{});
+  const std::vector<CoBandLink> links = {{0, 1, 1.0}};
+  const auto narrow = solve_min_powers(topo, links, 1e6, radio());
+  const auto wide = solve_min_powers(topo, links, 2e6, radio());
+  ASSERT_TRUE(narrow.feasible && wide.feasible);
+  EXPECT_NEAR(wide.powers_w[0], 2.0 * narrow.powers_w[0],
+              narrow.powers_w[0] * 1e-6);
+}
+
+}  // namespace
+}  // namespace gc::net

@@ -1,0 +1,102 @@
+#include "net/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gc::net {
+namespace {
+
+SpectrumConfig paper_cfg() { return SpectrumConfig{}; }
+
+TEST(Spectrum, PaperBandCount) {
+  Rng rng(1);
+  Spectrum s(paper_cfg(), 22, 2, rng);
+  EXPECT_EQ(s.num_bands(), 5);
+}
+
+TEST(Spectrum, BaseStationsSeeAllBands) {
+  Rng rng(2);
+  Spectrum s(paper_cfg(), 22, 2, rng);
+  for (int b = 0; b < 2; ++b)
+    for (int m = 0; m < s.num_bands(); ++m) EXPECT_TRUE(s.available(b, m));
+}
+
+TEST(Spectrum, CellularBandAvailableEverywhere) {
+  Rng rng(3);
+  Spectrum s(paper_cfg(), 22, 2, rng);
+  for (int i = 0; i < 22; ++i) EXPECT_TRUE(s.available(i, 0));
+}
+
+TEST(Spectrum, UserSubsetsFollowProbability) {
+  SpectrumConfig cfg;
+  cfg.user_band_probability = 0.5;
+  Rng rng(4);
+  Spectrum s(cfg, 1002, 2, rng);
+  int have = 0, total = 0;
+  for (int i = 2; i < 1002; ++i)
+    for (int m = 1; m < s.num_bands(); ++m) {
+      ++total;
+      if (s.available(i, m)) ++have;
+    }
+  EXPECT_NEAR(static_cast<double>(have) / total, 0.5, 0.03);
+}
+
+TEST(Spectrum, ZeroProbabilityLeavesOnlyCellular) {
+  SpectrumConfig cfg;
+  cfg.user_band_probability = 0.0;
+  Rng rng(5);
+  Spectrum s(cfg, 10, 2, rng);
+  for (int i = 2; i < 10; ++i) EXPECT_EQ(s.availability_mask(i), 1u);
+}
+
+TEST(Spectrum, CellularBandwidthConstant) {
+  Rng rng(6);
+  Spectrum s(paper_cfg(), 5, 1, rng);
+  for (int t = 0; t < 10; ++t) {
+    s.sample_slot(rng);
+    EXPECT_DOUBLE_EQ(s.bandwidth_hz(0), 1e6);
+  }
+}
+
+TEST(Spectrum, RandomBandwidthsInPaperRange) {
+  Rng rng(7);
+  Spectrum s(paper_cfg(), 5, 1, rng);
+  for (int t = 0; t < 200; ++t) {
+    s.sample_slot(rng);
+    for (int m = 1; m < s.num_bands(); ++m) {
+      EXPECT_GE(s.bandwidth_hz(m), 1e6);
+      EXPECT_LT(s.bandwidth_hz(m), 2e6);
+    }
+  }
+}
+
+TEST(Spectrum, RandomBandwidthsVaryAcrossSlots) {
+  Rng rng(8);
+  Spectrum s(paper_cfg(), 5, 1, rng);
+  s.sample_slot(rng);
+  const double w1 = s.bandwidth_hz(1);
+  s.sample_slot(rng);
+  EXPECT_NE(w1, s.bandwidth_hz(1));
+}
+
+TEST(Spectrum, LinkBandRequiresBothEnds) {
+  SpectrumConfig cfg;
+  cfg.user_band_probability = 0.5;
+  Rng rng(9);
+  Spectrum s(cfg, 20, 2, rng);
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j)
+      for (int m = 0; m < s.num_bands(); ++m)
+        EXPECT_EQ(s.link_band_ok(i, j, m),
+                  s.available(i, m) && s.available(j, m));
+}
+
+TEST(Spectrum, BadIndicesThrow) {
+  Rng rng(10);
+  Spectrum s(paper_cfg(), 5, 1, rng);
+  EXPECT_THROW(s.bandwidth_hz(99), CheckError);
+  EXPECT_THROW(s.available(99, 0), CheckError);
+  EXPECT_THROW(s.available(0, 99), CheckError);
+}
+
+}  // namespace
+}  // namespace gc::net

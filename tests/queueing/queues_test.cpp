@@ -1,0 +1,107 @@
+#include "queueing/queues.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace gc::queueing {
+namespace {
+
+TEST(QueueStep, TheoremOneLaw) {
+  // Q' = max(Q - b, 0) + a.
+  EXPECT_DOUBLE_EQ(queue_step(10.0, 4.0, 2.0), 8.0);
+  EXPECT_DOUBLE_EQ(queue_step(3.0, 10.0, 2.0), 2.0);  // over-service clips
+  EXPECT_DOUBLE_EQ(queue_step(0.0, 0.0, 5.0), 5.0);
+}
+
+TEST(QueueStep, RejectsNegativeState) {
+  EXPECT_THROW(queue_step(-1.0, 0.0, 0.0), CheckError);
+}
+
+TEST(QueueStep, ToleratesTinyNegativeFlows) {
+  EXPECT_DOUBLE_EQ(queue_step(5.0, -1e-13, -1e-13), 5.0);
+}
+
+TEST(DataQueue, LawEq15) {
+  // Q <- max(Q - sum_out, 0) + sum_in + k*1{src}.
+  DataQueue q;
+  q.update(0.0, 0.0, 7.0);  // admit 7 at source
+  EXPECT_DOUBLE_EQ(q.length(), 7.0);
+  q.update(3.0, 2.0, 0.0);  // serve 3, relay in 2
+  EXPECT_DOUBLE_EQ(q.length(), 6.0);
+  q.update(100.0, 1.0, 0.0);  // over-service clips at zero first
+  EXPECT_DOUBLE_EQ(q.length(), 1.0);
+}
+
+TEST(VirtualLinkQueue, LawEq28And30) {
+  VirtualLinkQueue vq(3.0);  // beta = 3
+  vq.update(0.0, 5.0);       // 5 packets routed onto the link
+  EXPECT_DOUBLE_EQ(vq.g(), 5.0);
+  EXPECT_DOUBLE_EQ(vq.h(), 15.0);  // H = beta G (eq. (30))
+  vq.update(2.0, 1.0);             // capacity served 2, 1 new
+  EXPECT_DOUBLE_EQ(vq.g(), 4.0);
+  vq.update(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(vq.g(), 0.0);
+}
+
+TEST(VirtualLinkQueue, RejectsNonPositiveBeta) {
+  EXPECT_THROW(VirtualLinkQueue(0.0), CheckError);
+}
+
+TEST(ShiftedEnergyQueue, ZIsShiftedX) {
+  // z = x - (V*gamma_max + d_max) (Sec. IV-B).
+  ShiftedEnergyQueue z(50.0, 80.0);
+  EXPECT_DOUBLE_EQ(z.x(), 50.0);
+  EXPECT_DOUBLE_EQ(z.z(), -30.0);
+  z.update(10.0, 0.0);  // law (31)
+  EXPECT_DOUBLE_EQ(z.z(), -20.0);
+  z.update(0.0, 35.0);
+  EXPECT_DOUBLE_EQ(z.x(), 25.0);
+}
+
+TEST(ShiftedEnergyQueue, GuardsNegativeEnergy) {
+  ShiftedEnergyQueue z(5.0, 10.0);
+  EXPECT_THROW(z.update(0.0, 50.0), CheckError);
+}
+
+TEST(QueueStep, RateStabilityWhenServiceExceedsArrivals) {
+  // Theorem 1: a_bar <= b_bar <=> rate stable. Simulate a < b.
+  Rng rng(11);
+  double q = 0.0;
+  StabilityTracker tracker;
+  for (int t = 0; t < 20000; ++t) {
+    const double a = rng.uniform(0.0, 1.0);   // mean 0.5
+    const double b = rng.uniform(0.0, 2.0);   // mean 1.0
+    q = queue_step(q, b, a);
+    tracker.add(q);
+  }
+  // Q(t)/t -> 0: the final backlog is sublinear and partial averages flat.
+  EXPECT_LT(q / 20000.0, 0.01);
+  EXPECT_LT(tracker.tail_growth_rate(), 1e-3);
+}
+
+TEST(QueueStep, InstabilityWhenArrivalsExceedService) {
+  Rng rng(13);
+  double q = 0.0;
+  StabilityTracker tracker;
+  for (int t = 0; t < 20000; ++t) {
+    const double a = rng.uniform(0.0, 2.0);  // mean 1.0
+    const double b = rng.uniform(0.0, 1.0);  // mean 0.5
+    q = queue_step(q, b, a);
+    tracker.add(q);
+  }
+  // Backlog grows ~ 0.5 t: clearly unstable.
+  EXPECT_GT(q / 20000.0, 0.3);
+  EXPECT_GT(tracker.tail_growth_rate(), 0.1);
+}
+
+TEST(QueueStep, CriticallyLoadedQueueStaysFiniteOverHorizon) {
+  // a == b deterministic: queue never grows (boundary of Theorem 1).
+  double q = 4.0;
+  for (int t = 0; t < 1000; ++t) q = queue_step(q, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(q, 4.0);
+}
+
+}  // namespace
+}  // namespace gc::queueing

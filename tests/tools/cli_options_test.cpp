@@ -1,0 +1,135 @@
+#include "cli_options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gc::cli {
+namespace {
+
+ParseResult parse(std::initializer_list<std::string> args) {
+  return parse_args(std::vector<std::string>(args));
+}
+
+TEST(CliOptions, DefaultsWhenNoFlags) {
+  const auto r = parse({});
+  ASSERT_TRUE(r.options);
+  EXPECT_EQ(r.options->slots, 100);
+  EXPECT_DOUBLE_EQ(r.options->V, 3.0);
+  EXPECT_EQ(r.options->scenario.num_users, 20);
+  EXPECT_FALSE(r.options->validate);
+  EXPECT_TRUE(r.options->csv_path.empty());
+}
+
+TEST(CliOptions, ParsesScenarioFlags) {
+  const auto r = parse({"--users", "30", "--sessions", "6", "--rate-kbps",
+                        "250", "--area", "1500", "--seed", "9"});
+  ASSERT_TRUE(r.options) << r.error;
+  EXPECT_EQ(r.options->scenario.num_users, 30);
+  EXPECT_EQ(r.options->scenario.num_sessions, 6);
+  EXPECT_DOUBLE_EQ(r.options->scenario.session_rate_bps, 250e3);
+  EXPECT_DOUBLE_EQ(r.options->scenario.area_m, 1500.0);
+  EXPECT_EQ(r.options->scenario.seed, 9u);
+}
+
+TEST(CliOptions, ParsesArchitectureSwitches) {
+  const auto r = parse({"--multihop", "0", "--renewables", "0"});
+  ASSERT_TRUE(r.options);
+  EXPECT_FALSE(r.options->scenario.multihop);
+  EXPECT_FALSE(r.options->scenario.renewables);
+}
+
+TEST(CliOptions, ParsesRadiosAndPhy) {
+  const auto r = parse({"--bs-radios", "3", "--user-radios", "2", "--phy",
+                        "adaptive"});
+  ASSERT_TRUE(r.options);
+  EXPECT_EQ(r.options->scenario.bs_radios, 3);
+  EXPECT_EQ(r.options->scenario.user_radios, 2);
+  EXPECT_EQ(r.options->scenario.phy_policy,
+            core::ModelConfig::PhyPolicy::MaxPowerAdaptiveRate);
+}
+
+TEST(CliOptions, ParsesTariffSpec) {
+  const auto r = parse({"--tariff", "8:20:1.5"});
+  ASSERT_TRUE(r.options) << r.error;
+  const auto& t = r.options->scenario.tariff_multipliers;
+  ASSERT_EQ(t.size(), 24u);
+  EXPECT_DOUBLE_EQ(t[7], 1.0);
+  EXPECT_DOUBLE_EQ(t[8], 1.5);
+  EXPECT_DOUBLE_EQ(t[19], 1.5);
+  EXPECT_DOUBLE_EQ(t[20], 1.0);
+}
+
+TEST(CliOptions, RejectsBadTariff) {
+  for (const char* bad : {"20:8:1.5", "8:25:1.5", "8:20:0", "junk", "8:20"})
+    EXPECT_FALSE(parse({"--tariff", bad}).options) << bad;
+}
+
+TEST(CliOptions, ParsesRunFlags) {
+  const auto r = parse({"--V", "4.5", "--lambda", "25", "--slots", "200",
+                        "--input-seed", "11", "--csv", "out.csv",
+                        "--validate", "--quiet"});
+  ASSERT_TRUE(r.options);
+  EXPECT_DOUBLE_EQ(r.options->V, 4.5);
+  EXPECT_DOUBLE_EQ(r.options->scenario.lambda, 25.0);
+  EXPECT_EQ(r.options->slots, 200);
+  EXPECT_EQ(r.options->input_seed, 11u);
+  EXPECT_EQ(r.options->csv_path, "out.csv");
+  EXPECT_TRUE(r.options->validate);
+  EXPECT_TRUE(r.options->quiet);
+}
+
+TEST(CliOptions, HelpShortCircuits) {
+  const auto r = parse({"--help", "--users", "junk"});
+  ASSERT_TRUE(r.options);
+  EXPECT_TRUE(r.options->help);
+}
+
+TEST(CliOptions, RejectsUnknownFlag) {
+  const auto r = parse({"--frobnicate", "1"});
+  EXPECT_FALSE(r.options);
+  EXPECT_NE(r.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(CliOptions, RejectsMissingValue) {
+  const auto r = parse({"--users"});
+  EXPECT_FALSE(r.options);
+  EXPECT_NE(r.error.find("missing value"), std::string::npos);
+}
+
+TEST(CliOptions, RejectsBadValues) {
+  EXPECT_FALSE(parse({"--users", "0"}).options);
+  EXPECT_FALSE(parse({"--users", "abc"}).options);
+  EXPECT_FALSE(parse({"--multihop", "2"}).options);
+  EXPECT_FALSE(parse({"--phy", "telepathy"}).options);
+  EXPECT_FALSE(parse({"--slots", "0"}).options);
+  EXPECT_FALSE(parse({"--rate-kbps", "-5"}).options);
+}
+
+TEST(CliOptions, ParsesMobility) {
+  const auto r = parse({"--mobility", "5"});
+  ASSERT_TRUE(r.options);
+  EXPECT_DOUBLE_EQ(r.options->mobility_mps, 5.0);
+  EXPECT_FALSE(parse({"--mobility", "-1"}).options);
+}
+
+TEST(CliOptions, UsageMentionsEveryFlag) {
+  const std::string u = usage();
+  for (const char* flag :
+       {"--users", "--sessions", "--rate-kbps", "--area", "--seed",
+        "--multihop", "--renewables", "--bs-radios", "--user-radios",
+        "--phy", "--tariff", "--V", "--lambda", "--slots", "--input-seed",
+        "--mobility", "--validate", "--csv", "--quiet", "--help"})
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+}
+
+TEST(CliOptions, ParsedScenarioBuilds) {
+  const auto r = parse({"--users", "6", "--sessions", "2", "--bs-radios",
+                        "2", "--tariff", "0:12:2"});
+  ASSERT_TRUE(r.options);
+  const auto model = r.options->scenario.build();
+  EXPECT_EQ(model.num_nodes(), 8);
+  EXPECT_EQ(model.num_radios(0), 2);
+  EXPECT_DOUBLE_EQ(model.tariff_multiplier(0), 2.0);
+}
+
+}  // namespace
+}  // namespace gc::cli

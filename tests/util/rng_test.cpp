@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace gc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 8.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 8.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateIntervalReturnsLo) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform(4.0, 4.0), 4.0);
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), CheckError);
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(17);
+  std::vector<int> counts(6, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(0, 5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 6, n / 60);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -5);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkIsIndependentOfParentPosition) {
+  Rng a(99);
+  Rng b(99);
+  a.next_u64();  // advance only one parent
+  Rng fa = a.fork(5);
+  Rng fb = b.fork(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForkTagsGiveDistinctStreams) {
+  Rng a(99);
+  Rng f1 = a.fork(1), f2 = a.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (f1.next_u64() == f2.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(3);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(3);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace gc

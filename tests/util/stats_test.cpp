@@ -1,0 +1,96 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gc {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceIsZero) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, NumericallyStableForLargeOffsets) {
+  RunningStat s;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) s.add(offset + x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+TEST(TimeAverage, Definition1) {
+  TimeAverage a;
+  a.add(1.0);
+  a.add(2.0);
+  a.add(6.0);
+  EXPECT_DOUBLE_EQ(a.average(), 3.0);
+  EXPECT_EQ(a.slots(), 3);
+  EXPECT_DOUBLE_EQ(a.sum(), 9.0);
+}
+
+TEST(TimeAverage, EmptyIsZero) {
+  TimeAverage a;
+  EXPECT_EQ(a.average(), 0.0);
+}
+
+TEST(StabilityTracker, ConstantProcessIsStable) {
+  StabilityTracker t;
+  for (int i = 0; i < 1000; ++i) t.add(5.0);
+  EXPECT_DOUBLE_EQ(t.running_average(), 5.0);
+  EXPECT_DOUBLE_EQ(t.sup_partial_average(), 5.0);
+  EXPECT_NEAR(t.tail_growth_rate(), 0.0, 1e-9);
+}
+
+TEST(StabilityTracker, BoundedQueueHasFlatTail) {
+  StabilityTracker t;
+  // Queue oscillating in [0, 10]: partial averages converge.
+  for (int i = 0; i < 2000; ++i) t.add(static_cast<double>(i % 11));
+  EXPECT_LE(t.tail_sup_partial_average(), 10.0);
+  EXPECT_NEAR(t.tail_growth_rate(), 0.0, 1e-3);
+}
+
+TEST(StabilityTracker, LinearlyGrowingQueueIsUnstable) {
+  StabilityTracker t;
+  for (int i = 0; i < 2000; ++i) t.add(static_cast<double>(i));
+  // Partial averages grow like t/2: positive slope ~ 0.5.
+  EXPECT_GT(t.tail_growth_rate(), 0.4);
+}
+
+TEST(StabilityTracker, UsesAbsoluteValues) {
+  StabilityTracker t;
+  t.add(-4.0);
+  t.add(4.0);
+  EXPECT_DOUBLE_EQ(t.running_average(), 4.0);
+}
+
+TEST(StabilityTracker, SupremumTracksEarlyPeak) {
+  StabilityTracker t;
+  t.add(100.0);
+  for (int i = 0; i < 99; ++i) t.add(0.0);
+  EXPECT_DOUBLE_EQ(t.sup_partial_average(), 100.0);
+  EXPECT_NEAR(t.running_average(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,152 @@
+#include "cli_options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "energy/tariff.hpp"
+
+namespace gc::cli {
+
+std::string usage() {
+  return R"(greencell_sim — online energy-cost-minimizing multi-hop cellular simulator
+(reproduction of Liao et al., ICDCS 2014)
+
+usage: greencell_sim [flags]
+
+scenario:
+  --users N             mobile users (default 20)
+  --sessions N          downlink sessions (default 4)
+  --rate-kbps R         per-session demand (default 100)
+  --area M              square side in meters (default 2000)
+  --seed S              scenario seed: topology/bands/destinations (default 42)
+  --multihop 0|1        relaying on/off (default 1)
+  --renewables 0|1      renewable sources on/off (default 1)
+  --bs-radios N         radios per base station (default 1)
+  --user-radios N       radios per user (default 1)
+  --phy min|adaptive    min-power fixed rate (paper) or max-power Shannon rate
+  --tariff B:E:M        time-of-use tariff: multiplier M during slots [B,E)
+                        of each 24-slot day (e.g. 8:20:1.5)
+
+algorithm:
+  --V X                 drift-plus-penalty weight (default 3)
+  --lambda X            admission threshold coefficient (default 10)
+
+run:
+  --mobility S          users walk (random waypoint) at up to S m/s (default 0)
+  --slots T             horizon in slots (default 100)
+  --input-seed S        random-process seed (default 7)
+  --validate            check every P1 constraint each slot (slower)
+  --csv PATH            write the per-slot series as CSV
+  --quiet               only the summary line
+  --help                this text
+)";
+}
+
+namespace {
+
+bool parse_double(const std::string& v, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(v.c_str(), &end);
+  return end && *end == '\0' && !v.empty();
+}
+
+bool parse_int(const std::string& v, int* out) {
+  double d;
+  if (!parse_double(v, &d)) return false;
+  *out = static_cast<int>(d);
+  return static_cast<double>(*out) == d;
+}
+
+bool parse_bool01(const std::string& v, bool* out) {
+  if (v == "0") {
+    *out = false;
+    return true;
+  }
+  if (v == "1") {
+    *out = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ParseResult parse_args(const std::vector<std::string>& args) {
+  Options opt;
+  auto err = [](const std::string& msg) {
+    return ParseResult{std::nullopt, msg};
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--help") {
+      Options help;
+      help.help = true;
+      return ParseResult{help, ""};
+    }
+    if (flag == "--validate") {
+      opt.validate = true;
+      continue;
+    }
+    if (flag == "--quiet") {
+      opt.quiet = true;
+      continue;
+    }
+    // Everything else takes a value.
+    if (i + 1 >= args.size()) return err("missing value for " + flag);
+    const std::string& v = args[++i];
+    int iv = 0;
+    double dv = 0.0;
+    bool bv = false;
+    if (flag == "--users" && parse_int(v, &iv) && iv >= 1)
+      opt.scenario.num_users = iv;
+    else if (flag == "--sessions" && parse_int(v, &iv) && iv >= 1)
+      opt.scenario.num_sessions = iv;
+    else if (flag == "--rate-kbps" && parse_double(v, &dv) && dv > 0)
+      opt.scenario.session_rate_bps = dv * 1e3;
+    else if (flag == "--area" && parse_double(v, &dv) && dv > 0)
+      opt.scenario.area_m = dv;
+    else if (flag == "--seed" && parse_double(v, &dv) && dv >= 0)
+      opt.scenario.seed = static_cast<std::uint64_t>(dv);
+    else if (flag == "--multihop" && parse_bool01(v, &bv))
+      opt.scenario.multihop = bv;
+    else if (flag == "--renewables" && parse_bool01(v, &bv))
+      opt.scenario.renewables = bv;
+    else if (flag == "--bs-radios" && parse_int(v, &iv) && iv >= 1)
+      opt.scenario.bs_radios = iv;
+    else if (flag == "--user-radios" && parse_int(v, &iv) && iv >= 1)
+      opt.scenario.user_radios = iv;
+    else if (flag == "--phy" && (v == "min" || v == "adaptive"))
+      opt.scenario.phy_policy =
+          v == "min" ? core::ModelConfig::PhyPolicy::MinPowerFixedRate
+                     : core::ModelConfig::PhyPolicy::MaxPowerAdaptiveRate;
+    else if (flag == "--tariff") {
+      int begin = 0, end = 0;
+      double mult = 0.0;
+      std::istringstream ss(v);
+      char c1 = 0, c2 = 0;
+      if (!(ss >> begin >> c1 >> end >> c2 >> mult) || c1 != ':' ||
+          c2 != ':' || !ss.eof() || begin < 0 || end > 24 || begin > end ||
+          mult <= 0.0)
+        return err("bad --tariff, expected B:E:M with 0<=B<=E<=24, M>0");
+      opt.scenario.tariff_multipliers =
+          energy::time_of_use_tariff(24, begin, end, mult, 1.0);
+    } else if (flag == "--mobility" && parse_double(v, &dv) && dv >= 0)
+      opt.mobility_mps = dv;
+    else if (flag == "--V" && parse_double(v, &dv) && dv >= 0)
+      opt.V = dv;
+    else if (flag == "--lambda" && parse_double(v, &dv) && dv >= 0)
+      opt.scenario.lambda = dv;
+    else if (flag == "--slots" && parse_int(v, &iv) && iv >= 1)
+      opt.slots = iv;
+    else if (flag == "--input-seed" && parse_double(v, &dv) && dv >= 0)
+      opt.input_seed = static_cast<std::uint64_t>(dv);
+    else if (flag == "--csv" && !v.empty())
+      opt.csv_path = v;
+    else
+      return err("unknown flag or bad value: " + flag + " " + v);
+  }
+  return ParseResult{opt, ""};
+}
+
+}  // namespace gc::cli

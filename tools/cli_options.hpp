@@ -1,0 +1,41 @@
+// Command-line interface for the simulator (tools/greencell_sim).
+//
+// The parser is separated from main() so it can be unit-tested; it maps
+// flags onto ScenarioConfig fields and run parameters, returning either a
+// parsed options object or a diagnostic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace gc::cli {
+
+struct Options {
+  sim::ScenarioConfig scenario;
+  double V = 3.0;
+  int slots = 100;
+  // Max random-waypoint walking speed in m/s; 0 = static users.
+  double mobility_mps = 0.0;
+  std::uint64_t input_seed = 7;
+  bool validate = false;
+  bool quiet = false;
+  std::string csv_path;  // empty = no CSV
+
+  bool help = false;  // --help was requested; usage() already printed
+};
+
+struct ParseResult {
+  std::optional<Options> options;  // empty on error or --help
+  std::string error;               // non-empty on error
+};
+
+// Parses argv-style arguments (excluding argv[0]).
+ParseResult parse_args(const std::vector<std::string>& args);
+
+// The usage text printed for --help and on errors.
+std::string usage();
+
+}  // namespace gc::cli
