@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_energy_aware"
+  "../bench/ablation_energy_aware.pdb"
+  "CMakeFiles/ablation_energy_aware.dir/ablation_energy_aware.cpp.o"
+  "CMakeFiles/ablation_energy_aware.dir/ablation_energy_aware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

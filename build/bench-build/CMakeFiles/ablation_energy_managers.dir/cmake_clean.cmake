@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_energy_managers"
+  "../bench/ablation_energy_managers.pdb"
+  "CMakeFiles/ablation_energy_managers.dir/ablation_energy_managers.cpp.o"
+  "CMakeFiles/ablation_energy_managers.dir/ablation_energy_managers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fill_in"
+  "../bench/ablation_fill_in.pdb"
+  "CMakeFiles/ablation_fill_in.dir/ablation_fill_in.cpp.o"
+  "CMakeFiles/ablation_fill_in.dir/ablation_fill_in.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fill_in.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

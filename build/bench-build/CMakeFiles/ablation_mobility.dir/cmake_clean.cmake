@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mobility"
+  "../bench/ablation_mobility.pdb"
+  "CMakeFiles/ablation_mobility.dir/ablation_mobility.cpp.o"
+  "CMakeFiles/ablation_mobility.dir/ablation_mobility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

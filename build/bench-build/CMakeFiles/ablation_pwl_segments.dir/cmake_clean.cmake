@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pwl_segments"
+  "../bench/ablation_pwl_segments.pdb"
+  "CMakeFiles/ablation_pwl_segments.dir/ablation_pwl_segments.cpp.o"
+  "CMakeFiles/ablation_pwl_segments.dir/ablation_pwl_segments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pwl_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_radios"
+  "../bench/ablation_radios.pdb"
+  "CMakeFiles/ablation_radios.dir/ablation_radios.cpp.o"
+  "CMakeFiles/ablation_radios.dir/ablation_radios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

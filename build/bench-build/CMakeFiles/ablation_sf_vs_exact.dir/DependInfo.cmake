@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sf_vs_exact.cpp" "bench-build/CMakeFiles/ablation_sf_vs_exact.dir/ablation_sf_vs_exact.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_sf_vs_exact.dir/ablation_sf_vs_exact.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/gc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/gc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

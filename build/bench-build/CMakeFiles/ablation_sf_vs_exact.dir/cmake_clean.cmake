@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sf_vs_exact"
+  "../bench/ablation_sf_vs_exact.pdb"
+  "CMakeFiles/ablation_sf_vs_exact.dir/ablation_sf_vs_exact.cpp.o"
+  "CMakeFiles/ablation_sf_vs_exact.dir/ablation_sf_vs_exact.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sf_vs_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_sf_vs_exact.
+# This may be replaced when dependencies are built.

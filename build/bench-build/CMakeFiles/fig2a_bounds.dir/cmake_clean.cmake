@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2a_bounds"
+  "../bench/fig2a_bounds.pdb"
+  "CMakeFiles/fig2a_bounds.dir/fig2a_bounds.cpp.o"
+  "CMakeFiles/fig2a_bounds.dir/fig2a_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

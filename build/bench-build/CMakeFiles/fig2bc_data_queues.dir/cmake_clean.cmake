@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2bc_data_queues"
+  "../bench/fig2bc_data_queues.pdb"
+  "CMakeFiles/fig2bc_data_queues.dir/fig2bc_data_queues.cpp.o"
+  "CMakeFiles/fig2bc_data_queues.dir/fig2bc_data_queues.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2bc_data_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2bc_data_queues.
+# This may be replaced when dependencies are built.

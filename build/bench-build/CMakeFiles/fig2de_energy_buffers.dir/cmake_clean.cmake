@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2de_energy_buffers"
+  "../bench/fig2de_energy_buffers.pdb"
+  "CMakeFiles/fig2de_energy_buffers.dir/fig2de_energy_buffers.cpp.o"
+  "CMakeFiles/fig2de_energy_buffers.dir/fig2de_energy_buffers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2de_energy_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2de_energy_buffers.
+# This may be replaced when dependencies are built.

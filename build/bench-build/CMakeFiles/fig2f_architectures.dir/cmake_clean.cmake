@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2f_architectures"
+  "../bench/fig2f_architectures.pdb"
+  "CMakeFiles/fig2f_architectures.dir/fig2f_architectures.cpp.o"
+  "CMakeFiles/fig2f_architectures.dir/fig2f_architectures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2f_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_bench_common.dir/common.cpp.o"
+  "CMakeFiles/gc_bench_common.dir/common.cpp.o.d"
+  "libgc_bench_common.a"
+  "libgc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/longrun_convergence"
+  "../bench/longrun_convergence.pdb"
+  "CMakeFiles/longrun_convergence.dir/longrun_convergence.cpp.o"
+  "CMakeFiles/longrun_convergence.dir/longrun_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longrun_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

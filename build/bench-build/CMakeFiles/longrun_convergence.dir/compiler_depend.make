@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for longrun_convergence.
+# This may be replaced when dependencies are built.

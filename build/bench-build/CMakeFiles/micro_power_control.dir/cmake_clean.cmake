@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_power_control"
+  "../bench/micro_power_control.pdb"
+  "CMakeFiles/micro_power_control.dir/micro_power_control.cpp.o"
+  "CMakeFiles/micro_power_control.dir/micro_power_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_power_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/seed_variance"
+  "../bench/seed_variance.pdb"
+  "CMakeFiles/seed_variance.dir/seed_variance.cpp.o"
+  "CMakeFiles/seed_variance.dir/seed_variance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackout_resilience.dir/blackout_resilience.cpp.o"
+  "CMakeFiles/blackout_resilience.dir/blackout_resilience.cpp.o.d"
+  "blackout_resilience"
+  "blackout_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackout_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

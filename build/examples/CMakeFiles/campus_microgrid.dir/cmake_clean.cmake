@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_microgrid.dir/campus_microgrid.cpp.o"
+  "CMakeFiles/campus_microgrid.dir/campus_microgrid.cpp.o.d"
+  "campus_microgrid"
+  "campus_microgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_microgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

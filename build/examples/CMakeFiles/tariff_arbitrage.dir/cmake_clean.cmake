@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tariff_arbitrage.dir/tariff_arbitrage.cpp.o"
+  "CMakeFiles/tariff_arbitrage.dir/tariff_arbitrage.cpp.o.d"
+  "tariff_arbitrage"
+  "tariff_arbitrage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tariff_arbitrage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/gc_core.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/gc_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/energy_manager.cpp" "src/core/CMakeFiles/gc_core.dir/energy_manager.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/energy_manager.cpp.o.d"
+  "/root/repo/src/core/lower_bound.cpp" "src/core/CMakeFiles/gc_core.dir/lower_bound.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/lower_bound.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/gc_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/psi.cpp" "src/core/CMakeFiles/gc_core.dir/psi.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/psi.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/gc_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/router.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/gc_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/gc_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/state.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/gc_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/gc_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/gc_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_core.dir/allocator.cpp.o"
+  "CMakeFiles/gc_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/gc_core.dir/controller.cpp.o"
+  "CMakeFiles/gc_core.dir/controller.cpp.o.d"
+  "CMakeFiles/gc_core.dir/energy_manager.cpp.o"
+  "CMakeFiles/gc_core.dir/energy_manager.cpp.o.d"
+  "CMakeFiles/gc_core.dir/lower_bound.cpp.o"
+  "CMakeFiles/gc_core.dir/lower_bound.cpp.o.d"
+  "CMakeFiles/gc_core.dir/model.cpp.o"
+  "CMakeFiles/gc_core.dir/model.cpp.o.d"
+  "CMakeFiles/gc_core.dir/psi.cpp.o"
+  "CMakeFiles/gc_core.dir/psi.cpp.o.d"
+  "CMakeFiles/gc_core.dir/router.cpp.o"
+  "CMakeFiles/gc_core.dir/router.cpp.o.d"
+  "CMakeFiles/gc_core.dir/scheduler.cpp.o"
+  "CMakeFiles/gc_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gc_core.dir/state.cpp.o"
+  "CMakeFiles/gc_core.dir/state.cpp.o.d"
+  "CMakeFiles/gc_core.dir/validate.cpp.o"
+  "CMakeFiles/gc_core.dir/validate.cpp.o.d"
+  "libgc_core.a"
+  "libgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

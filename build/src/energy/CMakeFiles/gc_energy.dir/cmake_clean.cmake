@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_energy.dir/battery.cpp.o"
+  "CMakeFiles/gc_energy.dir/battery.cpp.o.d"
+  "libgc_energy.a"
+  "libgc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_lp.dir/model.cpp.o"
+  "CMakeFiles/gc_lp.dir/model.cpp.o.d"
+  "CMakeFiles/gc_lp.dir/pwl.cpp.o"
+  "CMakeFiles/gc_lp.dir/pwl.cpp.o.d"
+  "CMakeFiles/gc_lp.dir/simplex.cpp.o"
+  "CMakeFiles/gc_lp.dir/simplex.cpp.o.d"
+  "libgc_lp.a"
+  "libgc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

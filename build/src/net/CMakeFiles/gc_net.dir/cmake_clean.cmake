@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_net.dir/capacity.cpp.o"
+  "CMakeFiles/gc_net.dir/capacity.cpp.o.d"
+  "CMakeFiles/gc_net.dir/power_control.cpp.o"
+  "CMakeFiles/gc_net.dir/power_control.cpp.o.d"
+  "CMakeFiles/gc_net.dir/spectrum.cpp.o"
+  "CMakeFiles/gc_net.dir/spectrum.cpp.o.d"
+  "CMakeFiles/gc_net.dir/topology.cpp.o"
+  "CMakeFiles/gc_net.dir/topology.cpp.o.d"
+  "libgc_net.a"
+  "libgc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_sim.dir/mobility.cpp.o"
+  "CMakeFiles/gc_sim.dir/mobility.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/gc_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/gc_sim.dir/simulator.cpp.o.d"
+  "libgc_sim.a"
+  "libgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

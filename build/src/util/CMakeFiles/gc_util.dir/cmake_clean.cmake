@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_util.dir/csv.cpp.o"
+  "CMakeFiles/gc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/gc_util.dir/rng.cpp.o"
+  "CMakeFiles/gc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gc_util.dir/stats.cpp.o"
+  "CMakeFiles/gc_util.dir/stats.cpp.o.d"
+  "libgc_util.a"
+  "libgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

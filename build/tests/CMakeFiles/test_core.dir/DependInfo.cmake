@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/allocator_test.cpp" "tests/CMakeFiles/test_core.dir/core/allocator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/allocator_test.cpp.o.d"
+  "/root/repo/tests/core/controller_test.cpp" "tests/CMakeFiles/test_core.dir/core/controller_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/controller_test.cpp.o.d"
+  "/root/repo/tests/core/energy_manager_test.cpp" "tests/CMakeFiles/test_core.dir/core/energy_manager_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/energy_manager_test.cpp.o.d"
+  "/root/repo/tests/core/lower_bound_test.cpp" "tests/CMakeFiles/test_core.dir/core/lower_bound_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lower_bound_test.cpp.o.d"
+  "/root/repo/tests/core/model_test.cpp" "tests/CMakeFiles/test_core.dir/core/model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/model_test.cpp.o.d"
+  "/root/repo/tests/core/multi_radio_test.cpp" "tests/CMakeFiles/test_core.dir/core/multi_radio_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/multi_radio_test.cpp.o.d"
+  "/root/repo/tests/core/phy_policy_test.cpp" "tests/CMakeFiles/test_core.dir/core/phy_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/phy_policy_test.cpp.o.d"
+  "/root/repo/tests/core/psi_test.cpp" "tests/CMakeFiles/test_core.dir/core/psi_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/psi_test.cpp.o.d"
+  "/root/repo/tests/core/router_test.cpp" "tests/CMakeFiles/test_core.dir/core/router_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/router_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_options_test.cpp" "tests/CMakeFiles/test_core.dir/core/scheduler_options_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheduler_options_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/test_core.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/state_test.cpp" "tests/CMakeFiles/test_core.dir/core/state_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/state_test.cpp.o.d"
+  "/root/repo/tests/core/tariff_test.cpp" "tests/CMakeFiles/test_core.dir/core/tariff_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tariff_test.cpp.o.d"
+  "/root/repo/tests/core/validate_test.cpp" "tests/CMakeFiles/test_core.dir/core/validate_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/validate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/gc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

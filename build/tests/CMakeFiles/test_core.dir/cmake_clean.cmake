@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/allocator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/allocator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/controller_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/energy_manager_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/energy_manager_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lower_bound_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lower_bound_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/multi_radio_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/multi_radio_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/phy_policy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/phy_policy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/psi_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/psi_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/router_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/router_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scheduler_options_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scheduler_options_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/state_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/state_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tariff_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tariff_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/validate_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/validate_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/capacity_test.cpp" "tests/CMakeFiles/test_net.dir/net/capacity_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/capacity_test.cpp.o.d"
+  "/root/repo/tests/net/power_control_test.cpp" "tests/CMakeFiles/test_net.dir/net/power_control_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/power_control_test.cpp.o.d"
+  "/root/repo/tests/net/spectrum_test.cpp" "tests/CMakeFiles/test_net.dir/net/spectrum_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/spectrum_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/gc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/gc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

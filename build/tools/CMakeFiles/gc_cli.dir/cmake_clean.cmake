@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_cli.dir/cli_options.cpp.o"
+  "CMakeFiles/gc_cli.dir/cli_options.cpp.o.d"
+  "libgc_cli.a"
+  "libgc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

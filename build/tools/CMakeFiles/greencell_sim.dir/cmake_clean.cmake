@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greencell_sim.dir/greencell_sim.cpp.o"
+  "CMakeFiles/greencell_sim.dir/greencell_sim.cpp.o.d"
+  "greencell_sim"
+  "greencell_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greencell_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
