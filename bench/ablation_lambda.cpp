@@ -15,8 +15,9 @@ int main() {
               "V = " + num(V) + ", T = " + std::to_string(slots) + " slots");
   print_row({"lambda", "avg_cost", "delivered", "admitted", "final_backlog"});
   CsvWriter csv("ablation_lambda.csv",
-                {"lambda", "avg_cost", "delivered_packets",
-                 "admitted_packets", "final_backlog_packets"});
+                with_timing_headers({"lambda", "avg_cost",
+                                     "delivered_packets", "admitted_packets",
+                                     "final_backlog_packets"}));
 
   for (double lambda : {1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
     auto cfg = sim::ScenarioConfig::paper();
@@ -26,8 +27,10 @@ int main() {
     print_row({num(lambda), num(m.cost_avg.average()),
                num(m.total_delivered_packets), num(m.total_admitted_packets),
                num(backlog)});
-    csv.row({lambda, m.cost_avg.average(), m.total_delivered_packets,
-             m.total_admitted_packets, backlog});
+    csv.row(with_timing({lambda, m.cost_avg.average(),
+                         m.total_delivered_packets,
+                         m.total_admitted_packets, backlog},
+                        m));
   }
   std::printf("\nCSV written to ablation_lambda.csv\n");
   return 0;

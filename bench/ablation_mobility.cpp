@@ -18,7 +18,8 @@ int main() {
   print_row({"speed m/s", "delivered", "avg_cost", "cost/packet",
              "avg_delay"}, 16);
   CsvWriter csv("ablation_mobility.csv",
-                {"speed_mps", "delivered", "avg_cost", "delay_slots"});
+                with_timing_headers(
+                    {"speed_mps", "delivered", "avg_cost", "delay_slots"}));
 
   for (double speed : {0.0, 1.5, 5.0, 15.0, 30.0}) {
     auto cfg = sim::ScenarioConfig::paper();
@@ -36,8 +37,9 @@ int main() {
                num(m.cost_avg.average() /
                    std::max(m.total_delivered_packets / slots, 1e-9)),
                num(m.average_delay_slots())}, 16);
-    csv.row({speed, m.total_delivered_packets, m.cost_avg.average(),
-             m.average_delay_slots()});
+    csv.row(with_timing({speed, m.total_delivered_packets,
+                         m.cost_avg.average(), m.average_delay_slots()},
+                        m));
   }
   std::printf("\nCSV written to ablation_mobility.csv\n");
   return 0;

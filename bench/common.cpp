@@ -39,4 +39,26 @@ sim::Metrics run_controller(const sim::ScenarioConfig& cfg, double V,
   return sim::run_simulation(model, controller, slots);
 }
 
+std::vector<std::string> timing_headers() {
+  return {"s1_ms", "s2_ms", "s3_ms", "s4_ms", "step_ms"};
+}
+
+std::vector<double> timing_columns(const sim::Metrics& m) {
+  const double per_slot = m.slots > 0 ? 1e3 / m.slots : 0.0;
+  return {m.timing.s1_s * per_slot, m.timing.s2_s * per_slot,
+          m.timing.s3_s * per_slot, m.timing.s4_s * per_slot,
+          m.timing.step_s * per_slot};
+}
+
+std::vector<double> with_timing(std::vector<double> base,
+                                const sim::Metrics& m) {
+  for (double v : timing_columns(m)) base.push_back(v);
+  return base;
+}
+
+std::vector<std::string> with_timing_headers(std::vector<std::string> base) {
+  for (auto& h : timing_headers()) base.push_back(h);
+  return base;
+}
+
 }  // namespace gc::bench

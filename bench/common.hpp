@@ -33,4 +33,15 @@ std::string num(double v);
 sim::Metrics run_controller(const sim::ScenarioConfig& cfg, double V,
                             int slots);
 
+// Observability columns appended to the bench CSVs: mean per-slot wall time
+// in milliseconds for each subproblem and the whole controller step (all
+// zeros when built with GC_OBS_DISABLE).
+std::vector<std::string> timing_headers();
+std::vector<double> timing_columns(const sim::Metrics& m);
+// `base` with the timing columns appended — CSV-row convenience.
+std::vector<double> with_timing(std::vector<double> base,
+                                const sim::Metrics& m);
+// Same, appended to a header list.
+std::vector<std::string> with_timing_headers(std::vector<std::string> base);
+
 }  // namespace gc::bench

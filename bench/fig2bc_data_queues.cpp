@@ -34,12 +34,15 @@ int main() {
     }
   }
 
+  // Timing columns are per-run means, repeated on each of the run's rows.
   CsvWriter csv("fig2bc_data_queues.csv",
-                {"t", "V", "q_bs_packets", "q_users_packets"});
+                with_timing_headers(
+                    {"t", "V", "q_bs_packets", "q_users_packets"}));
   for (std::size_t i = 0; i < vs.size(); ++i)
     for (int t = 0; t < slots; ++t)
-      csv.row({static_cast<double>(t + 1), vs[i], runs[i].q_bs[t],
-               runs[i].q_users[t]});
+      csv.row(with_timing({static_cast<double>(t + 1), vs[i],
+                           runs[i].q_bs[t], runs[i].q_users[t]},
+                          runs[i]));
   std::printf("\nCSV written to fig2bc_data_queues.csv\n");
   return 0;
 }

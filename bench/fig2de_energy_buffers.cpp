@@ -37,13 +37,16 @@ int main() {
     }
   }
 
+  // Timing columns are per-run means, repeated on each of the run's rows.
   CsvWriter csv("fig2de_energy_buffers.csv",
-                {"t", "V", "battery_bs_kj", "battery_users_kj"});
+                with_timing_headers(
+                    {"t", "V", "battery_bs_kj", "battery_users_kj"}));
   for (std::size_t i = 0; i < vs.size(); ++i)
     for (int t = 0; t < slots; ++t)
-      csv.row({static_cast<double>(t + 1), vs[i],
-               runs[i].battery_bs_j[t] / 1e3,
-               runs[i].battery_users_j[t] / 1e3});
+      csv.row(with_timing({static_cast<double>(t + 1), vs[i],
+                           runs[i].battery_bs_j[t] / 1e3,
+                           runs[i].battery_users_j[t] / 1e3},
+                          runs[i]));
   std::printf("\nCSV written to fig2de_energy_buffers.csv\n");
   return 0;
 }

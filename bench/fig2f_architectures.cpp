@@ -66,11 +66,12 @@ void run_table(const char* title, double session_rate_bps, int num_sessions,
                            std::max(m.total_delivered_packets / slots, 1e-9)
                      : m.cost_avg.average();
       row.push_back(num(value));
-      csv.row_strings({arch.name, arch.multihop ? "1" : "0",
-                       arch.renewables ? "1" : "0", num(session_rate_bps),
-                       num(v), num(m.cost_avg.average()),
-                       num(m.total_delivered_packets),
-                       num(m.total_demand_shortfall)});
+      std::vector<std::string> cells = {
+          arch.name, arch.multihop ? "1" : "0", arch.renewables ? "1" : "0",
+          num(session_rate_bps), num(v), num(m.cost_avg.average()),
+          num(m.total_delivered_packets), num(m.total_demand_shortfall)};
+      for (double c : timing_columns(m)) cells.push_back(num(c));
+      csv.row_strings(cells);
     }
     row.push_back(num(delivered));
     print_row(row, 32);
@@ -84,8 +85,10 @@ int main() {
   const std::vector<double> vs = {1.0, 3.0, 5.0};
 
   CsvWriter csv("fig2f_architectures.csv",
-                {"arch", "multihop", "renewables", "session_rate_bps", "V",
-                 "avg_cost", "delivered_packets", "shortfall_packets"});
+                with_timing_headers({"arch", "multihop", "renewables",
+                                     "session_rate_bps", "V", "avg_cost",
+                                     "delivered_packets",
+                                     "shortfall_packets"}));
 
   run_table(
       "Fig. 2(f) — energy cost per delivered packet (paper offered load)",

@@ -1,9 +1,15 @@
 #include "core/allocator.hpp"
 
+#include "obs/registry.hpp"
+
 namespace gc::core {
 
 std::vector<AdmissionDecision> allocate_resources(
     const NetworkState& state, const AllocatorParams& params) {
+  static obs::Counter& admitted_packets =
+      obs::registry().counter("admit.admitted_packets");
+  static obs::Counter& throttled =
+      obs::registry().counter("admit.throttled_sessions");
   const auto& model = state.model();
   std::vector<AdmissionDecision> out(
       static_cast<std::size_t>(model.num_sessions()));
@@ -14,6 +20,10 @@ std::vector<AdmissionDecision> allocate_resources(
     out[s].source_bs = best;
     const bool admit = state.q(best, s) - params.lambda * state.V() < 0.0;
     out[s].packets = admit ? model.session(s).max_admit_packets : 0.0;
+    if (admit)
+      admitted_packets.add(out[s].packets);
+    else
+      throttled.add();
   }
   return out;
 }

@@ -1,6 +1,33 @@
 #include "core/controller.hpp"
 
+#include "obs/timer.hpp"
+
 namespace gc::core {
+
+namespace {
+
+// Registry handles resolved once per process; step() only bumps them.
+struct ControllerMetrics {
+  obs::Histogram& step = obs::registry().histogram("ctrl.step_seconds");
+  obs::Histogram& s1 = obs::registry().histogram("ctrl.s1_sched_seconds");
+  obs::Histogram& s2 = obs::registry().histogram("ctrl.s2_admit_seconds");
+  obs::Histogram& s3 = obs::registry().histogram("ctrl.s3_route_seconds");
+  obs::Histogram& s4 = obs::registry().histogram("ctrl.s4_energy_seconds");
+  obs::Counter& slots = obs::registry().counter("ctrl.slots");
+  obs::Counter& grid_j = obs::registry().counter("energy.grid_j");
+  obs::Counter& renewable_j = obs::registry().counter("energy.renewable_served_j");
+  obs::Counter& discharge_j = obs::registry().counter("energy.battery_discharge_j");
+  obs::Counter& charge_j = obs::registry().counter("energy.battery_charge_j");
+  obs::Counter& curtailed_j = obs::registry().counter("energy.curtailed_j");
+  obs::Counter& unserved_j = obs::registry().counter("energy.unserved_j");
+};
+
+ControllerMetrics& metrics() {
+  static ControllerMetrics m;
+  return m;
+}
+
+}  // namespace
 
 LyapunovController::LyapunovController(const NetworkModel& model, double V,
                                        ControllerOptions options)
@@ -13,44 +40,68 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   GC_CHECK(static_cast<int>(inputs.grid_connected.size()) ==
            model_->num_nodes());
 
+  ControllerMetrics& m = metrics();
   SlotDecision decision;
+  obs::ScopedTimer step_timer(m.step, &decision.timing.step_s);
 
   // S2 — source selection + admission control.
-  decision.admissions = allocate_resources(state_, options_.allocator);
+  {
+    obs::ScopedTimer t(m.s2, &decision.timing.s2_s);
+    decision.admissions = allocate_resources(state_, options_.allocator);
+  }
 
   // S1 — link scheduling, then constraint (24) via minimal-power control.
-  const double energy_price =
-      options_.energy_aware_scheduling
-          ? state_.V() *
-                model_->cost_at(state_.slot()).derivative(last_grid_j_)
-          : 0.0;
-  decision.schedule =
-      options_.scheduler == ControllerOptions::Scheduler::SequentialFix
-          ? sequential_fix_schedule(state_, inputs, options_.fill_in,
-                                    energy_price)
-          : greedy_schedule(state_, inputs, options_.fill_in, energy_price);
-  assign_powers(*model_, inputs, decision.schedule);
+  {
+    obs::ScopedTimer t(m.s1, &decision.timing.s1_s);
+    const double energy_price =
+        options_.energy_aware_scheduling
+            ? state_.V() *
+                  model_->cost_at(state_.slot()).derivative(last_grid_j_)
+            : 0.0;
+    decision.schedule =
+        options_.scheduler == ControllerOptions::Scheduler::SequentialFix
+            ? sequential_fix_schedule(state_, inputs, options_.fill_in,
+                                      energy_price)
+            : greedy_schedule(state_, inputs, options_.fill_in, energy_price);
+    assign_powers(*model_, inputs, decision.schedule);
+  }
 
   // S3 — routing over the realized capacities.
-  RoutingResult routing =
-      options_.router == ControllerOptions::Router::Greedy
-          ? greedy_route(state_, decision.schedule, decision.admissions)
-          : lp_route(state_, decision.schedule, decision.admissions);
-  decision.routes = std::move(routing.routes);
-  decision.demand_shortfall = std::move(routing.demand_shortfall);
+  {
+    obs::ScopedTimer t(m.s3, &decision.timing.s3_s);
+    RoutingResult routing =
+        options_.router == ControllerOptions::Router::Greedy
+            ? greedy_route(state_, decision.schedule, decision.admissions)
+            : lp_route(state_, decision.schedule, decision.admissions);
+    decision.routes = std::move(routing.routes);
+    decision.demand_shortfall = std::move(routing.demand_shortfall);
+  }
 
   // S4 — energy management for the demand the schedule implies.
-  const std::vector<double> demands =
-      compute_energy_demands(*model_, decision.schedule);
-  EnergyResult energy =
-      options_.energy_manager == ControllerOptions::EnergyManager::Price
-          ? price_energy_manage(state_, inputs, demands)
-          : lp_energy_manage(state_, inputs, demands);
-  decision.energy = std::move(energy.decisions);
-  decision.grid_total_j = energy.grid_total_j;
-  decision.cost = energy.cost;
-  decision.unserved_energy_j = energy.unserved_total_j;
-  last_grid_j_ = energy.grid_total_j;
+  {
+    obs::ScopedTimer t(m.s4, &decision.timing.s4_s);
+    const std::vector<double> demands =
+        compute_energy_demands(*model_, decision.schedule);
+    EnergyResult energy =
+        options_.energy_manager == ControllerOptions::EnergyManager::Price
+            ? price_energy_manage(state_, inputs, demands)
+            : lp_energy_manage(state_, inputs, demands);
+    decision.energy = std::move(energy.decisions);
+    decision.grid_total_j = energy.grid_total_j;
+    decision.cost = energy.cost;
+    decision.unserved_energy_j = energy.unserved_total_j;
+    last_grid_j_ = energy.grid_total_j;
+  }
+
+  m.slots.add();
+  m.grid_j.add(decision.grid_total_j);
+  m.unserved_j.add(decision.unserved_energy_j);
+  for (const auto& e : decision.energy) {
+    m.renewable_j.add(e.serve_renewable_j);
+    m.discharge_j.add(e.discharge_j);
+    m.charge_j.add(e.charge_total_j());
+    m.curtailed_j.add(e.curtailed_j);
+  }
 
   state_.advance(decision);
   return decision;

@@ -5,10 +5,34 @@
 #include <map>
 
 #include "lp/simplex.hpp"
+#include "obs/registry.hpp"
 
 namespace gc::core {
 
 namespace {
+
+// S3 observability: packets delivered straight from a base station vs over
+// a user relay (the multi-hop payoff), and plain forwarding volume.
+struct RouterMetrics {
+  obs::Counter& direct = obs::registry().counter("route.delivered_direct_packets");
+  obs::Counter& relayed =
+      obs::registry().counter("route.delivered_relayed_packets");
+  obs::Counter& forwarded = obs::registry().counter("route.forwarded_packets");
+};
+
+void note_routes(const NetworkState& state,
+                 const std::vector<RouteDecision>& routes) {
+  static RouterMetrics m;
+  const auto& model = state.model();
+  for (const auto& r : routes) {
+    if (r.rx != model.session(r.session).destination)
+      m.forwarded.add(r.packets);
+    else if (model.topology().is_base_station(r.tx))
+      m.direct.add(r.packets);
+    else
+      m.relayed.add(r.packets);
+  }
+}
 
 double coefficient(const NetworkState& state, int i, int j, int s) {
   // -Q_i^s + Q_j^s + beta * H_ij (H already carries one factor of beta).
@@ -100,6 +124,7 @@ RoutingResult greedy_route(const NetworkState& state,
       link.remaining = 0.0;
     }
   }
+  note_routes(state, result.routes);
   return result;
 }
 
@@ -174,6 +199,7 @@ RoutingResult lp_route(const NetworkState& state,
   for (int s = 0; s < S; ++s)
     result.demand_shortfall[s] =
         std::max(model.session(s).demand_packets - delivered[s], 0.0);
+  note_routes(state, result.routes);
   return result;
 }
 

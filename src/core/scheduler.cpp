@@ -5,10 +5,28 @@
 
 #include "lp/simplex.hpp"
 #include "net/power_control.hpp"
+#include "obs/registry.hpp"
 
 namespace gc::core {
 
 namespace {
+
+// S1 observability: how many LP relaxation passes SF needs, how often it
+// falls back to rounding a fractional alpha, how much work the fill-in pass
+// adds, and how many links power control deschedules.
+struct SchedulerMetrics {
+  obs::Counter& lp_passes = obs::registry().counter("sched.sf_lp_passes");
+  obs::Counter& roundings = obs::registry().counter("sched.sf_roundings");
+  obs::Counter& primary = obs::registry().counter("sched.primary_links");
+  obs::Counter& fill_in = obs::registry().counter("sched.fill_in_links");
+  obs::Counter& descheduled =
+      obs::registry().counter("sched.power_descheduled_links");
+};
+
+SchedulerMetrics& sched_metrics() {
+  static SchedulerMetrics m;
+  return m;
+}
 
 // Price of the energy the base-station endpoints of (tx, rx, band) would
 // spend if activated: noise-limited minimal transmit power (the
@@ -201,6 +219,7 @@ std::vector<ScheduledLink> sequential_fix_schedule(
   RadioUsage usage(model);
 
   while (!cands.empty()) {
+    sched_metrics().lp_passes.add();
     // LP relaxation: maximize sum w_c alpha_c s.t. the remaining radio
     // budget per node and one activity per (node, band).
     lp::Model m;
@@ -236,6 +255,7 @@ std::vector<ScheduledLink> sequential_fix_schedule(
       for (std::size_t v = 1; v < cands.size(); ++v)
         if (sol.x[v] > sol.x[best]) best = v;
       to_fix.push_back(best);
+      sched_metrics().roundings.add();
     }
 
     for (std::size_t v : to_fix) {
@@ -255,13 +275,17 @@ std::vector<ScheduledLink> sequential_fix_schedule(
       return !usage.can_take(c.tx, c.rx, c.band);
     });
   }
+  sched_metrics().primary.add(static_cast<double>(schedule.size()));
   // Psi3-aware fill-in over radios SF left idle (see
   // build_fill_in_candidates for why the paper's S1 alone deadlocks).
-  if (fill_in)
+  if (fill_in) {
+    const std::size_t before = schedule.size();
     greedy_fill(state,
                 build_fill_in_candidates(state, inputs, schedule,
                                          marginal_energy_price),
                 schedule);
+    sched_metrics().fill_in.add(static_cast<double>(schedule.size() - before));
+  }
   return schedule;
 }
 
@@ -271,11 +295,15 @@ std::vector<ScheduledLink> greedy_schedule(const NetworkState& state,
                                            double marginal_energy_price) {
   std::vector<ScheduledLink> schedule;
   greedy_fill(state, build_candidates(state, inputs), schedule);
-  if (fill_in)
+  sched_metrics().primary.add(static_cast<double>(schedule.size()));
+  if (fill_in) {
+    const std::size_t before = schedule.size();
     greedy_fill(state,
                 build_fill_in_candidates(state, inputs, schedule,
                                          marginal_energy_price),
                 schedule);
+    sched_metrics().fill_in.add(static_cast<double>(schedule.size() - before));
+  }
   return schedule;
 }
 
@@ -441,6 +469,8 @@ void assign_powers(const NetworkModel& model, const SlotInputs& inputs,
       on_band.erase(on_band.begin() + pc.violating_link);
     }
   }
+  sched_metrics().descheduled.add(
+      static_cast<double>(schedule.size() - surviving.size()));
   schedule = std::move(surviving);
 }
 

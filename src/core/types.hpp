@@ -65,6 +65,19 @@ struct NodeEnergyDecision {
   double grid_draw_j() const { return serve_grid_j + charge_grid_j; }
 };
 
+// Wall-clock seconds the controller spent in each subproblem this slot
+// (S1 includes power control, S4 includes the energy-demand computation).
+// All zero when the library is built with GC_OBS_DISABLE.
+struct SlotTimings {
+  double s1_s = 0.0;
+  double s2_s = 0.0;
+  double s3_s = 0.0;
+  double s4_s = 0.0;
+  double step_s = 0.0;  // the whole LyapunovController::step call
+
+  double subproblem_total_s() const { return s1_s + s2_s + s3_s + s4_s; }
+};
+
 // The full outcome of one slot of the online algorithm.
 struct SlotDecision {
   std::vector<ScheduledLink> schedule;
@@ -77,6 +90,8 @@ struct SlotDecision {
   // demand shortfall in energy (joules); both 0 in normal operation.
   std::vector<double> demand_shortfall;
   double unserved_energy_j = 0.0;
+  // Observability: where this slot's wall-clock time went.
+  SlotTimings timing;
 
   double routed_packets(int tx, int rx, int session) const {
     for (const auto& r : routes)

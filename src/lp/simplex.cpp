@@ -4,7 +4,35 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+
 namespace gc::lp {
+
+namespace {
+
+// Solver observability: volumes (solves, simplex iterations), the pivot /
+// bound-flip split, refactorizations (periodic recomputation of the basic
+// values, this tableau code's analogue of a basis refactorization), Bland
+// fallbacks, and wall time per solve.
+struct SimplexMetrics {
+  obs::Counter& solves = obs::registry().counter("lp.solves");
+  obs::Counter& iterations = obs::registry().counter("lp.iterations");
+  obs::Counter& pivots = obs::registry().counter("lp.pivots");
+  obs::Counter& bound_flips = obs::registry().counter("lp.bound_flips");
+  obs::Counter& refactorizations =
+      obs::registry().counter("lp.refactorizations");
+  obs::Counter& bland_switches = obs::registry().counter("lp.bland_switches");
+  obs::Histogram& solve_seconds =
+      obs::registry().histogram("lp.solve_seconds");
+};
+
+SimplexMetrics& lp_metrics() {
+  static SimplexMetrics m;
+  return m;
+}
+
+}  // namespace
 
 const char* to_string(Status s) {
   switch (s) {
@@ -145,6 +173,7 @@ double Simplex::current_cost() const {
 }
 
 void Simplex::recompute_basic_values() {
+  lp_metrics().refactorizations.add();
   // x_B = (B^-1 b) - sum_{nonbasic j} (B^-1 A_j) * xval_j; both factors live
   // in the updated tableau.
   for (int i = 0; i < m_; ++i) {
@@ -265,6 +294,7 @@ Status Simplex::iterate(int* iter_budget) {
     if (span <= t_best) {
       // Entering hits its own opposite bound first: bound flip, no pivot.
       if (!std::isfinite(span)) return Status::Unbounded;
+      lp_metrics().bound_flips.add();
       state_[e] = state_[e] == VarState::AtLower ? VarState::AtUpper
                                                  : VarState::AtLower;
       for (int i = 0; i < m_; ++i) {
@@ -282,6 +312,7 @@ Status Simplex::iterate(int* iter_budget) {
       }
       const int leaving = basis_[leave_row];
       state_[leaving] = leave_at_upper ? VarState::AtUpper : VarState::AtLower;
+      lp_metrics().pivots.add();
       pivot(leave_row, e);
       basis_[leave_row] = e;
       state_[e] = VarState::Basic;
@@ -299,6 +330,7 @@ Status Simplex::iterate(int* iter_budget) {
       stall = 0;
     } else if (!bland && ++stall >= opt_.stall_limit) {
       bland = true;
+      lp_metrics().bland_switches.add();
     }
   }
 }
@@ -356,8 +388,13 @@ Solution Simplex::run() {
 }  // namespace
 
 Solution solve(const Model& model, const Options& options) {
+  SimplexMetrics& m = lp_metrics();
+  obs::ScopedTimer timer(m.solve_seconds);
   Simplex s(model, options);
-  return s.run();
+  Solution sol = s.run();
+  m.solves.add();
+  m.iterations.add(sol.iterations);
+  return sol;
 }
 
 }  // namespace gc::lp

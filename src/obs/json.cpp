@@ -1,0 +1,242 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace gc::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool JsonValue::as_bool() const {
+  GC_CHECK_MSG(kind_ == Kind::Bool, "JSON value is not a bool");
+  return bool_;
+}
+double JsonValue::as_number() const {
+  GC_CHECK_MSG(kind_ == Kind::Number, "JSON value is not a number");
+  return num_;
+}
+const std::string& JsonValue::as_string() const {
+  GC_CHECK_MSG(kind_ == Kind::String, "JSON value is not a string");
+  return str_;
+}
+const JsonArray& JsonValue::as_array() const {
+  GC_CHECK_MSG(kind_ == Kind::Array && arr_, "JSON value is not an array");
+  return *arr_;
+}
+const JsonObject& JsonValue::as_object() const {
+  GC_CHECK_MSG(kind_ == Kind::Object && obj_, "JSON value is not an object");
+  return *obj_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& o = as_object();
+  auto it = o.find(key);
+  GC_CHECK_MSG(it != o.end(), "JSON object has no member \"" << key << '"');
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  if (!has(key)) return fallback;
+  return at(key).as_number();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = value();
+    skip_ws();
+    GC_CHECK_MSG(pos_ == s_.size(),
+                 "trailing JSON content at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    GC_CHECK_MSG(pos_ < s_.size(), "unexpected end of JSON");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    GC_CHECK_MSG(pos_ < s_.size() && s_[pos_] == c,
+                 "expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue(string());
+      case 't':
+        GC_CHECK_MSG(consume_literal("true"), "bad literal at " << pos_);
+        return JsonValue(true);
+      case 'f':
+        GC_CHECK_MSG(consume_literal("false"), "bad literal at " << pos_);
+        return JsonValue(false);
+      case 'n':
+        GC_CHECK_MSG(consume_literal("null"), "bad literal at " << pos_);
+        return JsonValue();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      o.emplace(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(o));
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(a));
+    }
+    while (true) {
+      a.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(a));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      GC_CHECK_MSG(pos_ < s_.size(), "unterminated JSON string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      GC_CHECK_MSG(pos_ < s_.size(), "unterminated JSON escape");
+      c = s_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          GC_CHECK_MSG(pos_ + 4 <= s_.size(), "bad \\u escape");
+          const unsigned long cp =
+              std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Latin-1 subset is all the trace schema emits; encode as UTF-8.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          GC_CHECK_MSG(cp <= 0xFF, "\\u escape beyond Latin-1 unsupported");
+          break;
+        }
+        default: GC_CHECK_MSG(false, "bad JSON escape '\\" << c << "'");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    GC_CHECK_MSG(pos_ > start, "expected JSON number at offset " << start);
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    GC_CHECK_MSG(end && *end == '\0' && std::isfinite(v),
+                 "bad JSON number \"" << tok << '"');
+    return JsonValue(v);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace gc::obs

@@ -1,0 +1,66 @@
+// Minimal JSON support for the trace pipeline: string escaping for the
+// writer side (obs::TraceSink) and a small recursive-descent parser for the
+// reader side (tools/trace_summarize, tests). Covers the full JSON grammar
+// except \uXXXX escapes beyond Latin-1, which the trace schema never emits.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gc::obs {
+
+// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string json_escape(const std::string& s);
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::Number), num_(n) {}
+  explicit JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : kind_(Kind::Array), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : kind_(Kind::Object),
+        obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  // Object member access; throws CheckError when absent / not an object.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+  // Convenience: member `key` as a number, or `fallback` when absent.
+  double number_or(const std::string& key, double fallback) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+// Parses exactly one JSON value from `text` (surrounding whitespace ok);
+// throws gc::CheckError with position info on malformed input.
+JsonValue json_parse(const std::string& text);
+
+}  // namespace gc::obs

@@ -1,0 +1,127 @@
+// Process-wide metrics registry: named counters, gauges, and streaming
+// histograms that subsystems register into once (the returned reference is
+// stable for the life of the process) and bump on their hot paths.
+//
+// Design constraints, in order:
+//  * near-zero hot-path cost: an instrument update is a few arithmetic ops
+//    on a pre-resolved reference — the name lookup happens only at
+//    registration;
+//  * zero cost when compiled out: building with -DGC_OBS_DISABLE (see the
+//    top-level CMakeLists option) turns every update into an empty inline
+//    function the optimizer deletes;
+//  * no dependencies above util, so lp/net/core/sim can all link it.
+//
+// Instruments are process-global and cumulative; `Registry::reset()` zeroes
+// them (keeping registrations) for tools that want per-run numbers.
+// Updates are not synchronized — the simulator and benches are
+// single-threaded; a future parallel runner should shard registries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gc::obs {
+
+#ifdef GC_OBS_DISABLE
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+// Monotonic accumulator (doubles, so packet/joule totals fit too).
+class Counter {
+ public:
+  void add(double v = 1.0) {
+    if constexpr (kCompiledIn) {
+      sum_ += v;
+      ++n_;
+    } else {
+      (void)v;
+    }
+  }
+  double total() const { return sum_; }
+  std::int64_t events() const { return n_; }
+  void reset() { sum_ = 0.0, n_ = 0; }
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t n_ = 0;
+};
+
+// Last-value-wins instrument.
+class Gauge {
+ public:
+  void set(double v) {
+    if constexpr (kCompiledIn) value_ = v;
+    else (void)v;
+  }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Streaming histogram over positive values (durations in seconds, sizes,
+// ...) with exact count/sum/min/max and quantiles from geometric buckets:
+// bucket i covers [kMin * 2^(i/6), kMin * 2^((i+1)/6)), i.e. ~12% relative
+// resolution from 1 ns up to ~2 hours. Values outside the range clamp to
+// the end buckets (their min/max stay exact).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 256;
+  static constexpr double kMin = 1e-9;
+  static constexpr double kBucketsPerOctave = 6.0;
+
+  void observe(double v);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  // q in [0, 1]; returns the geometric midpoint of the bucket holding the
+  // rank-q sample, clamped to [min, max]. 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::int64_t> buckets_;  // lazily sized to kNumBuckets
+};
+
+// Name -> instrument map. References returned by the accessors stay valid
+// for the registry's lifetime (instruments are heap-allocated once).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Sorted-by-name views for reporting.
+  std::vector<std::pair<std::string, const Counter*>> counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  // Zeroes every instrument, keeping registrations (and references) alive.
+  void reset();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-global registry every built-in instrumentation site uses.
+Registry& registry();
+
+}  // namespace gc::obs

@@ -1,0 +1,69 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+namespace gc::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void row(std::string& out, const std::string& name,
+         const std::vector<std::string>& cells) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "  %-34s", name.c_str());
+  out += buf;
+  for (const auto& c : cells) {
+    std::snprintf(buf, sizeof buf, "%12s", c.c_str());
+    out += buf;
+  }
+  out += '\n';
+}
+
+bool is_seconds(const std::string& name) {
+  const std::string suffix = "_seconds";
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace
+
+std::string render_report(const Registry& r) {
+  std::string out;
+
+  const auto counters = r.counters();
+  if (!counters.empty()) {
+    out += "counters:\n";
+    row(out, "name", {"total", "events"});
+    for (const auto& [name, c] : counters)
+      row(out, name, {fmt(c->total()), fmt(static_cast<double>(c->events()))});
+  }
+
+  const auto gauges = r.gauges();
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    row(out, "name", {"value"});
+    for (const auto& [name, g] : gauges) row(out, name, {fmt(g->value())});
+  }
+
+  const auto hists = r.histograms();
+  if (!hists.empty()) {
+    out += "timers (histograms; *_seconds shown in ms):\n";
+    row(out, "name", {"count", "mean", "p50", "p95", "max", "total"});
+    for (const auto& [name, h] : hists) {
+      const double scale = is_seconds(name) ? 1e3 : 1.0;
+      row(out, name,
+          {fmt(static_cast<double>(h->count())), fmt(h->mean() * scale),
+           fmt(h->quantile(0.5) * scale), fmt(h->quantile(0.95) * scale),
+           fmt(h->max() * scale), fmt(h->sum() * scale)});
+    }
+  }
+  return out;
+}
+
+}  // namespace gc::obs

@@ -1,0 +1,14 @@
+// End-of-run rendering of a Registry: counter totals and timer histograms
+// (count / mean / p50 / p95 / max / total) as an aligned text table.
+// Histograms whose name ends in "_seconds" are displayed in milliseconds.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace gc::obs {
+
+std::string render_report(const Registry& r);
+
+}  // namespace gc::obs

@@ -1,0 +1,77 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace gc::obs {
+
+namespace {
+
+void append_num(std::string& s, double v) {
+  // 17 significant digits: doubles survive the write/parse round trip
+  // bit-exactly, so traced series can be compared against in-memory ones.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  s += buf;
+}
+
+void append_field(std::string& s, const char* key, double v, bool first = false) {
+  if (!first) s += ',';
+  s += '"';
+  s += key;
+  s += "\":";
+  append_num(s, v);
+}
+
+}  // namespace
+
+TraceSink::TraceSink(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc) {
+  GC_CHECK_MSG(out_.good(), "cannot open trace file " << path);
+}
+
+void TraceSink::write(const TraceRecord& r) {
+  std::string& s = line_;
+  s.clear();
+  s += "{\"t\":";
+  append_num(s, r.slot);
+  s += ",\"time_s\":{";
+  append_field(s, "s1", r.s1_s, /*first=*/true);
+  append_field(s, "s2", r.s2_s);
+  append_field(s, "s3", r.s3_s);
+  append_field(s, "s4", r.s4_s);
+  append_field(s, "step", r.step_s);
+  s += "},\"queues\":{";
+  append_field(s, "q_bs", r.q_bs, /*first=*/true);
+  append_field(s, "q_users", r.q_users);
+  append_field(s, "h_total", r.h_total);
+  append_field(s, "battery_bs_j", r.battery_bs_j);
+  append_field(s, "battery_users_j", r.battery_users_j);
+  s += "},\"energy\":{";
+  append_field(s, "grid_j", r.grid_j, /*first=*/true);
+  append_field(s, "cost", r.cost);
+  append_field(s, "curtailed_j", r.curtailed_j);
+  append_field(s, "unserved_j", r.unserved_j);
+  s += "},\"decisions\":{";
+  append_field(s, "admitted", r.admitted_packets, /*first=*/true);
+  append_field(s, "delivered", r.delivered_packets);
+  append_field(s, "shortfall", r.shortfall_packets);
+  append_field(s, "links", r.scheduled_links);
+  append_field(s, "routed", r.routed_packets);
+  s += "},\"top_backlog\":[";
+  for (std::size_t i = 0; i < r.top_backlog.size(); ++i) {
+    if (i) s += ',';
+    s += "{\"node\":";
+    append_num(s, r.top_backlog[i].first);
+    s += ",\"packets\":";
+    append_num(s, r.top_backlog[i].second);
+    s += '}';
+  }
+  s += "]}\n";
+  out_ << s;
+  GC_CHECK_MSG(out_.good(), "trace write failed on " << path_);
+  ++records_;
+}
+
+}  // namespace gc::obs

@@ -1,0 +1,62 @@
+// Per-slot JSONL trace sink: one JSON object per line, one line per slot,
+// written with bounded overhead (a single buffered ofstream write per slot,
+// no allocation besides the line buffer which is reused).
+//
+// Schema (docs/OBSERVABILITY.md has the authoritative description):
+//   {"t":12,
+//    "time_s":{"s1":..,"s2":..,"s3":..,"s4":..,"step":..},
+//    "queues":{"q_bs":..,"q_users":..,"h_total":..,
+//              "battery_bs_j":..,"battery_users_j":..},
+//    "energy":{"grid_j":..,"cost":..,"curtailed_j":..,"unserved_j":..},
+//    "decisions":{"admitted":..,"delivered":..,"shortfall":..,
+//                 "links":..,"routed":..},
+//    "top_backlog":[{"node":3,"packets":41.0}, ...]}   // k worst nodes
+//
+// The sink is deliberately independent of core/ types so it can live below
+// every other library; the simulator flattens its state into TraceRecord.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gc::obs {
+
+struct TraceRecord {
+  int slot = 0;
+  // Subproblem wall-clock seconds for this slot (S1 scheduling + power
+  // control, S2 admission, S3 routing, S4 energy management) and the whole
+  // controller step.
+  double s1_s = 0.0, s2_s = 0.0, s3_s = 0.0, s4_s = 0.0, step_s = 0.0;
+  // Queue totals after the slot's queue-law update.
+  double q_bs = 0.0, q_users = 0.0, h_total = 0.0;
+  double battery_bs_j = 0.0, battery_users_j = 0.0;
+  // Energy outcome.
+  double grid_j = 0.0, cost = 0.0, curtailed_j = 0.0, unserved_j = 0.0;
+  // Decision summary.
+  double admitted_packets = 0.0, delivered_packets = 0.0;
+  double shortfall_packets = 0.0, routed_packets = 0.0;
+  int scheduled_links = 0;
+  // The k nodes carrying the largest total data backlog, worst first.
+  std::vector<std::pair<int, double>> top_backlog;  // (node, packets)
+};
+
+class TraceSink {
+ public:
+  // Opens (truncates) `path`; throws gc::CheckError if it cannot.
+  explicit TraceSink(const std::string& path);
+
+  void write(const TraceRecord& r);
+
+  int records() const { return records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::string line_;  // reused per-record buffer
+  int records_ = 0;
+};
+
+}  // namespace gc::obs

@@ -1,8 +1,11 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "core/validate.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::sim {
 
@@ -29,20 +32,76 @@ void record(Metrics& m, const core::NetworkModel& model,
     if (r.rx == model.session(r.session).destination)
       m.total_delivered_packets += r.packets;
   for (const auto& a : decision.admissions) m.total_admitted_packets += a.packets;
+
+  m.timing.s1_s += decision.timing.s1_s;
+  m.timing.s2_s += decision.timing.s2_s;
+  m.timing.s3_s += decision.timing.s3_s;
+  m.timing.s4_s += decision.timing.s4_s;
+  m.timing.step_s += decision.timing.step_s;
   ++m.slots;
 }
 
-}  // namespace
+// The k nodes holding the most total data backlog, worst first.
+std::vector<std::pair<int, double>> top_backlog_nodes(
+    const core::NetworkModel& model, const core::NetworkState& state, int k) {
+  std::vector<std::pair<int, double>> backlog;
+  backlog.reserve(static_cast<std::size_t>(model.num_nodes()));
+  for (int i = 0; i < model.num_nodes(); ++i) {
+    double q = 0.0;
+    for (int s = 0; s < model.num_sessions(); ++s) q += state.q(i, s);
+    if (q > 0.0) backlog.emplace_back(i, q);
+  }
+  k = std::min<int>(k, static_cast<int>(backlog.size()));
+  std::partial_sort(backlog.begin(), backlog.begin() + k, backlog.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  backlog.resize(static_cast<std::size_t>(k));
+  return backlog;
+}
 
-namespace {
+void trace_slot(obs::TraceSink& sink, int t, const core::NetworkModel& model,
+                const core::NetworkState& state,
+                const core::SlotDecision& decision, int top_k) {
+  obs::TraceRecord r;
+  r.slot = t;
+  r.s1_s = decision.timing.s1_s;
+  r.s2_s = decision.timing.s2_s;
+  r.s3_s = decision.timing.s3_s;
+  r.s4_s = decision.timing.s4_s;
+  r.step_s = decision.timing.step_s;
+  r.q_bs = state.total_data_queue_bs();
+  r.q_users = state.total_data_queue_users();
+  r.h_total = state.total_virtual_queue();
+  r.battery_bs_j = state.total_battery_bs_j();
+  r.battery_users_j = state.total_battery_users_j();
+  r.grid_j = decision.grid_total_j;
+  r.cost = decision.cost;
+  r.unserved_j = decision.unserved_energy_j;
+  for (const auto& e : decision.energy) r.curtailed_j += e.curtailed_j;
+  for (const auto& a : decision.admissions) r.admitted_packets += a.packets;
+  for (const auto& rt : decision.routes) {
+    r.routed_packets += rt.packets;
+    if (rt.rx == model.session(rt.session).destination)
+      r.delivered_packets += rt.packets;
+  }
+  for (double s : decision.demand_shortfall) r.shortfall_packets += s;
+  r.scheduled_links = static_cast<int>(decision.schedule.size());
+  r.top_backlog = top_backlog_nodes(model, state, top_k);
+  sink.write(r);
+}
 
 Metrics run_loop(const core::NetworkModel& model,
                  core::LyapunovController& controller, int slots,
                  const SimOptions& options, RandomWaypoint* mobility,
                  net::Topology* topology) {
-  GC_CHECK(slots >= 1);
+  GC_CHECK(slots >= 0);
   Metrics m;
   Rng input_rng(options.input_seed);
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!options.trace_path.empty())
+    trace = std::make_unique<obs::TraceSink>(options.trace_path);
 
   for (int t = 0; t < slots; ++t) {
     if (mobility && t > 0)
@@ -60,9 +119,15 @@ Metrics run_loop(const core::NetworkModel& model,
         GC_CHECK_MSG(false, os.str());
       }
       record(m, model, controller.state(), decision);
+      if (trace)
+        trace_slot(*trace, t, model, controller.state(), decision,
+                   options.trace_top_k);
     } else {
       const core::SlotDecision decision = controller.step(inputs);
       record(m, model, controller.state(), decision);
+      if (trace)
+        trace_slot(*trace, t, model, controller.state(), decision,
+                   options.trace_top_k);
     }
   }
   return m;

@@ -32,6 +32,11 @@ struct Metrics {
   double total_admitted_packets = 0.0;
   int slots = 0;
 
+  // Accumulated controller wall-clock (seconds) across the run, split by
+  // subproblem; zeros when built with GC_OBS_DISABLE. Divide by `slots` for
+  // per-slot means (see bench::timing_columns).
+  core::SlotTimings timing;
+
   // Little's-law estimate of the average end-to-end packet delay in slots:
   // W = L / lambda with L the time-averaged total network backlog and
   // lambda the delivered throughput. This is the queueing-delay face of
@@ -51,9 +56,16 @@ struct SimOptions {
   // Validate every slot's decision against the P1 constraints; throws
   // CheckError listing the violations if any are found.
   bool validate = false;
+  // When non-empty, write one JSONL record per slot (queue vectors,
+  // per-subproblem wall time, decision summary) to this path; see
+  // obs::TraceSink for the schema.
+  std::string trace_path;
+  // How many worst-backlog nodes each trace record drills into.
+  int trace_top_k = 3;
 };
 
 // Runs `controller` for `slots` slots against freshly sampled inputs.
+// `slots` may be 0 (useful for dry runs); all series stay empty.
 Metrics run_simulation(const core::NetworkModel& model,
                        core::LyapunovController& controller, int slots,
                        const SimOptions& options = {});

@@ -1,0 +1,34 @@
+# Smoke test: run the CLI end to end with tracing + validation enabled and
+# check that it exits cleanly and actually wrote a non-empty trace.
+# Invoked by CTest as:
+#   cmake -DSIM_BIN=<greencell_sim> -DTRACE_FILE=<path> -P smoke_sim.cmake
+if(NOT SIM_BIN OR NOT TRACE_FILE)
+  message(FATAL_ERROR "smoke_sim.cmake needs -DSIM_BIN=... and -DTRACE_FILE=...")
+endif()
+
+file(REMOVE "${TRACE_FILE}")
+
+execute_process(
+  COMMAND "${SIM_BIN}" --slots 50 --trace "${TRACE_FILE}" --validate
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "greencell_sim failed (rc=${rc})\n${out}\n${err}")
+endif()
+
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR "trace file was not created: ${TRACE_FILE}")
+endif()
+file(SIZE "${TRACE_FILE}" trace_size)
+if(trace_size EQUAL 0)
+  message(FATAL_ERROR "trace file is empty: ${TRACE_FILE}")
+endif()
+
+file(STRINGS "${TRACE_FILE}" trace_lines)
+list(LENGTH trace_lines n_lines)
+if(NOT n_lines EQUAL 50)
+  message(FATAL_ERROR "expected 50 trace records, got ${n_lines}")
+endif()
+
+message(STATUS "smoke ok: rc=0, ${n_lines} trace records, ${trace_size} bytes")

@@ -100,8 +100,21 @@ TEST(CliOptions, RejectsBadValues) {
   EXPECT_FALSE(parse({"--users", "abc"}).options);
   EXPECT_FALSE(parse({"--multihop", "2"}).options);
   EXPECT_FALSE(parse({"--phy", "telepathy"}).options);
-  EXPECT_FALSE(parse({"--slots", "0"}).options);
+  EXPECT_FALSE(parse({"--slots", "-1"}).options);
   EXPECT_FALSE(parse({"--rate-kbps", "-5"}).options);
+}
+
+TEST(CliOptions, AcceptsZeroSlotsAsDryRun) {
+  const auto r = parse({"--slots", "0"});
+  ASSERT_TRUE(r.options);
+  EXPECT_EQ(r.options->slots, 0);
+}
+
+TEST(CliOptions, ParsesTraceAndReport) {
+  const auto r = parse({"--trace", "out.jsonl", "--report"});
+  ASSERT_TRUE(r.options);
+  EXPECT_EQ(r.options->trace_path, "out.jsonl");
+  EXPECT_TRUE(r.options->report);
 }
 
 TEST(CliOptions, ParsesMobility) {

@@ -33,10 +33,15 @@ algorithm:
 
 run:
   --mobility S          users walk (random waypoint) at up to S m/s (default 0)
-  --slots T             horizon in slots (default 100)
+  --slots T             horizon in slots (default 100; 0 = build-only dry run)
   --input-seed S        random-process seed (default 7)
   --validate            check every P1 constraint each slot (slower)
   --csv PATH            write the per-slot series as CSV
+  --trace PATH          write a per-slot JSONL trace (queues, subproblem
+                        wall times, decision summary, top-backlog nodes);
+                        summarize with tools/trace_summarize
+  --report              print the end-of-run observability report (time
+                        breakdown per subproblem, counters, timers)
   --quiet               only the summary line
   --help                this text
 )";
@@ -92,6 +97,10 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       opt.quiet = true;
       continue;
     }
+    if (flag == "--report") {
+      opt.report = true;
+      continue;
+    }
     // Everything else takes a value.
     if (i + 1 >= args.size()) return err("missing value for " + flag);
     const std::string& v = args[++i];
@@ -137,12 +146,14 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       opt.V = dv;
     else if (flag == "--lambda" && parse_double(v, &dv) && dv >= 0)
       opt.scenario.lambda = dv;
-    else if (flag == "--slots" && parse_int(v, &iv) && iv >= 1)
+    else if (flag == "--slots" && parse_int(v, &iv) && iv >= 0)
       opt.slots = iv;
     else if (flag == "--input-seed" && parse_double(v, &dv) && dv >= 0)
       opt.input_seed = static_cast<std::uint64_t>(dv);
     else if (flag == "--csv" && !v.empty())
       opt.csv_path = v;
+    else if (flag == "--trace" && !v.empty())
+      opt.trace_path = v;
     else
       return err("unknown flag or bad value: " + flag + " " + v);
   }

@@ -22,7 +22,11 @@ struct Options {
   std::uint64_t input_seed = 7;
   bool validate = false;
   bool quiet = false;
-  std::string csv_path;  // empty = no CSV
+  std::string csv_path;    // empty = no CSV
+  std::string trace_path;  // empty = no JSONL trace
+  // End-of-run observability report: per-subproblem time breakdown plus
+  // every registered counter/timer (see src/obs).
+  bool report = false;
 
   bool help = false;  // --help was requested; usage() already printed
 };

@@ -2,13 +2,48 @@
 // controller. See --help (tools/cli_options.cpp) for every flag.
 //
 //   $ greencell_sim --users 30 --V 4 --slots 200 --csv run.csv
+//   $ greencell_sim --slots 200 --trace run.jsonl --report
 //   $ greencell_sim --multihop 0 --renewables 0 --quiet   # legacy baseline
 #include <cstdio>
 
 #include "cli_options.hpp"
 #include "core/controller.hpp"
+#include "obs/report.hpp"
 #include "sim/simulator.hpp"
+#include "util/check.hpp"
 #include "util/csv.hpp"
+
+namespace {
+
+// End-of-run observability: subproblem wall-time breakdown, then every
+// registered counter and timer.
+void print_report(const gc::sim::Metrics& m) {
+  const gc::core::SlotTimings& t = m.timing;
+  std::printf("\n-- report: subproblem time breakdown --\n");
+  std::printf("  %-16s%12s%12s%9s\n", "subproblem", "total_ms", "mean_ms",
+              "share");
+  const double step = t.step_s > 0.0 ? t.step_s : 1e-30;
+  const int slots = m.slots > 0 ? m.slots : 1;
+  const struct {
+    const char* name;
+    double s;
+  } rows[] = {{"S1 scheduling", t.s1_s},
+              {"S2 admission", t.s2_s},
+              {"S3 routing", t.s3_s},
+              {"S4 energy", t.s4_s},
+              {"step total", t.step_s}};
+  for (const auto& r : rows)
+    std::printf("  %-16s%12.3f%12.4f%8.1f%%\n", r.name, r.s * 1e3,
+                r.s * 1e3 / slots, 100.0 * r.s / step);
+  std::printf("  (S1+S2+S3+S4 cover %.1f%% of step time)\n",
+              100.0 * t.subproblem_total_s() / step);
+  std::printf("\n-- report: registry --\n%s",
+              gc::obs::render_report(gc::obs::registry()).c_str());
+}
+
+int run(const gc::cli::Options& opt);
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -23,13 +58,25 @@ int main(int argc, char** argv) {
     return 0;
   }
   const gc::cli::Options& opt = *parsed.options;
+  try {
+    return run(opt);
+  } catch (const gc::CheckError& e) {
+    // Unopenable trace/CSV paths and --validate violations land here.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
 
+namespace {
+
+int run(const gc::cli::Options& opt) {
   gc::core::NetworkModel model = opt.scenario.build();
   gc::core::LyapunovController controller(model, opt.V,
                                           opt.scenario.controller_options());
   gc::sim::SimOptions sim_opts;
   sim_opts.input_seed = opt.input_seed;
   sim_opts.validate = opt.validate;
+  sim_opts.trace_path = opt.trace_path;
 
   gc::sim::Metrics m;
   if (opt.mobility_mps > 0.0) {
@@ -52,6 +99,12 @@ int main(int argc, char** argv) {
                m.q_users[t], m.battery_bs_j[t], m.battery_users_j[t]});
   }
 
+  // A --slots 0 dry run leaves every series empty; report zeros.
+  const bool empty = m.slots == 0;
+  const double final_backlog = empty ? 0.0 : m.q_bs.back() + m.q_users.back();
+  const double final_battery_bs = empty ? 0.0 : m.battery_bs_j.back();
+  const double final_battery_users = empty ? 0.0 : m.battery_users_j.back();
+
   if (!opt.quiet) {
     std::printf("scenario: %d users, %d sessions @ %.0f kbps, %s, %s, V=%g\n",
                 opt.scenario.num_users, opt.scenario.num_sessions,
@@ -66,18 +119,22 @@ int main(int argc, char** argv) {
                     std::max(1.0, opt.scenario.demand_packets() *
                                       opt.scenario.num_sessions * m.slots));
     std::printf("avg delay (slots):    %.2f\n", m.average_delay_slots());
-    std::printf("final backlog:        %.0f packets\n",
-                m.q_bs.back() + m.q_users.back());
+    std::printf("final backlog:        %.0f packets\n", final_backlog);
     std::printf("energy buffers:       %.1f kJ (BS), %.1f kJ (users)\n",
-                m.battery_bs_j.back() / 1e3, m.battery_users_j.back() / 1e3);
+                final_battery_bs / 1e3, final_battery_users / 1e3);
     std::printf("curtailed / unserved: %.1f kJ / %.1f J\n",
                 m.total_curtailed_j / 1e3, m.total_unserved_energy_j);
     if (!opt.csv_path.empty())
       std::printf("CSV written to %s\n", opt.csv_path.c_str());
+    if (!opt.trace_path.empty())
+      std::printf("trace written to %s\n", opt.trace_path.c_str());
   } else {
     std::printf("avg_cost=%.6g delivered=%.0f delay=%.2f backlog=%.0f\n",
                 m.cost_avg.average(), m.total_delivered_packets,
-                m.average_delay_slots(), m.q_bs.back() + m.q_users.back());
+                m.average_delay_slots(), final_backlog);
   }
+  if (opt.report) print_report(m);
   return 0;
 }
+
+}  // namespace

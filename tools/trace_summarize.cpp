@@ -1,0 +1,184 @@
+// trace_summarize: aggregates a greencell_sim --trace JSONL file into a
+// human-readable stability / performance report.
+//
+//   $ greencell_sim --slots 200 --trace run.jsonl
+//   $ trace_summarize run.jsonl
+//
+// Sections: horizon, per-subproblem wall-time breakdown (total/mean/p95/max
+// and share of the controller step), queue stability (partial-average probe
+// of Definition 2 over the traced backlog series), energy totals, traffic
+// totals, and the nodes that dominated the per-slot top-backlog drill-down.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using gc::obs::JsonValue;
+
+struct Series {
+  std::vector<double> v;
+  void add(double x) { v.push_back(x); }
+  double total() const {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s;
+  }
+  double mean() const { return v.empty() ? 0.0 : total() / v.size(); }
+  double max() const {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, x);
+    return m;
+  }
+  double p95() const {
+    if (v.empty()) return 0.0;
+    std::vector<double> s = v;
+    std::sort(s.begin(), s.end());
+    return s[static_cast<std::size_t>(0.95 * (s.size() - 1))];
+  }
+  double last() const { return v.empty() ? 0.0 : v.back(); }
+};
+
+void time_row(const char* name, const Series& s, double step_total) {
+  std::printf("  %-14s%12.3f%12.4f%12.4f%12.4f%8.1f%%\n", name,
+              s.total() * 1e3, s.mean() * 1e3, s.p95() * 1e3, s.max() * 1e3,
+              100.0 * s.total() / (step_total > 0.0 ? step_total : 1e-30));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_summarize TRACE.jsonl\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  Series s1, s2, s3, s4, step, backlog, h_total, grid, cost, curtailed,
+      unserved, admitted, delivered, shortfall, links;
+  gc::StabilityTracker backlog_stability;
+  // node -> (slots in the top-k drill-down, worst backlog seen there)
+  std::map<int, std::pair<int, double>> hot_nodes;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue rec;
+    try {
+      rec = gc::obs::json_parse(line);
+    } catch (const gc::CheckError& e) {
+      std::fprintf(stderr, "error: %s:%d: %s\n", argv[1], lineno, e.what());
+      return 1;
+    }
+    const JsonValue& t = rec.at("time_s");
+    s1.add(t.number_or("s1", 0.0));
+    s2.add(t.number_or("s2", 0.0));
+    s3.add(t.number_or("s3", 0.0));
+    s4.add(t.number_or("s4", 0.0));
+    step.add(t.number_or("step", 0.0));
+    const JsonValue& q = rec.at("queues");
+    const double b = q.number_or("q_bs", 0.0) + q.number_or("q_users", 0.0);
+    backlog.add(b);
+    backlog_stability.add(b);
+    h_total.add(q.number_or("h_total", 0.0));
+    const JsonValue& e = rec.at("energy");
+    grid.add(e.number_or("grid_j", 0.0));
+    cost.add(e.number_or("cost", 0.0));
+    curtailed.add(e.number_or("curtailed_j", 0.0));
+    unserved.add(e.number_or("unserved_j", 0.0));
+    const JsonValue& d = rec.at("decisions");
+    admitted.add(d.number_or("admitted", 0.0));
+    delivered.add(d.number_or("delivered", 0.0));
+    shortfall.add(d.number_or("shortfall", 0.0));
+    links.add(d.number_or("links", 0.0));
+    if (rec.has("top_backlog")) {
+      for (const JsonValue& n : rec.at("top_backlog").as_array()) {
+        const int node = static_cast<int>(n.number_or("node", -1.0));
+        auto& [count, worst] = hot_nodes[node];
+        ++count;
+        worst = std::max(worst, n.number_or("packets", 0.0));
+      }
+    }
+  }
+
+  const int slots = static_cast<int>(step.v.size());
+  if (slots == 0) {
+    std::fprintf(stderr, "error: %s holds no trace records\n", argv[1]);
+    return 1;
+  }
+
+  std::printf("trace: %s — %d slots\n", argv[1], slots);
+
+  std::printf("\n-- subproblem wall time --\n");
+  std::printf("  %-14s%12s%12s%12s%12s%9s\n", "subproblem", "total_ms",
+              "mean_ms", "p95_ms", "max_ms", "share");
+  time_row("S1 scheduling", s1, step.total());
+  time_row("S2 admission", s2, step.total());
+  time_row("S3 routing", s3, step.total());
+  time_row("S4 energy", s4, step.total());
+  time_row("step total", step, step.total());
+  std::printf("  (S1+S2+S3+S4 cover %.1f%% of step time)\n",
+              100.0 * (s1.total() + s2.total() + s3.total() + s4.total()) /
+                  (step.total() > 0.0 ? step.total() : 1e-30));
+
+  std::printf("\n-- queue stability (Definition 2 probe) --\n");
+  std::printf("  backlog packets:   mean %.1f, p95 %.1f, max %.1f, final %.1f\n",
+              backlog.mean(), backlog.p95(), backlog.max(), backlog.last());
+  std::printf("  virtual queue sum: mean %.1f, final %.1f\n", h_total.mean(),
+              h_total.last());
+  std::printf("  partial-average sup %.2f (tail sup %.2f), tail growth %.4g/slot\n",
+              backlog_stability.sup_partial_average(),
+              backlog_stability.tail_sup_partial_average(),
+              backlog_stability.tail_growth_rate());
+  const double growth = backlog_stability.tail_growth_rate();
+  const double scale = std::max(1.0, backlog_stability.sup_partial_average());
+  std::printf("  verdict: %s\n",
+              growth < 0.01 * scale
+                  ? "stable-looking (flat partial averages)"
+                  : "POSSIBLY UNSTABLE (partial averages still growing)");
+
+  std::printf("\n-- energy --\n");
+  std::printf("  grid draw:  %.1f kJ total, %.1f J/slot mean\n",
+              grid.total() / 1e3, grid.mean());
+  std::printf("  cost:       %.6g total, %.6g/slot mean\n", cost.total(),
+              cost.mean());
+  std::printf("  curtailed:  %.1f kJ   unserved: %.1f J\n",
+              curtailed.total() / 1e3, unserved.total());
+
+  std::printf("\n-- traffic --\n");
+  std::printf("  admitted %.0f, delivered %.0f (%.1f%%), shortfall %.0f packets\n",
+              admitted.total(), delivered.total(),
+              100.0 * delivered.total() / std::max(1.0, admitted.total()),
+              shortfall.total());
+  std::printf("  scheduled links: %.1f/slot mean, %.0f max\n", links.mean(),
+              links.max());
+
+  if (!hot_nodes.empty()) {
+    std::vector<std::pair<int, std::pair<int, double>>> hot(
+        hot_nodes.begin(), hot_nodes.end());
+    std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+      if (a.second.second != b.second.second)
+        return a.second.second > b.second.second;
+      return a.first < b.first;
+    });
+    std::printf("\n-- hottest nodes (per-slot top-backlog drill-down) --\n");
+    std::printf("  %-8s%14s%18s\n", "node", "worst_backlog", "slots_in_top_k");
+    for (std::size_t i = 0; i < std::min<std::size_t>(hot.size(), 5); ++i)
+      std::printf("  %-8d%14.1f%18d\n", hot[i].first, hot[i].second.second,
+                  hot[i].second.first);
+  }
+  return 0;
+}
