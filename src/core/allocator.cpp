@@ -5,19 +5,30 @@
 namespace gc::core {
 
 std::vector<AdmissionDecision> allocate_resources(
-    const NetworkState& state, const AllocatorParams& params) {
+    const NetworkState& state, const AllocatorParams& params,
+    const SlotInputs* inputs) {
   static obs::Counter& admitted_packets =
       obs::registry().counter("admit.admitted_packets");
   static obs::Counter& throttled =
       obs::registry().counter("admit.throttled_sessions");
   const auto& model = state.model();
+  const auto down = [&](int b) {
+    return inputs != nullptr && inputs->node_is_down(b);
+  };
   std::vector<AdmissionDecision> out(
       static_cast<std::size_t>(model.num_sessions()));
   for (int s = 0; s < model.num_sessions(); ++s) {
-    int best = 0;
-    for (int b = 1; b < model.num_base_stations(); ++b)
-      if (state.q(b, s) < state.q(best, s)) best = b;
+    int best = -1;
+    for (int b = 0; b < model.num_base_stations(); ++b) {
+      if (down(b)) continue;  // a down BS admits nothing
+      if (best < 0 || state.q(b, s) < state.q(best, s)) best = b;
+    }
     out[s].source_bs = best;
+    if (best < 0) {  // every BS is down: nothing can be admitted
+      out[s].packets = 0.0;
+      throttled.add();
+      continue;
+    }
     const bool admit = state.q(best, s) - params.lambda * state.V() < 0.0;
     out[s].packets = admit ? model.session(s).max_admit_packets : 0.0;
     if (admit)

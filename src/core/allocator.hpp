@@ -19,8 +19,12 @@ struct AllocatorParams {
   double lambda = 1.0;  // the operator-chosen admission reward coefficient
 };
 
+// `inputs` (optional) carries the fault overlay: a down base station is
+// never chosen as a session's source. When every base station is down the
+// session gets source_bs = -1 and admits nothing that slot.
 std::vector<AdmissionDecision> allocate_resources(const NetworkState& state,
-                                                  const AllocatorParams& params);
+                                                  const AllocatorParams& params,
+                                                  const SlotInputs* inputs = nullptr);
 
 // The Psi2 value (eq. (36)) of a given admission vector, for tests and the
 // drift accounting.

@@ -20,6 +20,13 @@ struct ControllerMetrics {
   obs::Counter& charge_j = obs::registry().counter("energy.battery_charge_j");
   obs::Counter& curtailed_j = obs::registry().counter("energy.curtailed_j");
   obs::Counter& unserved_j = obs::registry().counter("energy.unserved_j");
+  // Fallback ladder (docs/ROBUSTNESS.md): slots where an LP-based solver
+  // failed and the cheaper one took over, per subproblem, plus the total
+  // count of degraded slots.
+  obs::Counter& fallback_s1 = obs::registry().counter("ctrl.fallback_s1");
+  obs::Counter& fallback_s3 = obs::registry().counter("ctrl.fallback_s3");
+  obs::Counter& fallback_s4 = obs::registry().counter("ctrl.fallback_s4");
+  obs::Counter& degraded = obs::registry().counter("ctrl.degraded_slots");
 };
 
 ControllerMetrics& metrics() {
@@ -47,51 +54,104 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   // S2 — source selection + admission control.
   {
     obs::ScopedTimer t(m.s2, &decision.timing.s2_s);
-    decision.admissions = allocate_resources(state_, options_.allocator);
+    decision.admissions =
+        allocate_resources(state_, options_.allocator, &inputs);
   }
 
   // S1 — link scheduling, then constraint (24) via minimal-power control.
+  // Under the fallback ladder, a failed SequentialFix relaxation (watchdog
+  // limit, infeasibility, numerical trouble) degrades to the greedy
+  // scheduler for this slot instead of aborting the run.
   {
     obs::ScopedTimer t(m.s1, &decision.timing.s1_s);
     const double energy_price =
         options_.energy_aware_scheduling
-            ? state_.V() *
-                  model_->cost_at(state_.slot()).derivative(last_grid_j_)
+            ? state_.V() * model_->cost_at(state_.slot())
+                               .scaled(inputs.cost_multiplier)
+                               .derivative(last_grid_j_)
             : 0.0;
-    decision.schedule =
-        options_.scheduler == ControllerOptions::Scheduler::SequentialFix
-            ? sequential_fix_schedule(state_, inputs, options_.fill_in,
-                                      energy_price)
-            : greedy_schedule(state_, inputs, options_.fill_in, energy_price);
+    if (options_.scheduler == ControllerOptions::Scheduler::SequentialFix) {
+      if (options_.fallbacks) {
+        try {
+          decision.schedule = sequential_fix_schedule(
+              state_, inputs, options_.fill_in, energy_price, options_.lp);
+        } catch (const CheckError&) {
+          m.fallback_s1.add();
+          ++decision.fallbacks;
+          decision.schedule =
+              greedy_schedule(state_, inputs, options_.fill_in, energy_price);
+        }
+      } else {
+        decision.schedule = sequential_fix_schedule(
+            state_, inputs, options_.fill_in, energy_price, options_.lp);
+      }
+    } else {
+      decision.schedule =
+          greedy_schedule(state_, inputs, options_.fill_in, energy_price);
+    }
     assign_powers(*model_, inputs, decision.schedule);
   }
 
-  // S3 — routing over the realized capacities.
+  // S3 — routing over the realized capacities (ladder: Lp -> Greedy).
   {
     obs::ScopedTimer t(m.s3, &decision.timing.s3_s);
-    RoutingResult routing =
-        options_.router == ControllerOptions::Router::Greedy
-            ? greedy_route(state_, decision.schedule, decision.admissions)
-            : lp_route(state_, decision.schedule, decision.admissions);
+    RoutingResult routing;
+    if (options_.router == ControllerOptions::Router::Lp) {
+      if (options_.fallbacks) {
+        try {
+          routing = lp_route(state_, decision.schedule, decision.admissions,
+                             options_.lp);
+        } catch (const CheckError&) {
+          m.fallback_s3.add();
+          ++decision.fallbacks;
+          routing =
+              greedy_route(state_, decision.schedule, decision.admissions);
+        }
+      } else {
+        routing = lp_route(state_, decision.schedule, decision.admissions,
+                           options_.lp);
+      }
+    } else {
+      routing = greedy_route(state_, decision.schedule, decision.admissions);
+    }
     decision.routes = std::move(routing.routes);
     decision.demand_shortfall = std::move(routing.demand_shortfall);
   }
 
-  // S4 — energy management for the demand the schedule implies.
+  // S4 — energy management for the demand the schedule implies (ladder:
+  // Lp -> Price). A down node demands nothing, not even its baseline draw.
   {
     obs::ScopedTimer t(m.s4, &decision.timing.s4_s);
-    const std::vector<double> demands =
+    std::vector<double> demands =
         compute_energy_demands(*model_, decision.schedule);
-    EnergyResult energy =
-        options_.energy_manager == ControllerOptions::EnergyManager::Price
-            ? price_energy_manage(state_, inputs, demands)
-            : lp_energy_manage(state_, inputs, demands);
+    if (inputs.any_node_down())
+      for (std::size_t i = 0; i < demands.size(); ++i)
+        if (inputs.node_is_down(static_cast<int>(i))) demands[i] = 0.0;
+    EnergyResult energy;
+    if (options_.energy_manager == ControllerOptions::EnergyManager::Lp) {
+      if (options_.fallbacks) {
+        try {
+          energy = lp_energy_manage(state_, inputs, demands, 64, options_.lp);
+        } catch (const CheckError&) {
+          m.fallback_s4.add();
+          ++decision.fallbacks;
+          energy = price_energy_manage(state_, inputs, demands);
+        }
+      } else {
+        energy = lp_energy_manage(state_, inputs, demands, 64, options_.lp);
+      }
+    } else {
+      energy = price_energy_manage(state_, inputs, demands);
+    }
     decision.energy = std::move(energy.decisions);
     decision.grid_total_j = energy.grid_total_j;
     decision.cost = energy.cost;
     decision.unserved_energy_j = energy.unserved_total_j;
     last_grid_j_ = energy.grid_total_j;
   }
+
+  decision.degraded = decision.fallbacks > 0;
+  if (decision.degraded) m.degraded.add();
 
   m.slots.add();
   m.grid_j.add(decision.grid_total_j);

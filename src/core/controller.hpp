@@ -38,6 +38,18 @@ struct ControllerOptions {
   // but all-or-nothing at the marginal node (see bench/ablation_energy_managers).
   enum class EnergyManager { Lp, Price } energy_manager = EnergyManager::Lp;
   enum class Router { Greedy, Lp } router = Router::Greedy;
+  // Watchdog budget applied to every LP solve the subproblems issue
+  // (iterations and, if max_seconds > 0, wall-clock). The defaults are the
+  // solver's own generous limits; long unattended runs tighten them.
+  lp::Options lp;
+  // Fallback ladder (docs/ROBUSTNESS.md): when an LP-based subproblem
+  // solver fails (Infeasible / IterationLimit / TimeLimit / NumericalError,
+  // surfaced as gc::CheckError), retry the slot's subproblem with the
+  // cheaper closed-form solver instead of aborting the run:
+  //   S1 SequentialFix -> Greedy, S3 Lp -> Greedy, S4 Lp -> Price.
+  // Every drop bumps ctrl.fallback_s{1,3,4} and marks the decision
+  // degraded. Off = the strict mode tests rely on (failures propagate).
+  bool fallbacks = true;
 };
 
 class LyapunovController {
@@ -46,7 +58,15 @@ class LyapunovController {
                      ControllerOptions options = {});
 
   const NetworkState& state() const { return state_; }
+  // Mutable access for checkpoint restore and for the simulator's
+  // sanitization switch; the online algorithm itself never uses it.
+  NetworkState& mutable_state() { return state_; }
   double V() const { return state_.V(); }
+  const ControllerOptions& options() const { return options_; }
+  // P(t-1), the grid draw the energy-aware scheduling extension prices
+  // against; exposed for checkpointing.
+  double last_grid_j() const { return last_grid_j_; }
+  void set_last_grid_j(double j) { last_grid_j_ = j; }
 
   // Runs one slot: solves S2 (admission), S1 (scheduling + power control),
   // S3 (routing) and S4 (energy management), advances all queue laws, and

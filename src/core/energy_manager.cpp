@@ -46,6 +46,14 @@ NodeInstance make_instance(const NetworkState& state, const SlotInputs& inputs,
                            const std::vector<double>& demands_j, int i) {
   const auto& model = state.model();
   NodeInstance inst;
+  inst.priced = model.topology().is_base_station(i);
+  if (inputs.node_is_down(i)) {
+    // A down node is inert: no demand, no renewable intake, no grid draw,
+    // battery frozen. All caps zero makes every solver's best response the
+    // all-zeros decision.
+    inst.connected = inputs.grid_connected[i] != 0;
+    return inst;
+  }
   inst.demand_j = demands_j[i];
   inst.renewable_j = inputs.renewable_j[i];
   inst.connected = inputs.grid_connected[i] != 0;
@@ -53,8 +61,16 @@ NodeInstance make_instance(const NetworkState& state, const SlotInputs& inputs,
   inst.charge_cap_j = state.charge_headroom_j(i);
   inst.discharge_cap_j = state.discharge_headroom_j(i);
   inst.z = state.z(i);
-  inst.priced = model.topology().is_base_station(i);
   return inst;
+}
+
+// The slot's effective tariff: the time-varying base tariff scaled by the
+// fault overlay's price-spike multiplier.
+energy::QuadraticCost effective_cost(const NetworkState& state,
+                                     const SlotInputs& inputs) {
+  const energy::QuadraticCost base = state.model().cost_at(state.slot());
+  return inputs.cost_multiplier == 1.0 ? base
+                                       : base.scaled(inputs.cost_multiplier);
 }
 
 // Discharge branch: c = 0, fill the demand from {renewable, grid,
@@ -148,18 +164,21 @@ NodeResponse best_response(const NodeInstance& inst, double pi) {
   return dis.priced_score < chg.priced_score - 1e-12 ? dis : chg;
 }
 
-EnergyResult assemble(const NetworkState& state,
+EnergyResult assemble(const NetworkState& state, const SlotInputs& inputs,
                       std::vector<NodeEnergyDecision> decisions) {
   const auto& model = state.model();
   EnergyResult res;
   res.decisions = std::move(decisions);
   for (int i = 0; i < model.num_nodes(); ++i) {
-    const auto& d = res.decisions[i];
+    auto& d = res.decisions[i];
+    // A down node cannot harvest: whatever renewable arrived is wasted.
+    // (Its instance had renewable 0, so serve/charge are already 0.)
+    if (inputs.node_is_down(i)) d.curtailed_j = inputs.renewable_j[i];
     if (model.topology().is_base_station(i)) res.grid_total_j += d.grid_draw_j();
     res.objective += state.z(i) * (d.charge_total_j() - d.discharge_j);
     res.unserved_total_j += d.unserved_j;
   }
-  res.cost = model.cost_at(state.slot()).value(res.grid_total_j);
+  res.cost = effective_cost(state, inputs).value(res.grid_total_j);
   res.objective += state.V() * res.cost;
   return res;
 }
@@ -209,8 +228,9 @@ EnergyResult price_energy_manage(const NetworkState& state,
   };
 
   // Bisection on phi(pi) = pi - V f'(D(pi)), which is increasing. Under a
-  // time-varying tariff the slot's effective cost function applies.
-  const energy::QuadraticCost cost = model.cost_at(state.slot());
+  // time-varying tariff (and any price-spike multiplier) the slot's
+  // effective cost function applies.
+  const energy::QuadraticCost cost = effective_cost(state, inputs);
   double lo = V * cost.derivative(0.0);
   double hi = V * cost.derivative(model.max_total_grid_j());
   for (int it = 0; it < 64 && hi - lo > 1e-12 * (1.0 + hi); ++it) {
@@ -273,7 +293,7 @@ EnergyResult price_energy_manage(const NetworkState& state,
   EnergyResult best;
   bool have = false;
   for (auto& cand : candidates) {
-    EnergyResult res = assemble(state, std::move(cand));
+    EnergyResult res = assemble(state, inputs, std::move(cand));
     if (!have || res.unserved_total_j < best.unserved_total_j - 1e-12 ||
         (res.unserved_total_j <= best.unserved_total_j + 1e-12 &&
          res.objective < best.objective)) {
@@ -287,7 +307,8 @@ EnergyResult price_energy_manage(const NetworkState& state,
 EnergyResult lp_energy_manage(const NetworkState& state,
                               const SlotInputs& inputs,
                               const std::vector<double>& demands_j,
-                              int pwl_segments) {
+                              int pwl_segments,
+                              const lp::Options& lp_options) {
   const auto& model = state.model();
   const int n = model.num_nodes();
   GC_CHECK(static_cast<int>(demands_j.size()) == n);
@@ -343,7 +364,7 @@ EnergyResult lp_energy_manage(const NetworkState& state,
   }
   // Epigraph variable y >= tangents of f; objective V*y.
   const int yvar = m.add_variable(0.0, lp::kInf, V);
-  const energy::QuadraticCost cost = model.cost_at(state.slot());
+  const energy::QuadraticCost cost = effective_cost(state, inputs);
   const auto segments = lp::tangent_segments(
       [&](double p) { return cost.value(p); },
       [&](double p) { return cost.derivative(p); }, 0.0,
@@ -354,14 +375,15 @@ EnergyResult lp_energy_manage(const NetworkState& state,
     m.set_coeff(row, yvar, -1.0);
   }
 
-  const lp::Solution sol = lp::solve(m);
+  const lp::Solution sol = lp::solve(m, lp_options);
   GC_CHECK_MSG(sol.status == lp::Status::Optimal,
-               "S4 LP not optimal: " << lp::to_string(sol.status));
+               "S4 LP not optimal at slot " << state.slot() << ": "
+                                            << lp::to_string(sol.status));
 
   std::vector<NodeEnergyDecision> decisions(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     auto& d = decisions[i];
-    d.demand_j = demands_j[i];
+    d.demand_j = inputs.node_is_down(i) ? 0.0 : demands_j[i];
     d.connected = inputs.grid_connected[i] != 0;
     d.serve_renewable_j = sol.x[nv[i].r];
     d.discharge_j = sol.x[nv[i].d];
@@ -378,11 +400,12 @@ EnergyResult lp_energy_manage(const NetworkState& state,
         inputs.renewable_j[i] - d.serve_renewable_j - d.charge_renewable_j,
         0.0);
   }
-  return assemble(state, std::move(decisions));
+  return assemble(state, inputs, std::move(decisions));
 }
 
 double psi4(const NetworkState& state,
-            const std::vector<NodeEnergyDecision>& decisions) {
+            const std::vector<NodeEnergyDecision>& decisions,
+            double cost_multiplier) {
   const auto& model = state.model();
   double total = 0.0;
   double p = 0.0;
@@ -391,7 +414,9 @@ double psi4(const NetworkState& state,
     total += state.z(i) * (d.charge_total_j() - d.discharge_j);
     if (model.topology().is_base_station(i)) p += d.grid_draw_j();
   }
-  return total + state.V() * model.cost_at(state.slot()).value(p);
+  return total +
+         state.V() *
+             model.cost_at(state.slot()).scaled(cost_multiplier).value(p);
 }
 
 }  // namespace gc::core

@@ -33,6 +33,7 @@
 
 #include "core/state.hpp"
 #include "core/types.hpp"
+#include "lp/simplex.hpp"
 
 namespace gc::core {
 
@@ -48,6 +49,13 @@ struct EnergyResult {
   double unserved_total_j = 0.0;
 };
 
+// Both solvers honor the fault overlay in `inputs`: a down node is inert
+// (zero demand, no renewable intake, no grid draw, battery frozen), and
+// `inputs.cost_multiplier` spikes the slot's tariff to m * f before the
+// grid/battery trade-off is made. `lp_options` bounds lp_energy_manage's
+// solve (watchdog); a non-Optimal status throws gc::CheckError naming the
+// simplex status and the slot, which the controller's fallback ladder
+// catches (Lp -> Price).
 EnergyResult price_energy_manage(const NetworkState& state,
                                  const SlotInputs& inputs,
                                  const std::vector<double>& demands_j);
@@ -55,10 +63,14 @@ EnergyResult price_energy_manage(const NetworkState& state,
 EnergyResult lp_energy_manage(const NetworkState& state,
                               const SlotInputs& inputs,
                               const std::vector<double>& demands_j,
-                              int pwl_segments = 64);
+                              int pwl_segments = 64,
+                              const lp::Options& lp_options = {});
 
-// Psi4 (eq. (38)) of a given decision vector, for tests.
+// Psi4 (eq. (38)) of a given decision vector, for tests. `cost_multiplier`
+// applies a price spike (pass inputs.cost_multiplier when comparing against
+// a faulted slot).
 double psi4(const NetworkState& state,
-            const std::vector<NodeEnergyDecision>& decisions);
+            const std::vector<NodeEnergyDecision>& decisions,
+            double cost_multiplier = 1.0);
 
 }  // namespace gc::core

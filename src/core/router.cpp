@@ -130,7 +130,8 @@ RoutingResult greedy_route(const NetworkState& state,
 
 RoutingResult lp_route(const NetworkState& state,
                        const std::vector<ScheduledLink>& schedule,
-                       const std::vector<AdmissionDecision>& admissions) {
+                       const std::vector<AdmissionDecision>& admissions,
+                       const lp::Options& lp_options) {
   const auto& model = state.model();
   const int S = model.num_sessions();
   RoutingResult result;
@@ -183,9 +184,10 @@ RoutingResult lp_route(const NetworkState& state,
       m.set_objective_coeff(v, m.objective_coeff(v) - dominate);
   }
 
-  const lp::Solution sol = lp::solve(m);
+  const lp::Solution sol = lp::solve(m, lp_options);
   GC_CHECK_MSG(sol.status == lp::Status::Optimal,
-               "S3 LP not optimal: " << lp::to_string(sol.status));
+               "S3 LP not optimal at slot " << state.slot() << ": "
+                                            << lp::to_string(sol.status));
   std::vector<double> delivered(static_cast<std::size_t>(S), 0.0);
   for (std::size_t v = 0; v < vars.size(); ++v) {
     const double packets = std::floor(sol.x[v] + 1e-6);

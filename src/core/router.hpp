@@ -18,6 +18,7 @@
 
 #include "core/state.hpp"
 #include "core/types.hpp"
+#include "lp/simplex.hpp"
 
 namespace gc::core {
 
@@ -33,9 +34,15 @@ RoutingResult greedy_route(const NetworkState& state,
 
 // Exact LP solution of S3 (continuous relaxation; the constraint structure
 // is integral in practice). Reference implementation for tests/ablation.
+// Both routers only touch scheduled links, so the fault overlay needs no
+// handling here: S1 already withheld down/faded elements. `lp_options`
+// bounds the solve (watchdog); a non-Optimal status throws gc::CheckError
+// naming the simplex status and the slot, which the controller's fallback
+// ladder catches (Lp -> Greedy).
 RoutingResult lp_route(const NetworkState& state,
                        const std::vector<ScheduledLink>& schedule,
-                       const std::vector<AdmissionDecision>& admissions);
+                       const std::vector<AdmissionDecision>& admissions,
+                       const lp::Options& lp_options = {});
 
 // Objective value of S3 for a given routing.
 double routing_objective(const NetworkState& state,

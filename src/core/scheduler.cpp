@@ -111,8 +111,10 @@ std::vector<CandidateLinkBand> build_candidates(const NetworkState& state,
   const double pkts_per_bps = model.slot_seconds() / model.packet_bits();
   std::vector<CandidateLinkBand> out;
   for (int i = 0; i < n; ++i) {
+    if (inputs.node_is_down(i)) continue;
     for (int j = 0; j < n; ++j) {
       if (!model.link_allowed(i, j)) continue;
+      if (inputs.node_is_down(j) || inputs.link_is_faded(i, j, n)) continue;
       const double h = state.h(i, j);
       if (h <= 0.0) continue;  // SF fixes alpha = 0 when H_ij = 0
       for (int m = 0; m < model.num_bands(); ++m) {
@@ -143,10 +145,11 @@ std::vector<CandidateLinkBand> build_fill_in_candidates(
 
   std::vector<CandidateLinkBand> out;
   for (int i = 0; i < n; ++i) {
-    if (usage.node_saturated(i)) continue;
+    if (usage.node_saturated(i) || inputs.node_is_down(i)) continue;
     for (int j = 0; j < n; ++j) {
       if (j == i || usage.node_saturated(j) || !model.link_allowed(i, j))
         continue;
+      if (inputs.node_is_down(j) || inputs.link_is_faded(i, j, n)) continue;
       // Best Psi3 differential any session could realize on (i, j), and
       // whether j is some session's destination (a delivery link: exempt
       // from the energy penalty, since (18) makes delivery an obligation
@@ -212,7 +215,7 @@ void greedy_fill(const NetworkState& state,
 
 std::vector<ScheduledLink> sequential_fix_schedule(
     const NetworkState& state, const SlotInputs& inputs, bool fill_in,
-    double marginal_energy_price) {
+    double marginal_energy_price, const lp::Options& lp_options) {
   const auto& model = state.model();
   std::vector<CandidateLinkBand> cands = build_candidates(state, inputs);
   std::vector<ScheduledLink> schedule;
@@ -242,9 +245,10 @@ std::vector<ScheduledLink> sequential_fix_schedule(
         m.set_coeff(band_row[bi], static_cast<int>(v), 1.0);
       }
     }
-    const lp::Solution sol = lp::solve(m);
+    const lp::Solution sol = lp::solve(m, lp_options);
     GC_CHECK_MSG(sol.status == lp::Status::Optimal,
-                 "SF relaxation not optimal: " << lp::to_string(sol.status));
+                 "SF relaxation not optimal at slot "
+                     << state.slot() << ": " << lp::to_string(sol.status));
 
     // Fix every alpha already at 1; if none, round the largest fractional.
     std::vector<std::size_t> to_fix;

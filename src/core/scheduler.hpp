@@ -19,6 +19,7 @@
 
 #include "core/state.hpp"
 #include "core/types.hpp"
+#include "lp/simplex.hpp"
 
 namespace gc::core {
 
@@ -69,9 +70,15 @@ std::vector<CandidateLinkBand> build_fill_in_candidates(
 // unset; call assign_powers afterwards.
 // fill_in enables the Psi3-aware second pass (required for the system to
 // start; exposed so the ablation can demonstrate the deadlock).
+// Both builders honor the fault overlay in `inputs`: links with a down
+// endpoint or a deep-faded (tx, rx) pair produce no candidates, so a faulted
+// element is simply absent from S1's feasible set. `lp_options` bounds the
+// relaxation solves (iteration / wall-clock watchdog); a non-Optimal pass
+// throws gc::CheckError naming the simplex status and the slot, which the
+// controller's fallback ladder catches.
 std::vector<ScheduledLink> sequential_fix_schedule(
     const NetworkState& state, const SlotInputs& inputs, bool fill_in = true,
-    double marginal_energy_price = 0.0);
+    double marginal_energy_price = 0.0, const lp::Options& lp_options = {});
 std::vector<ScheduledLink> greedy_schedule(const NetworkState& state,
                                            const SlotInputs& inputs,
                                            bool fill_in = true,

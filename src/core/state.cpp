@@ -3,9 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "queueing/queues.hpp"
 
 namespace gc::core {
+
+namespace {
+
+// State-sanitization observability: how many queue values were repaired
+// (NaN -> 0, negative -> 0) and how much battery action was clipped to the
+// headrooms, instead of aborting the run.
+struct SanitizeMetrics {
+  obs::Counter& queue_values =
+      obs::registry().counter("state.sanitized_queue_values");
+  obs::Counter& battery_j =
+      obs::registry().counter("state.sanitized_battery_j");
+};
+
+SanitizeMetrics& sanitize_metrics() {
+  static SanitizeMetrics m;
+  return m;
+}
+
+}  // namespace
 
 NetworkState::NetworkState(const NetworkModel& model, double V)
     : model_(&model), v_(V) {
@@ -67,8 +87,8 @@ void NetworkState::advance(const SlotDecision& decision) {
         continue;
       }
       const double admitted = (i == adm.source_bs) ? adm.packets : 0.0;
-      q_[qi(i, s)] = queueing::queue_step(q_[qi(i, s)], served[qi(i, s)],
-                                          relayed[qi(i, s)] + admitted);
+      q_[qi(i, s)] = sanitize_queue_value(queueing::queue_step(
+          q_[qi(i, s)], served[qi(i, s)], relayed[qi(i, s)] + admitted));
     }
   }
 
@@ -84,16 +104,74 @@ void NetworkState::advance(const SlotDecision& decision) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
       const int l = li(i, j);
-      gq_[l] = queueing::queue_step(gq_[l], link_service[l], link_arrivals[l]);
+      gq_[l] = sanitize_queue_value(
+          queueing::queue_step(gq_[l], link_service[l], link_arrivals[l]));
     }
 
-  // Batteries, law (4), with eqs. (9), (11), (12) enforced inside.
+  // Batteries, law (4), with eqs. (9), (11), (12) enforced inside. When
+  // sanitizing, a decision that escaped the solvers malformed (NaN, both
+  // sides of (9), beyond a headroom) is clipped into legality — with the
+  // repair counted — rather than aborting a multi-million-slot run.
   for (int i = 0; i < n; ++i) {
     const auto& e = decision.energy[i];
-    batteries_[i].apply(e.charge_total_j(), e.discharge_j);
+    double charge = e.charge_total_j();
+    double discharge = e.discharge_j;
+    if (sanitize_) {
+      // Repair exactly what Battery::apply would reject, and nothing else:
+      // a legal decision must pass through bit-identically so sanitized and
+      // strict runs agree whenever no fault fires. Tolerances mirror
+      // battery.cpp's kSlack handling.
+      constexpr double kSlack = 1e-9;
+      double clipped = 0.0;
+      if (!std::isfinite(charge)) {
+        clipped += 1.0;  // NaN carries no magnitude to count; tally 1 J
+        charge = 0.0;
+      }
+      if (!std::isfinite(discharge)) {
+        clipped += 1.0;
+        discharge = 0.0;
+      }
+      if (charge < -kSlack) {
+        clipped += -charge;
+        charge = 0.0;
+      }
+      if (discharge < -kSlack) {
+        clipped += -discharge;
+        discharge = 0.0;
+      }
+      const double scale = std::max(
+          {1.0, batteries_[i].params().capacity_j, charge, discharge});
+      if (charge > kSlack * scale && discharge > kSlack * scale) {
+        const double cancel = std::min(charge, discharge);  // eq. (9)
+        charge -= cancel;
+        discharge -= cancel;
+        clipped += 2.0 * cancel;
+      }
+      const double c_max = batteries_[i].charge_headroom_j();
+      const double d_max = batteries_[i].discharge_headroom_j();
+      if (charge > c_max + kSlack * scale) {
+        clipped += charge - c_max;
+        charge = c_max;
+      }
+      if (discharge > d_max + kSlack * scale) {
+        clipped += discharge - d_max;
+        discharge = d_max;
+      }
+      if (clipped > 0.0) sanitize_metrics().battery_j.add(clipped);
+    }
+    batteries_[i].apply(charge, discharge);
   }
 
   ++slot_;
+}
+
+double NetworkState::sanitize_queue_value(double v) const {
+  if (!sanitize_) return v;
+  if (std::isnan(v) || v < 0.0) {
+    sanitize_metrics().queue_values.add();
+    return 0.0;
+  }
+  return v;
 }
 
 void NetworkState::set_q(int node, int session, double value) {
@@ -110,6 +188,14 @@ void NetworkState::set_battery_j(int node, double value) {
   energy::BatteryParams p = model_->node(node).battery;
   p.initial_level_j = value;
   batteries_[node] = energy::Battery(p);
+}
+
+double NetworkState::set_battery_capacity_j(int node, double capacity_j) {
+  return batteries_[node].set_capacity_j(capacity_j);
+}
+
+void NetworkState::restore_battery_level_j(int node, double level_j) {
+  batteries_[node].set_level_j(level_j);
 }
 
 double NetworkState::total_data_queue_bs() const {

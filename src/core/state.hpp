@@ -39,11 +39,30 @@ class NetworkState {
   // Applies one slot's decision: queue laws (15) and (28), battery law (4).
   void advance(const SlotDecision& decision);
 
+  // Graceful degradation (docs/ROBUSTNESS.md): when enabled, advance()
+  // clamps NaN / negative queue values to 0 and clips battery actions to
+  // their headrooms — counting every repair in the obs registry
+  // (state.sanitized_*) — instead of letting GC_CHECK abort the run.
+  // Off by default; the controller switches it on for non-validate runs.
+  void set_sanitize(bool on) { sanitize_ = on; }
+  bool sanitize() const { return sanitize_; }
+
   // Direct state injection for tests and what-if analyses; not used by the
   // online algorithm itself.
   void set_q(int node, int session, double value);
   void set_g_queue(int tx, int rx, double value);
   void set_battery_j(int node, double value);
+  // Battery capacity fade (fault injection): shrinks node i's battery to
+  // `capacity_j`, rescaling per-slot limits so eq. (13) keeps holding.
+  // Returns the joules the stored level lost to the clamp.
+  double set_battery_capacity_j(int node, double capacity_j);
+  // Checkpoint support: reinstate the stored level exactly without
+  // resetting a faded capacity (unlike set_battery_j, which rebuilds the
+  // battery from the model's pristine parameters).
+  void restore_battery_level_j(int node, double level_j);
+  double battery_capacity_j(int node) const {
+    return batteries_[node].params().capacity_j;
+  }
   // Pins the slot index (which keys time-varying tariffs); used by the
   // lower-bound solver's scratch state and by tests.
   void set_slot(int slot) {
@@ -64,9 +83,14 @@ class NetworkState {
   }
   int li(int tx, int rx) const { return tx * model_->num_nodes() + rx; }
 
+  // Clamps NaN / negative queue values when sanitizing (counted in the obs
+  // registry); returns the value unchanged otherwise.
+  double sanitize_queue_value(double v) const;
+
   const NetworkModel* model_;
   double v_;
   int slot_ = 0;
+  bool sanitize_ = false;
   std::vector<double> q_;        // N x S
   std::vector<double> gq_;       // N x N virtual queues
   std::vector<energy::Battery> batteries_;

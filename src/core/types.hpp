@@ -16,11 +16,36 @@ struct Session {
   double max_admit_packets = 0.0; // K_s^max, cap on k_s(t)
 };
 
-// Everything random that is observed at the start of a slot.
+// Everything random that is observed at the start of a slot, plus the
+// fault-injection overlay (src/fault) the simulator may have applied before
+// the controller observes it. The overlay fields default to "benign": empty
+// vectors mean no node is down and no link is faded, multiplier 1 means the
+// tariffed cost applies unchanged.
 struct SlotInputs {
   std::vector<double> bandwidth_hz;   // W_m(t), indexed by band
   std::vector<double> renewable_j;    // R_i(t) * dt, indexed by node
   std::vector<char> grid_connected;   // omega_i(t), indexed by node
+
+  // Fault overlay. A down node admits, forwards, transmits, receives,
+  // charges and discharges nothing — its queues and battery freeze. A faded
+  // link (row-major tx * n + rx) carries no traffic this slot. The cost
+  // multiplier scales f(P) for the slot (grid price spike).
+  std::vector<char> node_down;   // empty or indexed by node
+  std::vector<char> link_faded;  // empty or num_nodes^2, row-major
+  double cost_multiplier = 1.0;
+
+  bool node_is_down(int node) const {
+    return !node_down.empty() && node_down[node] != 0;
+  }
+  bool link_is_faded(int tx, int rx, int num_nodes) const {
+    return !link_faded.empty() &&
+           link_faded[static_cast<std::size_t>(tx) * num_nodes + rx] != 0;
+  }
+  bool any_node_down() const {
+    for (char d : node_down)
+      if (d) return true;
+    return false;
+  }
 };
 
 // One active alpha_ij^m(t) = 1 with its transmission power and realized
@@ -92,6 +117,11 @@ struct SlotDecision {
   double unserved_energy_j = 0.0;
   // Observability: where this slot's wall-clock time went.
   SlotTimings timing;
+  // Graceful degradation (docs/ROBUSTNESS.md): how many subproblem solvers
+  // fell down the fallback ladder this slot (S1 SequentialFix -> Greedy,
+  // S3 Lp -> Greedy, S4 Lp -> Price), and whether any did.
+  int fallbacks = 0;
+  bool degraded = false;
 
   double routed_packets(int tx, int rx, int session) const {
     for (const auto& r : routes)

@@ -133,12 +133,20 @@ std::vector<std::string> validate_decision(const NetworkState& pre_state,
     fail("energy arity mismatch");
     return out;
   }
-  const std::vector<double> demands =
+  std::vector<double> demands =
       compute_energy_demands(model, decision.schedule);
+  // A down node (fault overlay) consumes nothing — not even its baseline
+  // draw — and must not act at all this slot.
+  for (int i = 0; i < n; ++i)
+    if (inputs.node_is_down(i)) demands[i] = 0.0;
   double p_total = 0.0;
   for (int i = 0; i < n; ++i) {
     const auto& e = decision.energy[i];
     const bool connected = inputs.grid_connected[i] != 0;
+    if (inputs.node_is_down(i) &&
+        (e.grid_draw_j() > tol || e.charge_total_j() > tol ||
+         e.discharge_j > tol || e.serve_renewable_j > tol))
+      fail(str("down node ", i, " took energy action"));
     if (e.connected != connected)
       fail(str("omega mismatch at node ", i));
     for (double v : {e.serve_renewable_j, e.serve_grid_j, e.discharge_j,
@@ -176,9 +184,30 @@ std::vector<std::string> validate_decision(const NetworkState& pre_state,
   }
   if (std::abs(p_total - decision.grid_total_j) > tol)
     fail(str("P(t) mismatch: ", p_total, " vs ", decision.grid_total_j));
-  if (std::abs(model.cost_at(pre_state.slot()).value(p_total) -
+  // The recorded cost is against the slot's effective tariff: the base
+  // tariff scaled by the fault overlay's price-spike multiplier.
+  if (std::abs(model.cost_at(pre_state.slot())
+                   .scaled(inputs.cost_multiplier)
+                   .value(p_total) -
                decision.cost) > tol * (1.0 + decision.cost))
     fail("cost f(P) mismatch");
+
+  // Down nodes must be absent from the schedule, the routes, and the
+  // admission sources.
+  if (inputs.any_node_down()) {
+    for (const auto& sl : decision.schedule)
+      if (inputs.node_is_down(sl.tx) || inputs.node_is_down(sl.rx))
+        fail(str("down node scheduled on ", sl.tx, "->", sl.rx));
+    for (const auto& r : decision.routes)
+      if (inputs.node_is_down(r.tx) || inputs.node_is_down(r.rx))
+        fail(str("down node routed on ", r.tx, "->", r.rx));
+    for (std::size_t s = 0; s < decision.admissions.size(); ++s) {
+      const auto& adm = decision.admissions[s];
+      if (adm.packets > tol && adm.source_bs >= 0 &&
+          inputs.node_is_down(adm.source_bs))
+        fail(str("session ", s, " admitted at down BS ", adm.source_bs));
+    }
+  }
 
   return out;
 }

@@ -20,8 +20,34 @@ void BatteryParams::validate() const {
 }
 
 Battery::Battery(const BatteryParams& params)
-    : params_(params), level_(params.initial_level_j) {
+    : params_(params),
+      original_limits_{params.max_charge_j, params.max_discharge_j},
+      level_(params.initial_level_j) {
   params_.validate();
+}
+
+double Battery::set_capacity_j(double capacity_j) {
+  GC_CHECK(capacity_j >= 0.0);
+  // Keep (13): scale the per-slot limits with the capacity, never above
+  // what the battery was built with.
+  const double limit_sum = original_limits_[0] + original_limits_[1];
+  const double scale =
+      limit_sum > 0.0 ? std::min(1.0, capacity_j / limit_sum) : 0.0;
+  params_.capacity_j = capacity_j;
+  params_.max_charge_j = original_limits_[0] * scale;
+  params_.max_discharge_j = original_limits_[1] * scale;
+  const double before = level_;
+  level_ = std::clamp(level_, 0.0, capacity_j);
+  params_.initial_level_j = std::min(params_.initial_level_j, capacity_j);
+  params_.validate();
+  return before - level_;
+}
+
+void Battery::set_level_j(double level_j) {
+  GC_CHECK_MSG(level_j >= 0.0 && level_j <= params_.capacity_j + kSlack,
+               "battery level " << level_j << " outside [0, "
+                                << params_.capacity_j << "]");
+  level_ = std::clamp(level_j, 0.0, params_.capacity_j);
 }
 
 double Battery::charge_headroom_j() const {

@@ -37,8 +37,20 @@ class Battery {
   // (charge XOR discharge), (11) and (12); throws CheckError on violation.
   void apply(double charge_j, double discharge_j);
 
+  // Capacity fade (fault injection): shrinks x_max to `capacity_j`,
+  // rescaling c_max / d_max proportionally so eq. (13) keeps holding and
+  // clamping the stored level into the new range. Returns the joules lost
+  // to the clamp. Growing capacity back is allowed (repair scenarios) but
+  // the per-slot limits never exceed their construction-time values.
+  double set_capacity_j(double capacity_j);
+
+  // Checkpoint support: reinstate the stored level exactly (must lie in
+  // [0, capacity]).
+  void set_level_j(double level_j);
+
  private:
   BatteryParams params_;
+  double original_limits_[2];  // construction-time {c_max, d_max}
   double level_;
 };
 

@@ -38,6 +38,14 @@ class QuadraticCost {
     return (marginal - b_) / (2.0 * a_);
   }
 
+  // The slot's effective tariff under a price-spike multiplier m >= 0
+  // (fault injection): m * f keeps f's shape class, so every solver that
+  // works on f works on the spiked tariff unchanged.
+  QuadraticCost scaled(double m) const {
+    GC_CHECK_MSG(m >= 0.0, "cost multiplier must be >= 0");
+    return QuadraticCost(a_ * m, b_ * m, c_ * m);
+  }
+
   double a() const { return a_; }
   double b() const { return b_; }
   double c() const { return c_; }

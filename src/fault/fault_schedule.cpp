@@ -1,0 +1,272 @@
+#include "fault/fault_schedule.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace gc::fault {
+
+namespace {
+
+// Fault-injection observability: node-slots spent in each fault state plus
+// aggregate event activity. Bumped by apply_slot_faults as faults land.
+struct FaultMetrics {
+  obs::Counter& events = obs::registry().counter("fault.active_events");
+  obs::Counter& node_down = obs::registry().counter("fault.node_down_slots");
+  obs::Counter& blackout =
+      obs::registry().counter("fault.renewable_blackout_slots");
+  obs::Counter& grid = obs::registry().counter("fault.grid_outage_slots");
+  obs::Counter& link = obs::registry().counter("fault.link_fade_slots");
+  obs::Counter& spike = obs::registry().counter("fault.price_spike_slots");
+  obs::Counter& fade_j = obs::registry().counter("fault.battery_fade_j");
+};
+
+FaultMetrics& metrics() {
+  static FaultMetrics m;
+  return m;
+}
+
+// Stable per-event sub-seed so draws for different events never collide
+// even under the same base seed (SplitMix64's additive constant).
+std::uint64_t event_seed(std::uint64_t seed, std::size_t event_idx) {
+  return seed + 0x9E3779B97F4A7C15ull * (event_idx + 1);
+}
+
+}  // namespace
+
+const char* to_string(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::NodeOutage: return "node_outage";
+    case FaultEvent::Kind::RenewableBlackout: return "renewable_blackout";
+    case FaultEvent::Kind::GridOutage: return "grid_outage";
+    case FaultEvent::Kind::PriceSpike: return "price_spike";
+    case FaultEvent::Kind::BatteryFade: return "battery_fade";
+    case FaultEvent::Kind::LinkFade: return "link_fade";
+  }
+  return "?";
+}
+
+FaultSchedule::FaultSchedule(int num_nodes, std::uint64_t seed)
+    : num_nodes_(num_nodes), seed_(seed) {
+  GC_CHECK(num_nodes >= 1);
+}
+
+void FaultSchedule::add(const FaultEvent& event) {
+  const auto in_range = [&](int node) {
+    return node >= 0 && node < num_nodes_;
+  };
+  GC_CHECK_MSG(event.duration >= 1, "fault window needs duration >= 1");
+  GC_CHECK_MSG(event.start >= 0 ||
+                   (event.probability > 0.0 && event.probability <= 1.0),
+               "fault event needs start >= 0 or probability in (0, 1]");
+  switch (event.kind) {
+    case FaultEvent::Kind::NodeOutage:
+      GC_CHECK_MSG(in_range(event.node), "node_outage needs a valid node");
+      break;
+    case FaultEvent::Kind::RenewableBlackout:
+    case FaultEvent::Kind::GridOutage:
+      GC_CHECK_MSG(event.node == -1 || in_range(event.node),
+                   to_string(event.kind) << " node out of range");
+      break;
+    case FaultEvent::Kind::PriceSpike:
+      GC_CHECK_MSG(event.magnitude >= 0.0,
+                   "price_spike magnitude must be >= 0");
+      break;
+    case FaultEvent::Kind::BatteryFade:
+      GC_CHECK_MSG(in_range(event.node), "battery_fade needs a valid node");
+      GC_CHECK_MSG(event.start >= 0,
+                   "battery_fade is deterministic: needs start >= 0");
+      GC_CHECK_MSG(event.magnitude >= 0.0 && event.magnitude <= 1.0,
+                   "battery_fade magnitude is a capacity fraction in [0, 1]");
+      break;
+    case FaultEvent::Kind::LinkFade:
+      GC_CHECK_MSG(in_range(event.node) && in_range(event.peer) &&
+                       event.node != event.peer,
+                   "link_fade needs valid distinct node and peer");
+      break;
+  }
+  events_.push_back(event);
+}
+
+bool FaultSchedule::window_active(std::size_t event_idx, const FaultEvent& e,
+                                  int t) const {
+  if (e.start >= 0) return t >= e.start && t < e.start + e.duration;
+  // Stochastic: a window started at any u in (t - duration, t] covers t.
+  // Each u's start draw is a pure function of (seed, event, u), so this
+  // scan gives identical answers no matter where the run was resumed.
+  const Rng parent(event_seed(seed_, event_idx));
+  const int first = std::max(0, t - e.duration + 1);
+  for (int u = first; u <= t; ++u) {
+    Rng draw = parent.fork(static_cast<std::uint64_t>(u));
+    if (draw.bernoulli(e.probability)) return true;
+  }
+  return false;
+}
+
+double FaultSchedule::fade_fraction(const FaultEvent& e, int t) const {
+  if (t < e.start) return 1.0;
+  const double progress =
+      std::min(1.0, static_cast<double>(t - e.start + 1) / e.duration);
+  return 1.0 - (1.0 - e.magnitude) * progress;
+}
+
+SlotFaults FaultSchedule::at(int t) const {
+  GC_CHECK(t >= 0);
+  SlotFaults f;
+  const auto ensure = [&](std::vector<char>& v) {
+    if (v.empty()) v.assign(static_cast<std::size_t>(num_nodes_), 0);
+  };
+  const auto mark = [&](std::vector<char>& v, int node) {
+    ensure(v);
+    if (node >= 0) {
+      v[node] = 1;
+    } else {
+      std::fill(v.begin(), v.end(), 1);
+    }
+  };
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (e.kind == FaultEvent::Kind::BatteryFade) {
+      const double frac = fade_fraction(e, t);
+      if (frac >= 1.0) continue;
+      if (f.battery_capacity_fraction.empty())
+        f.battery_capacity_fraction.assign(
+            static_cast<std::size_t>(num_nodes_), 1.0);
+      f.battery_capacity_fraction[e.node] =
+          std::min(f.battery_capacity_fraction[e.node], frac);
+      ++f.active_events;
+      continue;
+    }
+    if (!window_active(i, e, t)) continue;
+    ++f.active_events;
+    switch (e.kind) {
+      case FaultEvent::Kind::NodeOutage:
+        mark(f.node_down, e.node);
+        break;
+      case FaultEvent::Kind::RenewableBlackout:
+        mark(f.renewable_blackout, e.node);
+        break;
+      case FaultEvent::Kind::GridOutage:
+        mark(f.grid_outage, e.node);
+        break;
+      case FaultEvent::Kind::PriceSpike:
+        f.cost_multiplier *= e.magnitude;
+        break;
+      case FaultEvent::Kind::LinkFade:
+        if (f.link_faded.empty())
+          f.link_faded.assign(
+              static_cast<std::size_t>(num_nodes_) * num_nodes_, 0);
+        f.link_faded[static_cast<std::size_t>(e.node) * num_nodes_ + e.peer] =
+            1;
+        break;
+      case FaultEvent::Kind::BatteryFade:
+        break;  // handled above
+    }
+  }
+  return f;
+}
+
+namespace {
+
+FaultEvent::Kind kind_from_string(const std::string& s) {
+  if (s == "node_outage") return FaultEvent::Kind::NodeOutage;
+  if (s == "renewable_blackout") return FaultEvent::Kind::RenewableBlackout;
+  if (s == "grid_outage") return FaultEvent::Kind::GridOutage;
+  if (s == "price_spike") return FaultEvent::Kind::PriceSpike;
+  if (s == "battery_fade") return FaultEvent::Kind::BatteryFade;
+  if (s == "link_fade") return FaultEvent::Kind::LinkFade;
+  GC_CHECK_MSG(false, "unknown fault kind \"" << s << "\"");
+  return FaultEvent::Kind::NodeOutage;  // unreachable
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::from_json(const std::string& json_text,
+                                       int num_nodes) {
+  const obs::JsonValue root = obs::json_parse(json_text);
+  GC_CHECK_MSG(root.is_object(), "fault spec must be a JSON object");
+  const auto seed =
+      static_cast<std::uint64_t>(root.number_or("seed", 0.0));
+  FaultSchedule schedule(num_nodes, seed);
+  if (!root.has("events")) return schedule;
+  for (const obs::JsonValue& ev : root.at("events").as_array()) {
+    GC_CHECK_MSG(ev.is_object(), "fault event must be a JSON object");
+    // Reject unknown keys so typos fail loudly instead of silently
+    // disarming a fault.
+    for (const auto& [key, value] : ev.as_object()) {
+      (void)value;
+      GC_CHECK_MSG(key == "kind" || key == "node" || key == "peer" ||
+                       key == "start" || key == "duration" ||
+                       key == "probability" || key == "magnitude",
+                   "unknown fault event field \"" << key << "\"");
+    }
+    FaultEvent e;
+    e.kind = kind_from_string(ev.at("kind").as_string());
+    e.node = static_cast<int>(ev.number_or("node", -1.0));
+    e.peer = static_cast<int>(ev.number_or("peer", -1.0));
+    e.start = static_cast<int>(ev.number_or("start", -1.0));
+    e.duration = static_cast<int>(ev.number_or("duration", 1.0));
+    e.probability = ev.number_or("probability", 0.0);
+    e.magnitude = ev.number_or("magnitude", 1.0);
+    schedule.add(e);
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::from_json_file(const std::string& path,
+                                            int num_nodes) {
+  std::ifstream in(path);
+  GC_CHECK_MSG(in.good(), "cannot open fault spec " << path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(text.str(), num_nodes);
+}
+
+void apply_slot_faults(const SlotFaults& faults, core::SlotInputs& inputs,
+                       core::NetworkState& state) {
+  if (!faults.any()) return;
+  FaultMetrics& m = metrics();
+  m.events.add(faults.active_events);
+  if (!faults.node_down.empty()) {
+    inputs.node_down = faults.node_down;
+    for (char d : faults.node_down)
+      if (d) m.node_down.add();
+  }
+  if (!faults.renewable_blackout.empty()) {
+    for (std::size_t i = 0; i < faults.renewable_blackout.size(); ++i)
+      if (faults.renewable_blackout[i]) {
+        inputs.renewable_j[i] = 0.0;
+        m.blackout.add();
+      }
+  }
+  if (!faults.grid_outage.empty()) {
+    for (std::size_t i = 0; i < faults.grid_outage.size(); ++i)
+      if (faults.grid_outage[i]) {
+        inputs.grid_connected[i] = 0;
+        m.grid.add();
+      }
+  }
+  if (!faults.link_faded.empty()) {
+    inputs.link_faded = faults.link_faded;
+    for (char l : faults.link_faded)
+      if (l) m.link.add();
+  }
+  if (faults.cost_multiplier != 1.0) {
+    inputs.cost_multiplier *= faults.cost_multiplier;
+    m.spike.add();
+  }
+  if (!faults.battery_capacity_fraction.empty()) {
+    const auto& model = state.model();
+    for (int i = 0; i < model.num_nodes(); ++i) {
+      const double target =
+          model.node(i).battery.capacity_j * faults.battery_capacity_fraction[i];
+      if (state.battery_capacity_j(i) == target) continue;
+      m.fade_j.add(state.set_battery_capacity_j(i, target));
+    }
+  }
+}
+
+}  // namespace gc::fault

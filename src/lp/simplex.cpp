@@ -1,6 +1,7 @@
 #include "lp/simplex.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 
@@ -23,6 +24,11 @@ struct SimplexMetrics {
   obs::Counter& refactorizations =
       obs::registry().counter("lp.refactorizations");
   obs::Counter& bland_switches = obs::registry().counter("lp.bland_switches");
+  // Watchdog trips: solves ended by the wall-clock budget or by NaN /
+  // infinity detection instead of a clean status.
+  obs::Counter& time_limits = obs::registry().counter("lp.time_limits");
+  obs::Counter& numerical_errors =
+      obs::registry().counter("lp.numerical_errors");
   obs::Histogram& solve_seconds =
       obs::registry().histogram("lp.solve_seconds");
 };
@@ -40,6 +46,8 @@ const char* to_string(Status s) {
     case Status::Infeasible: return "Infeasible";
     case Status::Unbounded: return "Unbounded";
     case Status::IterationLimit: return "IterationLimit";
+    case Status::TimeLimit: return "TimeLimit";
+    case Status::NumericalError: return "NumericalError";
   }
   return "?";
 }
@@ -84,6 +92,17 @@ class Simplex {
   std::vector<double> xb_;  // value of basis_[i]
   std::vector<double> dscratch_;
   int first_artificial_ = 0;
+  // Wall-clock watchdog (Options::max_seconds); invalid when unlimited.
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+
+  // NaN / infinity anywhere in the basic values: the tableau degenerated
+  // and no further pivot can be trusted.
+  bool values_corrupt() const {
+    for (double v : xb_)
+      if (!std::isfinite(v)) return true;
+    return false;
+  }
 
   double& T(int i, int j) {
     return tab_[static_cast<std::size_t>(i) * width_ + j];
@@ -243,10 +262,20 @@ Status Simplex::iterate(int* iter_budget) {
   int stall = 0;
   double best_obj = current_cost();
   int since_refresh = 0;
+  int since_watchdog = 0;
   constexpr double kTie = 1e-10;
 
   while (true) {
     if (*iter_budget <= 0) return Status::IterationLimit;
+    // Watchdog: deadline and NaN screens every few pivots, cheap enough to
+    // be negligible yet tight enough that a pathological solve cannot hold
+    // the controller's slot hostage.
+    if (++since_watchdog >= 32) {
+      since_watchdog = 0;
+      if (has_deadline_ && std::chrono::steady_clock::now() > deadline_)
+        return Status::TimeLimit;
+      if (values_corrupt()) return Status::NumericalError;
+    }
     const int e = price(bland);
     if (e < 0) return Status::Optimal;
     --*iter_budget;
@@ -338,6 +367,12 @@ Status Simplex::iterate(int* iter_budget) {
 Solution Simplex::run() {
   Solution sol;
   int budget = opt_.max_iterations;
+  if (opt_.max_seconds > 0.0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(opt_.max_seconds));
+  }
 
   // Phase I: minimize the sum of artificials.
   for (int j = 0; j < ntot_; ++j) cost_[j] = 0.0;
@@ -347,7 +382,10 @@ Solution Simplex::run() {
   const double infeas = current_cost();
   sol.infeasibility = infeas;
   sol.iterations = opt_.max_iterations - budget;
-  if (st == Status::IterationLimit) {
+  if (!std::isfinite(infeas) || values_corrupt())
+    st = Status::NumericalError;
+  if (st == Status::IterationLimit || st == Status::TimeLimit ||
+      st == Status::NumericalError) {
     sol.status = st;
     return sol;
   }
@@ -368,6 +406,7 @@ Solution Simplex::run() {
   st = iterate(&budget);
   recompute_basic_values();
   sol.iterations = opt_.max_iterations - budget;
+  if (values_corrupt()) st = Status::NumericalError;
   sol.status = st;
 
   sol.x.assign(nstruct_, 0.0);
@@ -394,6 +433,8 @@ Solution solve(const Model& model, const Options& options) {
   Solution sol = s.run();
   m.solves.add();
   m.iterations.add(sol.iterations);
+  if (sol.status == Status::TimeLimit) m.time_limits.add();
+  if (sol.status == Status::NumericalError) m.numerical_errors.add();
   return sol;
 }
 

@@ -23,12 +23,26 @@
 
 namespace gc::lp {
 
-enum class Status { Optimal, Infeasible, Unbounded, IterationLimit };
+enum class Status {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  // Watchdog outcomes (fault tolerance; see docs/ROBUSTNESS.md): the solve
+  // exceeded its wall-clock budget, or the tableau degenerated into NaN /
+  // infinity. Callers treat both like IterationLimit: no usable solution.
+  TimeLimit,
+  NumericalError,
+};
 
 const char* to_string(Status s);
 
 struct Options {
   int max_iterations = 200000;
+  // Wall-clock budget per solve in seconds; 0 (the default) = unlimited.
+  // Checked every few pivots, so the overshoot is bounded by a handful of
+  // iterations. Exceeding it returns Status::TimeLimit.
+  double max_seconds = 0.0;
   // Feasibility tolerance on bounds / rows (absolute, relative to the
   // problem's magnitude which callers keep O(1)..O(1e6)).
   double feas_tol = 1e-7;

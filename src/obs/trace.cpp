@@ -59,6 +59,10 @@ void TraceSink::write(const TraceRecord& r) {
   append_field(s, "shortfall", r.shortfall_packets);
   append_field(s, "links", r.scheduled_links);
   append_field(s, "routed", r.routed_packets);
+  s += "},\"robust\":{";
+  append_field(s, "fallbacks", r.fallbacks, /*first=*/true);
+  append_field(s, "degraded", r.degraded ? 1.0 : 0.0);
+  append_field(s, "faults", r.fault_events);
   s += "},\"top_backlog\":[";
   for (std::size_t i = 0; i < r.top_backlog.size(); ++i) {
     if (i) s += ',';

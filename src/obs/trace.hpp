@@ -10,6 +10,7 @@
 //    "energy":{"grid_j":..,"cost":..,"curtailed_j":..,"unserved_j":..},
 //    "decisions":{"admitted":..,"delivered":..,"shortfall":..,
 //                 "links":..,"routed":..},
+//    "robust":{"fallbacks":..,"degraded":..,"faults":..},
 //    "top_backlog":[{"node":3,"packets":41.0}, ...]}   // k worst nodes
 //
 // The sink is deliberately independent of core/ types so it can live below
@@ -38,6 +39,12 @@ struct TraceRecord {
   double admitted_packets = 0.0, delivered_packets = 0.0;
   double shortfall_packets = 0.0, routed_packets = 0.0;
   int scheduled_links = 0;
+  // Robustness (docs/ROBUSTNESS.md): solver fallback-ladder drops this
+  // slot, whether any fired, and how many fault-injection events the slot
+  // carried. Serialized as a "robust" group.
+  int fallbacks = 0;
+  bool degraded = false;
+  int fault_events = 0;
   // The k nodes carrying the largest total data backlog, worst first.
   std::vector<std::pair<int, double>> top_backlog;  // (node, packets)
 };

@@ -1,0 +1,319 @@
+#include "sim/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace gc::sim {
+
+namespace {
+
+// Fixed-width little-endian primitives. Doubles travel as their IEEE-754
+// bit patterns, so the round trip is bit-exact.
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void put_i64(std::ostream& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::ostream& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_vec(std::ostream& out, const std::vector<double>& v) {
+  put_u64(out, v.size());
+  for (double x : v) put_f64(out, x);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  char b[8];
+  in.read(b, 8);
+  GC_CHECK_MSG(in.good(), "checkpoint truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  char b[4];
+  in.read(b, 4);
+  GC_CHECK_MSG(in.good(), "checkpoint truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return v;
+}
+
+std::int64_t get_i64(std::istream& in) {
+  return static_cast<std::int64_t>(get_u64(in));
+}
+
+double get_f64(std::istream& in) {
+  return std::bit_cast<double>(get_u64(in));
+}
+
+std::vector<double> get_vec(std::istream& in) {
+  const std::uint64_t size = get_u64(in);
+  GC_CHECK_MSG(size <= (1ull << 32), "checkpoint vector size implausible");
+  std::vector<double> v(static_cast<std::size_t>(size));
+  for (auto& x : v) x = get_f64(in);
+  return v;
+}
+
+void put_rng(std::ostream& out, const RngState& r) {
+  for (std::uint64_t s : r.s) put_u64(out, s);
+  put_u64(out, r.seed);
+}
+
+RngState get_rng(std::istream& in) {
+  RngState r;
+  for (auto& s : r.s) s = get_u64(in);
+  r.seed = get_u64(in);
+  return r;
+}
+
+void put_tracker(std::ostream& out, const StabilityTracker& t) {
+  put_f64(out, t.abs_sum());
+  put_f64(out, t.sup_partial_average());
+  put_vec(out, t.partial_averages());
+}
+
+void get_tracker(std::istream& in, StabilityTracker& t) {
+  const double abs_sum = get_f64(in);
+  const double sup = get_f64(in);
+  t.restore(abs_sum, sup, get_vec(in));
+}
+
+}  // namespace
+
+Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
+                           const core::LyapunovController& controller,
+                           const Metrics& metrics,
+                           const RandomWaypoint* mobility,
+                           const net::Topology* topology) {
+  GC_CHECK(next_slot >= 0);
+  GC_CHECK((mobility == nullptr) == (topology == nullptr));
+  const core::NetworkState& state = controller.state();
+  const core::NetworkModel& model = state.model();
+  const int n = model.num_nodes();
+  const int S = model.num_sessions();
+
+  Checkpoint c;
+  c.next_slot = next_slot;
+  c.input_rng = input_rng.state();
+  c.last_grid_j = controller.last_grid_j();
+  c.q.reserve(static_cast<std::size_t>(n) * S);
+  for (int i = 0; i < n; ++i)
+    for (int s = 0; s < S; ++s) c.q.push_back(state.q(i, s));
+  c.gq.reserve(static_cast<std::size_t>(n) * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      c.gq.push_back(i == j ? 0.0 : state.g_queue(i, j));
+  c.battery_capacity_j.reserve(static_cast<std::size_t>(n));
+  c.battery_level_j.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    c.battery_capacity_j.push_back(state.battery_capacity_j(i));
+    c.battery_level_j.push_back(state.battery_j(i));
+  }
+  c.metrics = metrics;
+  if (mobility != nullptr) {
+    c.has_mobility = true;
+    c.mobility = mobility->snapshot();
+    const int first_user = topology->num_base_stations();
+    for (int u = 0; u < topology->num_users(); ++u)
+      c.user_positions.push_back(topology->position(first_user + u));
+  }
+  return c;
+}
+
+void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
+                        core::LyapunovController& controller,
+                        Metrics& metrics, RandomWaypoint* mobility,
+                        net::Topology* topology) {
+  core::NetworkState& state = controller.mutable_state();
+  const core::NetworkModel& model = state.model();
+  const int n = model.num_nodes();
+  const int S = model.num_sessions();
+  GC_CHECK_MSG(
+      static_cast<int>(checkpoint.q.size()) == n * S &&
+          static_cast<int>(checkpoint.gq.size()) == n * n &&
+          static_cast<int>(checkpoint.battery_capacity_j.size()) == n &&
+          static_cast<int>(checkpoint.battery_level_j.size()) == n,
+      "checkpoint does not match the model (node/session arity)");
+  GC_CHECK_MSG(checkpoint.has_mobility == (mobility != nullptr),
+               "checkpoint mobility presence does not match the run");
+
+  input_rng.set_state(checkpoint.input_rng);
+  controller.set_last_grid_j(checkpoint.last_grid_j);
+  state.set_slot(checkpoint.next_slot);
+  for (int i = 0; i < n; ++i)
+    for (int s = 0; s < S; ++s)
+      state.set_q(i, s, checkpoint.q[static_cast<std::size_t>(i) * S + s]);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      state.set_g_queue(i, j,
+                        checkpoint.gq[static_cast<std::size_t>(i) * n + j]);
+    }
+  for (int i = 0; i < n; ++i) {
+    state.set_battery_capacity_j(i, checkpoint.battery_capacity_j[i]);
+    state.restore_battery_level_j(i, checkpoint.battery_level_j[i]);
+  }
+  metrics = checkpoint.metrics;
+  if (mobility != nullptr) {
+    GC_CHECK(topology != nullptr);
+    mobility->restore(checkpoint.mobility);
+    const int first_user = topology->num_base_stations();
+    GC_CHECK_MSG(static_cast<int>(checkpoint.user_positions.size()) ==
+                     topology->num_users(),
+                 "checkpoint user-position arity mismatch");
+    for (int u = 0; u < topology->num_users(); ++u)
+      topology->set_position(first_user + u, checkpoint.user_positions[u]);
+  }
+}
+
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    GC_CHECK_MSG(out.good(), "cannot open checkpoint file " << tmp);
+    out.write(kCheckpointMagic, 8);
+    put_u32(out, kCheckpointVersion);
+    put_i64(out, checkpoint.next_slot);
+    put_rng(out, checkpoint.input_rng);
+    put_f64(out, checkpoint.last_grid_j);
+    put_vec(out, checkpoint.q);
+    put_vec(out, checkpoint.gq);
+    put_vec(out, checkpoint.battery_capacity_j);
+    put_vec(out, checkpoint.battery_level_j);
+
+    const Metrics& m = checkpoint.metrics;
+    put_vec(out, m.cost);
+    put_vec(out, m.grid_j);
+    put_vec(out, m.q_bs);
+    put_vec(out, m.q_users);
+    put_vec(out, m.battery_bs_j);
+    put_vec(out, m.battery_users_j);
+    put_f64(out, m.cost_avg.sum());
+    put_i64(out, m.cost_avg.slots());
+    put_tracker(out, m.q_total_stability);
+    put_tracker(out, m.h_total_stability);
+    put_f64(out, m.total_demand_shortfall);
+    put_f64(out, m.total_unserved_energy_j);
+    put_f64(out, m.total_curtailed_j);
+    put_f64(out, m.total_delivered_packets);
+    put_f64(out, m.total_admitted_packets);
+    put_i64(out, m.slots);
+    put_f64(out, m.timing.s1_s);
+    put_f64(out, m.timing.s2_s);
+    put_f64(out, m.timing.s3_s);
+    put_f64(out, m.timing.s4_s);
+    put_f64(out, m.timing.step_s);
+
+    put_u32(out, checkpoint.has_mobility ? 1 : 0);
+    if (checkpoint.has_mobility) {
+      put_u64(out, checkpoint.mobility.targets.size());
+      for (const auto& t : checkpoint.mobility.targets) {
+        put_f64(out, t.x);
+        put_f64(out, t.y);
+      }
+      put_vec(out, checkpoint.mobility.speeds_mps);
+      put_rng(out, checkpoint.mobility.rng);
+      put_u64(out, checkpoint.user_positions.size());
+      for (const auto& p : checkpoint.user_positions) {
+        put_f64(out, p.x);
+        put_f64(out, p.y);
+      }
+    }
+    out.flush();
+    GC_CHECK_MSG(out.good(), "checkpoint write failed on " << tmp);
+  }
+  GC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot move checkpoint into place at " << path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GC_CHECK_MSG(in.good(), "cannot open checkpoint " << path);
+  char magic[8];
+  in.read(magic, 8);
+  GC_CHECK_MSG(in.good() && std::memcmp(magic, kCheckpointMagic, 8) == 0,
+               "bad checkpoint magic in " << path);
+  const std::uint32_t version = get_u32(in);
+  GC_CHECK_MSG(version == kCheckpointVersion,
+               "unsupported checkpoint version " << version << " in "
+                                                 << path);
+  Checkpoint c;
+  c.next_slot = static_cast<int>(get_i64(in));
+  c.input_rng = get_rng(in);
+  c.last_grid_j = get_f64(in);
+  c.q = get_vec(in);
+  c.gq = get_vec(in);
+  c.battery_capacity_j = get_vec(in);
+  c.battery_level_j = get_vec(in);
+
+  Metrics& m = c.metrics;
+  m.cost = get_vec(in);
+  m.grid_j = get_vec(in);
+  m.q_bs = get_vec(in);
+  m.q_users = get_vec(in);
+  m.battery_bs_j = get_vec(in);
+  m.battery_users_j = get_vec(in);
+  const double cost_sum = get_f64(in);
+  const std::int64_t cost_slots = get_i64(in);
+  m.cost_avg.restore(cost_sum, cost_slots);
+  get_tracker(in, m.q_total_stability);
+  get_tracker(in, m.h_total_stability);
+  m.total_demand_shortfall = get_f64(in);
+  m.total_unserved_energy_j = get_f64(in);
+  m.total_curtailed_j = get_f64(in);
+  m.total_delivered_packets = get_f64(in);
+  m.total_admitted_packets = get_f64(in);
+  m.slots = static_cast<int>(get_i64(in));
+  m.timing.s1_s = get_f64(in);
+  m.timing.s2_s = get_f64(in);
+  m.timing.s3_s = get_f64(in);
+  m.timing.s4_s = get_f64(in);
+  m.timing.step_s = get_f64(in);
+
+  c.has_mobility = get_u32(in) != 0;
+  if (c.has_mobility) {
+    const std::uint64_t users = get_u64(in);
+    GC_CHECK_MSG(users <= (1ull << 24), "checkpoint user count implausible");
+    c.mobility.targets.resize(static_cast<std::size_t>(users));
+    for (auto& t : c.mobility.targets) {
+      t.x = get_f64(in);
+      t.y = get_f64(in);
+    }
+    c.mobility.speeds_mps = get_vec(in);
+    c.mobility.rng = get_rng(in);
+    const std::uint64_t positions = get_u64(in);
+    GC_CHECK_MSG(positions == users,
+                 "checkpoint mobility/position arity mismatch");
+    c.user_positions.resize(static_cast<std::size_t>(positions));
+    for (auto& p : c.user_positions) {
+      p.x = get_f64(in);
+      p.y = get_f64(in);
+    }
+  }
+  // The format is fully self-describing; trailing bytes mean corruption.
+  in.peek();
+  GC_CHECK_MSG(in.eof(), "trailing bytes after checkpoint in " << path);
+  return c;
+}
+
+}  // namespace gc::sim

@@ -1,0 +1,81 @@
+// Checkpoint/resume for crash-proof long runs (docs/ROBUSTNESS.md).
+//
+// A checkpoint captures everything the simulation loop conditions on:
+//  * the next slot index to execute,
+//  * the input RNG stream position (sample_inputs is a pure function of
+//    (slot, seed) via Rng::fork, but the full state is saved so future
+//    samplers that advance the stream stay correct),
+//  * the controller's NetworkState (queues, virtual queues, per-battery
+//    capacity + level — capacity matters under battery-fade faults) and its
+//    P(t-1) memory,
+//  * the accumulated Metrics (series, averages, stability trackers, totals;
+//    wall-clock timing is carried along but is inherently nondeterministic),
+//  * optionally the mobility walker (trips + RNG) and the user positions.
+//
+// Serialization is a versioned binary format: the 8-byte magic "GCCKPT01"
+// followed by a u32 format version (currently 1) and fixed-width
+// little-endian fields (doubles as their IEEE-754 bit patterns, so the
+// round trip is bit-exact). save_checkpoint writes to a temp file and
+// renames it into place, so a crash mid-write never corrupts the previous
+// checkpoint. A resumed run reproduces the uninterrupted run's Metrics
+// series bit-identically (timing excluded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "net/topology.hpp"
+#include "sim/mobility.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace gc::sim {
+
+inline constexpr char kCheckpointMagic[9] = "GCCKPT01";
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+struct Checkpoint {
+  int next_slot = 0;  // first slot the resumed run executes
+  RngState input_rng;
+  double last_grid_j = 0.0;  // controller's P(t-1) memory
+
+  // NetworkState.
+  std::vector<double> q;                   // N x S row-major
+  std::vector<double> gq;                  // N x N row-major
+  std::vector<double> battery_capacity_j;  // N (differs from the model's
+                                           // pristine value under fade)
+  std::vector<double> battery_level_j;     // N
+
+  // Accumulated run metrics.
+  Metrics metrics;
+
+  // Mobility (absent for static runs).
+  bool has_mobility = false;
+  RandomWaypoint::Snapshot mobility;
+  std::vector<net::Vec2> user_positions;
+};
+
+// Captures the full loop state after slot `next_slot - 1` completed.
+Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
+                           const core::LyapunovController& controller,
+                           const Metrics& metrics,
+                           const RandomWaypoint* mobility,
+                           const net::Topology* topology);
+
+// Reinstates a checkpoint into live objects. The controller must be built
+// on the same model/scenario the checkpoint came from (arity-checked).
+// Pass mobility/topology iff the checkpoint has mobility state.
+void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
+                        core::LyapunovController& controller,
+                        Metrics& metrics, RandomWaypoint* mobility,
+                        net::Topology* topology);
+
+// Binary IO. save_checkpoint is atomic (temp file + rename);
+// load_checkpoint throws gc::CheckError on a missing file, bad magic,
+// unsupported version, or truncation.
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
+Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace gc::sim

@@ -21,6 +21,29 @@ void RandomWaypoint::new_trip(Trip& trip) {
   trip.speed_mps = rng_.uniform(config_.speed_mps_lo, config_.speed_mps_hi);
 }
 
+RandomWaypoint::Snapshot RandomWaypoint::snapshot() const {
+  Snapshot snap;
+  snap.targets.reserve(trips_.size());
+  snap.speeds_mps.reserve(trips_.size());
+  for (const auto& trip : trips_) {
+    snap.targets.push_back(trip.target);
+    snap.speeds_mps.push_back(trip.speed_mps);
+  }
+  snap.rng = rng_.state();
+  return snap;
+}
+
+void RandomWaypoint::restore(const Snapshot& snapshot) {
+  GC_CHECK_MSG(snapshot.targets.size() == trips_.size() &&
+                   snapshot.speeds_mps.size() == trips_.size(),
+               "mobility snapshot arity mismatch");
+  for (std::size_t u = 0; u < trips_.size(); ++u) {
+    trips_[u].target = snapshot.targets[u];
+    trips_[u].speed_mps = snapshot.speeds_mps[u];
+  }
+  rng_.set_state(snapshot.rng);
+}
+
 void RandomWaypoint::advance(double dt, net::Topology& topology) {
   GC_CHECK(dt > 0.0);
   GC_CHECK(topology.num_base_stations() == first_user_);

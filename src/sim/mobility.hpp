@@ -49,6 +49,17 @@ class RandomWaypoint {
     return trips_[user_index].speed_mps;
   }
 
+  // Checkpoint support (sim/checkpoint.hpp): the walker's full dynamic
+  // state — trips in flight plus the RNG position. User positions live in
+  // the Topology and are checkpointed separately.
+  struct Snapshot {
+    std::vector<net::Vec2> targets;
+    std::vector<double> speeds_mps;
+    RngState rng;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snapshot);
+
  private:
   struct Trip {
     net::Vec2 target;

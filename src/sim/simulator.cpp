@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "core/validate.hpp"
+#include "fault/fault_schedule.hpp"
 #include "obs/trace.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace gc::sim {
 
@@ -63,9 +65,13 @@ std::vector<std::pair<int, double>> top_backlog_nodes(
 
 void trace_slot(obs::TraceSink& sink, int t, const core::NetworkModel& model,
                 const core::NetworkState& state,
-                const core::SlotDecision& decision, int top_k) {
+                const core::SlotDecision& decision, int fault_events,
+                int top_k) {
   obs::TraceRecord r;
   r.slot = t;
+  r.fallbacks = decision.fallbacks;
+  r.degraded = decision.degraded;
+  r.fault_events = fault_events;
   r.s1_s = decision.timing.s1_s;
   r.s2_s = decision.timing.s2_s;
   r.s3_s = decision.timing.s3_s;
@@ -99,16 +105,44 @@ Metrics run_loop(const core::NetworkModel& model,
   GC_CHECK(slots >= 0);
   Metrics m;
   Rng input_rng(options.input_seed);
+  int start_slot = 0;
+  if (!options.resume_path.empty()) {
+    const Checkpoint checkpoint = load_checkpoint(options.resume_path);
+    restore_checkpoint(checkpoint, input_rng, controller, m, mobility,
+                       topology);
+    start_slot = checkpoint.next_slot;
+    GC_CHECK_MSG(start_slot <= slots,
+                 "checkpoint at slot " << start_slot
+                                       << " is beyond the horizon " << slots);
+  }
+  // Graceful degradation (docs/ROBUSTNESS.md): in validate mode every
+  // anomaly must abort loudly; otherwise the state layer repairs NaN /
+  // negative values with counters so long unattended runs survive them.
+  controller.mutable_state().set_sanitize(!options.validate);
   std::unique_ptr<obs::TraceSink> trace;
   if (!options.trace_path.empty())
     trace = std::make_unique<obs::TraceSink>(options.trace_path);
+  const bool have_faults =
+      options.faults != nullptr && !options.faults->empty();
+  const auto checkpoint_now = [&](int next_slot) {
+    save_checkpoint(make_checkpoint(next_slot, input_rng, controller, m,
+                                    mobility, topology),
+                    options.checkpoint_path);
+  };
 
-  for (int t = 0; t < slots; ++t) {
+  for (int t = start_slot; t < slots; ++t) {
     if (mobility && t > 0)
       mobility->advance(model.slot_seconds(), *topology);
-    const core::SlotInputs inputs = model.sample_inputs(t, input_rng);
+    core::SlotInputs inputs = model.sample_inputs(t, input_rng);
+    int fault_events = 0;
+    if (have_faults) {
+      const fault::SlotFaults faults = options.faults->at(t);
+      fault_events = faults.active_events;
+      fault::apply_slot_faults(faults, inputs, controller.mutable_state());
+    }
     if (options.validate) {
-      // validate_decision needs the pre-decision state; copy it first.
+      // validate_decision needs the pre-decision state; copy it after the
+      // slot's faults (battery fade) have been imposed.
       const core::NetworkState pre = controller.state();
       const core::SlotDecision decision = controller.step(inputs);
       const auto violations = core::validate_decision(pre, inputs, decision);
@@ -121,15 +155,19 @@ Metrics run_loop(const core::NetworkModel& model,
       record(m, model, controller.state(), decision);
       if (trace)
         trace_slot(*trace, t, model, controller.state(), decision,
-                   options.trace_top_k);
+                   fault_events, options.trace_top_k);
     } else {
       const core::SlotDecision decision = controller.step(inputs);
       record(m, model, controller.state(), decision);
       if (trace)
         trace_slot(*trace, t, model, controller.state(), decision,
-                   options.trace_top_k);
+                   fault_events, options.trace_top_k);
     }
+    if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
+        (t + 1) % options.checkpoint_every == 0 && t + 1 < slots)
+      checkpoint_now(t + 1);
   }
+  if (!options.checkpoint_path.empty()) checkpoint_now(slots);
   return m;
 }
 

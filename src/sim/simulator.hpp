@@ -10,6 +10,10 @@
 #include "sim/mobility.hpp"
 #include "util/stats.hpp"
 
+namespace gc::fault {
+class FaultSchedule;
+}
+
 namespace gc::sim {
 
 struct Metrics {
@@ -62,6 +66,22 @@ struct SimOptions {
   std::string trace_path;
   // How many worst-backlog nodes each trace record drills into.
   int trace_top_k = 3;
+
+  // Fault injection (src/fault, docs/ROBUSTNESS.md): evaluated per slot
+  // and imposed on the sampled inputs / battery capacities before the
+  // controller observes them. Not owned; may be null.
+  const fault::FaultSchedule* faults = nullptr;
+
+  // Checkpoint/resume (sim/checkpoint.hpp). When checkpoint_path is set, a
+  // checkpoint is written after every `checkpoint_every` completed slots
+  // (0 = only at the end of the run; a final checkpoint is always
+  // written). When resume_path is set, the run restores that checkpoint
+  // and continues from its slot; the resulting Metrics are bit-identical
+  // to an uninterrupted run's (wall-clock timing excluded). A trace file,
+  // if requested, only covers the resumed portion.
+  std::string checkpoint_path;
+  int checkpoint_every = 0;
+  std::string resume_path;
 };
 
 // Runs `controller` for `slots` slots against freshly sampled inputs.

@@ -29,6 +29,20 @@ void Rng::reseed(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.seed = seed_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  GC_CHECK_MSG((state.s[0] | state.s[1] | state.s[2] | state.s[3]) != 0,
+               "all-zero xoshiro state is invalid");
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  seed_ = state.seed;
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;

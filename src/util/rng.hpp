@@ -15,12 +15,23 @@
 
 namespace gc {
 
+// The full internal state of an Rng, exposed so long runs can be
+// checkpointed and resumed bit-identically (sim/checkpoint.hpp).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  std::uint64_t seed = 0;  // fork() derives children from this
+};
+
 // A single xoshiro256++ stream.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) { reseed(seed); }
 
   void reseed(std::uint64_t seed);
+
+  // Checkpoint support: capture / restore the exact generator position.
+  RngState state() const;
+  void set_state(const RngState& state);
 
   // Raw 64 random bits.
   std::uint64_t next_u64();

@@ -20,7 +20,16 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
+void StabilityTracker::restore(double abs_sum, double sup,
+                               std::vector<double> partial) {
+  GC_CHECK(abs_sum >= 0.0 && sup >= 0.0);
+  abs_sum_ = abs_sum;
+  sup_ = sup;
+  partial_ = std::move(partial);
+}
+
 void StabilityTracker::add(double value) {
+  GC_CHECK_MSG(!std::isnan(value), "StabilityTracker::add rejects NaN");
   abs_sum_ += std::abs(value);
   const double avg = abs_sum_ / static_cast<double>(partial_.size() + 1);
   partial_.push_back(avg);

@@ -45,12 +45,20 @@ class RunningStat {
 class TimeAverage {
  public:
   void add(double x) {
+    GC_CHECK_MSG(x == x, "TimeAverage::add rejects NaN");
     sum_ += x;
     ++t_;
   }
   std::int64_t slots() const { return t_; }
   double average() const { return t_ > 0 ? sum_ / static_cast<double>(t_) : 0.0; }
   double sum() const { return sum_; }
+
+  // Checkpoint support: reinstate the accumulator exactly.
+  void restore(double sum, std::int64_t slots) {
+    GC_CHECK(slots >= 0);
+    sum_ = sum;
+    t_ = slots;
+  }
 
  private:
   double sum_ = 0.0;
@@ -78,6 +86,11 @@ class StabilityTracker {
   // Least-squares slope of the partial-average sequence over the last half
   // of the horizon; near zero for stable processes, positive for unstable.
   double tail_growth_rate() const;
+
+  // Checkpoint support: the raw accumulators, and exact reinstatement.
+  double abs_sum() const { return abs_sum_; }
+  const std::vector<double>& partial_averages() const { return partial_; }
+  void restore(double abs_sum, double sup, std::vector<double> partial);
 
  private:
   double abs_sum_ = 0.0;

@@ -1,0 +1,205 @@
+// Checkpoint/resume (sim/checkpoint.hpp, docs/ROBUSTNESS.md): a run killed
+// after a checkpoint and resumed in a fresh process-equivalent (new model,
+// new controller, new RNG) must reproduce the uninterrupted run's Metrics
+// series bit-identically.
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/controller.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+#include "metrics_testutil.hpp"
+
+namespace gc::sim {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return testing::TempDir() + "gc_checkpoint_test_" + name;
+}
+
+TEST(Checkpoint, SaveLoadRoundTripsBitExactly) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  Metrics m = run_simulation(model, controller, 20, opts);
+  Rng rng(opts.input_seed);
+
+  const Checkpoint a =
+      make_checkpoint(20, rng, controller, m, nullptr, nullptr);
+  const std::string path = tmp_path("roundtrip.ckpt");
+  save_checkpoint(a, path);
+  const Checkpoint b = load_checkpoint(path);
+
+  EXPECT_EQ(b.next_slot, a.next_slot);
+  EXPECT_EQ(bits(b.last_grid_j), bits(a.last_grid_j));
+  expect_series_bit_identical(b.q, a.q, "q");
+  expect_series_bit_identical(b.gq, a.gq, "gq");
+  expect_series_bit_identical(b.battery_capacity_j, a.battery_capacity_j,
+                              "battery_capacity_j");
+  expect_series_bit_identical(b.battery_level_j, a.battery_level_j,
+                              "battery_level_j");
+  EXPECT_FALSE(b.has_mobility);
+  expect_metrics_bit_identical(b.metrics, a.metrics);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, KillAndResumeStaticRunIsBitIdentical) {
+  const auto cfg = ScenarioConfig::tiny();
+  const int horizon = 100, kill_at = 40;
+  const std::string ckpt = tmp_path("static.ckpt");
+
+  // Reference: one uninterrupted run.
+  const auto ref_model = cfg.build();
+  core::LyapunovController ref_ctrl(ref_model, 3.0,
+                                    cfg.controller_options());
+  const Metrics ref = run_simulation(ref_model, ref_ctrl, horizon, {});
+
+  // "Crashed" run: stops after kill_at slots, leaving its final checkpoint.
+  {
+    const auto model = cfg.build();
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    SimOptions opts;
+    opts.checkpoint_path = ckpt;
+    run_simulation(model, ctrl, kill_at, opts);
+  }
+
+  // Resume in a fresh model/controller, as a restarted process would.
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  opts.resume_path = ckpt;
+  const Metrics resumed = run_simulation(model, ctrl, horizon, opts);
+
+  expect_metrics_bit_identical(resumed, ref);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, KillAndResumeMobileRunIsBitIdentical) {
+  const auto cfg = ScenarioConfig::tiny();
+  const int horizon = 80, kill_at = 33;  // not a multiple of anything
+  const std::string ckpt = tmp_path("mobile.ckpt");
+  MobilityConfig mob;
+  mob.speed_mps_lo = 0.5;
+  mob.speed_mps_hi = 5.0;
+  mob.area_m = cfg.area_m;
+
+  auto ref_model = cfg.build();
+  core::LyapunovController ref_ctrl(ref_model, 3.0,
+                                    cfg.controller_options());
+  const Metrics ref =
+      run_simulation_mobile(ref_model, ref_ctrl, horizon, mob, {});
+
+  {
+    auto model = cfg.build();
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    SimOptions opts;
+    opts.checkpoint_path = ckpt;
+    run_simulation_mobile(model, ctrl, kill_at, mob, opts);
+  }
+
+  auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  opts.resume_path = ckpt;
+  const Metrics resumed =
+      run_simulation_mobile(model, ctrl, horizon, mob, opts);
+
+  expect_metrics_bit_identical(resumed, ref);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, PeriodicCheckpointsResumeFromTheLastOne) {
+  const auto cfg = ScenarioConfig::tiny();
+  const int horizon = 50;
+  const std::string ckpt = tmp_path("periodic.ckpt");
+
+  const auto ref_model = cfg.build();
+  core::LyapunovController ref_ctrl(ref_model, 3.0,
+                                    cfg.controller_options());
+  const Metrics ref = run_simulation(ref_model, ref_ctrl, horizon, {});
+
+  // A run with --checkpoint-every 7 exercises the periodic writes (after
+  // slots 7, 14, 21, 28 — each atomically replacing the previous file)
+  // before the final checkpoint at its 31-slot horizon replaces them.
+  {
+    const auto model = cfg.build();
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    SimOptions opts;
+    opts.checkpoint_path = ckpt;
+    opts.checkpoint_every = 7;
+    run_simulation(model, ctrl, 31, opts);
+  }
+  // The final checkpoint of the truncated run is at its horizon (31).
+  EXPECT_EQ(load_checkpoint(ckpt).next_slot, 31);
+
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  opts.resume_path = ckpt;
+  const Metrics resumed = run_simulation(model, ctrl, horizon, opts);
+  expect_metrics_bit_identical(resumed, ref);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Checkpoint, LoadRejectsMissingFileBadMagicAndTruncation) {
+  EXPECT_THROW(load_checkpoint(tmp_path("no_such_file.ckpt")), CheckError);
+
+  const std::string bad_magic = tmp_path("bad_magic.ckpt");
+  {
+    std::ofstream out(bad_magic, std::ios::binary);
+    out << "NOTGCCK1 some trailing bytes that are long enough";
+  }
+  EXPECT_THROW(load_checkpoint(bad_magic), CheckError);
+  std::remove(bad_magic.c_str());
+
+  // A valid checkpoint with its tail torn off (crash mid-copy) must be
+  // rejected, not half-loaded.
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  const Metrics m = run_simulation(model, ctrl, 5, {});
+  Rng rng(7);
+  const std::string good = tmp_path("good.ckpt");
+  save_checkpoint(make_checkpoint(5, rng, ctrl, m, nullptr, nullptr), good);
+  std::ifstream in(good, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::string torn = tmp_path("torn.ckpt");
+  {
+    std::ofstream out(torn, std::ios::binary);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+  EXPECT_THROW(load_checkpoint(torn), CheckError);
+  std::remove(good.c_str());
+  std::remove(torn.c_str());
+}
+
+TEST(Checkpoint, ResumeBeyondHorizonIsRejected) {
+  const auto cfg = ScenarioConfig::tiny();
+  const std::string ckpt = tmp_path("beyond.ckpt");
+  {
+    const auto model = cfg.build();
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    SimOptions opts;
+    opts.checkpoint_path = ckpt;
+    run_simulation(model, ctrl, 20, opts);
+  }
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  opts.resume_path = ckpt;
+  EXPECT_THROW(run_simulation(model, ctrl, /*slots=*/10, opts), CheckError);
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace
+}  // namespace gc::sim

@@ -130,8 +130,21 @@ TEST(CliOptions, UsageMentionsEveryFlag) {
        {"--users", "--sessions", "--rate-kbps", "--area", "--seed",
         "--multihop", "--renewables", "--bs-radios", "--user-radios",
         "--phy", "--tariff", "--V", "--lambda", "--slots", "--input-seed",
-        "--mobility", "--validate", "--csv", "--quiet", "--help"})
+        "--mobility", "--validate", "--csv", "--quiet", "--help",
+        "--faults", "--checkpoint", "--checkpoint-every", "--resume"})
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
+}
+
+TEST(CliOptions, ParsesRobustnessFlags) {
+  const auto r = parse({"--faults", "spec.json", "--checkpoint", "run.ckpt",
+                        "--checkpoint-every", "500", "--resume", "old.ckpt"});
+  ASSERT_TRUE(r.options);
+  EXPECT_EQ(r.options->faults_path, "spec.json");
+  EXPECT_EQ(r.options->checkpoint_path, "run.ckpt");
+  EXPECT_EQ(r.options->checkpoint_every, 500);
+  EXPECT_EQ(r.options->resume_path, "old.ckpt");
+  EXPECT_FALSE(parse({"--checkpoint-every", "-3"}).options);
+  EXPECT_FALSE(parse({"--checkpoint"}).options);  // missing value
 }
 
 TEST(CliOptions, ParsedScenarioBuilds) {

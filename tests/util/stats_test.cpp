@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
 
 namespace gc {
 namespace {
@@ -90,6 +93,86 @@ TEST(StabilityTracker, SupremumTracksEarlyPeak) {
   for (int i = 0; i < 99; ++i) t.add(0.0);
   EXPECT_DOUBLE_EQ(t.sup_partial_average(), 100.0);
   EXPECT_NEAR(t.running_average(), 1.0, 1e-12);
+}
+
+// -- edge cases: zero slots, constant series, NaN rejection ----------------
+
+TEST(TimeAverage, ZeroSlots) {
+  TimeAverage a;
+  EXPECT_EQ(a.slots(), 0);
+  EXPECT_EQ(a.average(), 0.0);
+  EXPECT_EQ(a.sum(), 0.0);
+}
+
+TEST(TimeAverage, ConstantSeriesAveragesToTheConstant) {
+  TimeAverage a;
+  for (int i = 0; i < 1234; ++i) a.add(7.25);  // exactly representable
+  EXPECT_DOUBLE_EQ(a.average(), 7.25);
+  EXPECT_EQ(a.slots(), 1234);
+}
+
+TEST(TimeAverage, RejectsNaN) {
+  TimeAverage a;
+  a.add(1.0);
+  EXPECT_THROW(a.add(std::numeric_limits<double>::quiet_NaN()), CheckError);
+  // The rejected sample must not have been absorbed.
+  EXPECT_EQ(a.slots(), 1);
+  EXPECT_DOUBLE_EQ(a.average(), 1.0);
+}
+
+TEST(TimeAverage, AcceptsInfinity) {
+  // Only NaN is rejected; +inf is a legal (if alarming) sample.
+  TimeAverage a;
+  a.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(a.slots(), 1);
+  EXPECT_EQ(a.average(), std::numeric_limits<double>::infinity());
+}
+
+TEST(StabilityTracker, ZeroSlots) {
+  StabilityTracker t;
+  EXPECT_EQ(t.slots(), 0);
+  EXPECT_EQ(t.running_average(), 0.0);
+  EXPECT_EQ(t.sup_partial_average(), 0.0);
+  EXPECT_EQ(t.tail_sup_partial_average(), 0.0);
+  EXPECT_EQ(t.tail_growth_rate(), 0.0);
+}
+
+TEST(StabilityTracker, SingleSample) {
+  StabilityTracker t;
+  t.add(3.0);
+  EXPECT_EQ(t.slots(), 1);
+  EXPECT_DOUBLE_EQ(t.running_average(), 3.0);
+  EXPECT_DOUBLE_EQ(t.tail_sup_partial_average(), 3.0);
+  EXPECT_EQ(t.tail_growth_rate(), 0.0);
+}
+
+TEST(StabilityTracker, ConstantSeriesHasZeroGrowthAndExactSup) {
+  StabilityTracker t;
+  for (int i = 0; i < 500; ++i) t.add(2.5);
+  EXPECT_DOUBLE_EQ(t.sup_partial_average(), 2.5);
+  EXPECT_DOUBLE_EQ(t.tail_sup_partial_average(), 2.5);
+  EXPECT_NEAR(t.tail_growth_rate(), 0.0, 1e-12);
+}
+
+TEST(StabilityTracker, RejectsNaN) {
+  StabilityTracker t;
+  t.add(1.0);
+  EXPECT_THROW(t.add(std::numeric_limits<double>::quiet_NaN()), CheckError);
+  EXPECT_EQ(t.slots(), 1);
+  EXPECT_DOUBLE_EQ(t.running_average(), 1.0);
+}
+
+TEST(StabilityTracker, RestoreRoundTrips) {
+  StabilityTracker a;
+  for (int i = 0; i < 50; ++i) a.add(static_cast<double>(i % 7));
+  StabilityTracker b;
+  b.restore(a.abs_sum(), a.sup_partial_average(), a.partial_averages());
+  EXPECT_EQ(b.slots(), a.slots());
+  EXPECT_DOUBLE_EQ(b.running_average(), a.running_average());
+  EXPECT_DOUBLE_EQ(b.tail_growth_rate(), a.tail_growth_rate());
+  b.add(4.0);
+  a.add(4.0);
+  EXPECT_DOUBLE_EQ(b.running_average(), a.running_average());
 }
 
 }  // namespace

@@ -44,6 +44,17 @@ run:
                         breakdown per subproblem, counters, timers)
   --quiet               only the summary line
   --help                this text
+
+robustness (docs/ROBUSTNESS.md):
+  --faults PATH         inject faults from a JSON spec (node outages,
+                        renewable blackouts, grid outages, price spikes,
+                        battery fade, link deep fades)
+  --checkpoint PATH     write resumable checkpoints to PATH (a final one is
+                        always written at the end of the run)
+  --checkpoint-every N  also checkpoint after every N completed slots
+                        (default 0 = only the final checkpoint)
+  --resume PATH         restore a checkpoint and continue; the combined
+                        series is bit-identical to an uninterrupted run
 )";
 }
 
@@ -154,6 +165,14 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       opt.csv_path = v;
     else if (flag == "--trace" && !v.empty())
       opt.trace_path = v;
+    else if (flag == "--faults" && !v.empty())
+      opt.faults_path = v;
+    else if (flag == "--checkpoint" && !v.empty())
+      opt.checkpoint_path = v;
+    else if (flag == "--checkpoint-every" && parse_int(v, &iv) && iv >= 0)
+      opt.checkpoint_every = iv;
+    else if (flag == "--resume" && !v.empty())
+      opt.resume_path = v;
     else
       return err("unknown flag or bad value: " + flag + " " + v);
   }

@@ -28,6 +28,12 @@ struct Options {
   // every registered counter/timer (see src/obs).
   bool report = false;
 
+  // Robustness (docs/ROBUSTNESS.md).
+  std::string faults_path;      // JSON fault spec; empty = no fault injection
+  std::string checkpoint_path;  // empty = no checkpoints
+  int checkpoint_every = 0;     // 0 = only the final checkpoint
+  std::string resume_path;      // empty = start from slot 0
+
   bool help = false;  // --help was requested; usage() already printed
 };
 

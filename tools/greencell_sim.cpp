@@ -8,6 +8,7 @@
 
 #include "cli_options.hpp"
 #include "core/controller.hpp"
+#include "fault/fault_schedule.hpp"
 #include "obs/report.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
@@ -77,6 +78,16 @@ int run(const gc::cli::Options& opt) {
   sim_opts.input_seed = opt.input_seed;
   sim_opts.validate = opt.validate;
   sim_opts.trace_path = opt.trace_path;
+  sim_opts.checkpoint_path = opt.checkpoint_path;
+  sim_opts.checkpoint_every = opt.checkpoint_every;
+  sim_opts.resume_path = opt.resume_path;
+
+  gc::fault::FaultSchedule faults(model.num_nodes(), opt.input_seed);
+  if (!opt.faults_path.empty()) {
+    faults = gc::fault::FaultSchedule::from_json_file(opt.faults_path,
+                                                      model.num_nodes());
+    sim_opts.faults = &faults;
+  }
 
   gc::sim::Metrics m;
   if (opt.mobility_mps > 0.0) {
@@ -128,6 +139,8 @@ int run(const gc::cli::Options& opt) {
       std::printf("CSV written to %s\n", opt.csv_path.c_str());
     if (!opt.trace_path.empty())
       std::printf("trace written to %s\n", opt.trace_path.c_str());
+    if (!opt.checkpoint_path.empty())
+      std::printf("checkpoint written to %s\n", opt.checkpoint_path.c_str());
   } else {
     std::printf("avg_cost=%.6g delivered=%.0f delay=%.2f backlog=%.0f\n",
                 m.cost_avg.average(), m.total_delivered_packets,

@@ -66,53 +66,68 @@ int main(int argc, char** argv) {
   }
 
   Series s1, s2, s3, s4, step, backlog, h_total, grid, cost, curtailed,
-      unserved, admitted, delivered, shortfall, links;
+      unserved, admitted, delivered, shortfall, links, fallbacks, degraded,
+      faults;
   gc::StabilityTracker backlog_stability;
   // node -> (slots in the top-k drill-down, worst backlog seen there)
   std::map<int, std::pair<int, double>> hot_nodes;
 
   std::string line;
   int lineno = 0;
+  int skipped = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
-    JsonValue rec;
+    // Malformed or torn lines (a crash mid-write leaves a truncated last
+    // record; see docs/ROBUSTNESS.md) are skipped with a warning instead of
+    // aborting the whole summary.
     try {
-      rec = gc::obs::json_parse(line);
-    } catch (const gc::CheckError& e) {
-      std::fprintf(stderr, "error: %s:%d: %s\n", argv[1], lineno, e.what());
-      return 1;
-    }
-    const JsonValue& t = rec.at("time_s");
-    s1.add(t.number_or("s1", 0.0));
-    s2.add(t.number_or("s2", 0.0));
-    s3.add(t.number_or("s3", 0.0));
-    s4.add(t.number_or("s4", 0.0));
-    step.add(t.number_or("step", 0.0));
-    const JsonValue& q = rec.at("queues");
-    const double b = q.number_or("q_bs", 0.0) + q.number_or("q_users", 0.0);
-    backlog.add(b);
-    backlog_stability.add(b);
-    h_total.add(q.number_or("h_total", 0.0));
-    const JsonValue& e = rec.at("energy");
-    grid.add(e.number_or("grid_j", 0.0));
-    cost.add(e.number_or("cost", 0.0));
-    curtailed.add(e.number_or("curtailed_j", 0.0));
-    unserved.add(e.number_or("unserved_j", 0.0));
-    const JsonValue& d = rec.at("decisions");
-    admitted.add(d.number_or("admitted", 0.0));
-    delivered.add(d.number_or("delivered", 0.0));
-    shortfall.add(d.number_or("shortfall", 0.0));
-    links.add(d.number_or("links", 0.0));
-    if (rec.has("top_backlog")) {
-      for (const JsonValue& n : rec.at("top_backlog").as_array()) {
-        const int node = static_cast<int>(n.number_or("node", -1.0));
-        auto& [count, worst] = hot_nodes[node];
-        ++count;
-        worst = std::max(worst, n.number_or("packets", 0.0));
+      const JsonValue rec = gc::obs::json_parse(line);
+      const JsonValue& t = rec.at("time_s");
+      const JsonValue& q = rec.at("queues");
+      const JsonValue& e = rec.at("energy");
+      const JsonValue& d = rec.at("decisions");
+      s1.add(t.number_or("s1", 0.0));
+      s2.add(t.number_or("s2", 0.0));
+      s3.add(t.number_or("s3", 0.0));
+      s4.add(t.number_or("s4", 0.0));
+      step.add(t.number_or("step", 0.0));
+      const double b = q.number_or("q_bs", 0.0) + q.number_or("q_users", 0.0);
+      backlog.add(b);
+      backlog_stability.add(b);
+      h_total.add(q.number_or("h_total", 0.0));
+      grid.add(e.number_or("grid_j", 0.0));
+      cost.add(e.number_or("cost", 0.0));
+      curtailed.add(e.number_or("curtailed_j", 0.0));
+      unserved.add(e.number_or("unserved_j", 0.0));
+      admitted.add(d.number_or("admitted", 0.0));
+      delivered.add(d.number_or("delivered", 0.0));
+      shortfall.add(d.number_or("shortfall", 0.0));
+      links.add(d.number_or("links", 0.0));
+      if (rec.has("robust")) {
+        const JsonValue& r = rec.at("robust");
+        fallbacks.add(r.number_or("fallbacks", 0.0));
+        degraded.add(r.number_or("degraded", 0.0));
+        faults.add(r.number_or("faults", 0.0));
       }
+      if (rec.has("top_backlog")) {
+        for (const JsonValue& n : rec.at("top_backlog").as_array()) {
+          const int node = static_cast<int>(n.number_or("node", -1.0));
+          auto& [count, worst] = hot_nodes[node];
+          ++count;
+          worst = std::max(worst, n.number_or("packets", 0.0));
+        }
+      }
+    } catch (const gc::CheckError& e) {
+      std::fprintf(stderr, "warning: %s:%d: skipping malformed record: %s\n",
+                   argv[1], lineno, e.what());
+      ++skipped;
+      continue;
     }
   }
+  if (skipped > 0)
+    std::fprintf(stderr, "warning: skipped %d malformed record%s in %s\n",
+                 skipped, skipped == 1 ? "" : "s", argv[1]);
 
   const int slots = static_cast<int>(step.v.size());
   if (slots == 0) {
@@ -165,6 +180,15 @@ int main(int argc, char** argv) {
               shortfall.total());
   std::printf("  scheduled links: %.1f/slot mean, %.0f max\n", links.mean(),
               links.max());
+
+  if (fallbacks.total() > 0.0 || degraded.total() > 0.0 ||
+      faults.total() > 0.0) {
+    std::printf("\n-- robustness --\n");
+    std::printf("  solver fallbacks: %.0f across %.0f degraded slots\n",
+                fallbacks.total(), degraded.total());
+    std::printf("  injected fault events: %.0f (%.0f max in one slot)\n",
+                faults.total(), faults.max());
+  }
 
   if (!hot_nodes.empty()) {
     std::vector<std::pair<int, std::pair<int, double>>> hot(
