@@ -19,10 +19,23 @@ int main() {
                                      "delivered_packets", "admitted_packets",
                                      "final_backlog_packets"}));
 
-  for (double lambda : {1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
-    auto cfg = sim::ScenarioConfig::paper();
-    cfg.lambda = lambda;
-    const auto m = run_controller(cfg, V, slots);
+  // One independent run per lambda — fanned out through the sweep engine.
+  const std::vector<double> lambdas = {1.0,  2.0,  5.0, 10.0,
+                                       20.0, 40.0, 80.0};
+  std::vector<sim::SimJob> jobs;
+  for (double lambda : lambdas) {
+    sim::SimJob job;
+    job.scenario = sim::ScenarioConfig::paper();
+    job.scenario.lambda = lambda;
+    job.V = V;
+    job.slots = slots;
+    jobs.push_back(job);
+  }
+  const std::vector<sim::Metrics> runs = run_sweep(jobs);
+
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const double lambda = lambdas[i];
+    const sim::Metrics& m = runs[i];
     const double backlog = m.q_bs.back() + m.q_users.back();
     print_row({num(lambda), num(m.cost_avg.average()),
                num(m.total_delivered_packets), num(m.total_admitted_packets),

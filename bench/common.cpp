@@ -19,6 +19,21 @@ int horizon(int fast) {
   return full_repro() ? 100 : fast;
 }
 
+int bench_threads() {
+  const int forced = env_int("GC_THREADS", 0);
+  return forced > 0 ? forced : 0;  // 0 lets the runner use all cores
+}
+
+sim::SweepRunner make_sweep_runner() {
+  sim::SweepOptions opt;
+  opt.threads = bench_threads();
+  return sim::SweepRunner(opt);
+}
+
+std::vector<sim::Metrics> run_sweep(const std::vector<sim::SimJob>& jobs) {
+  return make_sweep_runner().run(jobs);
+}
+
 void print_title(const std::string& title, const std::string& subtitle) {
   std::printf("\n== %s ==\n", title.c_str());
   if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());

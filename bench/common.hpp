@@ -5,6 +5,9 @@
 // binary. Horizon and sweep sizes default to values that finish in seconds;
 // set REPRO_FULL=1 for the paper's full T = 100-slot horizon everywhere,
 // or REPRO_SLOTS=<n> to pin the horizon explicitly.
+// Sweep-shaped benches fan their runs out through sim::SweepRunner;
+// GC_THREADS=<n> pins the worker count (default: all hardware threads).
+// Per-seed results are bit-identical at any thread count (sweep.hpp).
 #pragma once
 
 #include <string>
@@ -12,6 +15,7 @@
 
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "util/csv.hpp"
 
 namespace gc::bench {
@@ -23,6 +27,17 @@ bool full_repro();
 // Default horizon: `fast` normally, 100 (the paper's T) under REPRO_FULL=1,
 // REPRO_SLOTS always wins.
 int horizon(int fast);
+
+// Worker threads for sweep-shaped benches: GC_THREADS if set (> 0),
+// otherwise every hardware thread.
+int bench_threads();
+
+// A SweepRunner configured with bench_threads(), merging observability into
+// the global registry.
+sim::SweepRunner make_sweep_runner();
+
+// Runs `jobs` through make_sweep_runner(); results in job order.
+std::vector<sim::Metrics> run_sweep(const std::vector<sim::SimJob>& jobs);
 
 // Pretty printing.
 void print_title(const std::string& title, const std::string& subtitle);

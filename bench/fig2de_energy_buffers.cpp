@@ -17,8 +17,16 @@ int main() {
   const auto cfg = sim::ScenarioConfig::paper();
   const std::vector<double> vs = {1.0, 2.0, 3.0, 4.0, 5.0};
 
-  std::vector<sim::Metrics> runs;
-  for (double v : vs) runs.push_back(run_controller(cfg, v, slots));
+  // One independent run per V, fanned out through the sweep engine.
+  std::vector<sim::SimJob> jobs;
+  for (double v : vs) {
+    sim::SimJob job;
+    job.scenario = cfg;
+    job.V = v;
+    job.slots = slots;
+    jobs.push_back(job);
+  }
+  const std::vector<sim::Metrics> runs = run_sweep(jobs);
 
   for (const bool users : {false, true}) {
     print_title(users ? "Fig. 2(e) — total user energy buffer (kJ)"

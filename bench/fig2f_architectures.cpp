@@ -50,16 +50,31 @@ void run_table(const char* title, double session_rate_bps, int num_sessions,
   head.push_back("delivered");
   print_row(head, 32);
 
+  // One job per (architecture, V), flattened into a single sweep:
+  // jobs[a * vs.size() + i] is architecture a at V = vs[i].
+  std::vector<sim::SimJob> jobs;
   for (const auto& arch : kArchs) {
-    auto cfg = sim::ScenarioConfig::paper();
-    cfg.multihop = arch.multihop;
-    cfg.renewables = arch.renewables;
-    cfg.session_rate_bps = session_rate_bps;
-    cfg.num_sessions = num_sessions;
+    for (double v : vs) {
+      sim::SimJob job;
+      job.scenario = sim::ScenarioConfig::paper();
+      job.scenario.multihop = arch.multihop;
+      job.scenario.renewables = arch.renewables;
+      job.scenario.session_rate_bps = session_rate_bps;
+      job.scenario.num_sessions = num_sessions;
+      job.V = v;
+      job.slots = slots;
+      jobs.push_back(job);
+    }
+  }
+  const std::vector<sim::Metrics> runs = run_sweep(jobs);
+
+  for (std::size_t a = 0; a < kArchs.size(); ++a) {
+    const Arch& arch = kArchs[a];
     std::vector<std::string> row = {arch.name};
     double delivered = 0.0;
-    for (double v : vs) {
-      const auto m = run_controller(cfg, v, slots);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      const double v = vs[i];
+      const sim::Metrics& m = runs[a * vs.size() + i];
       delivered = m.total_delivered_packets;
       const double value =
           per_packet ? m.cost_avg.average() /

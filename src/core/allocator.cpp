@@ -7,9 +7,9 @@ namespace gc::core {
 std::vector<AdmissionDecision> allocate_resources(
     const NetworkState& state, const AllocatorParams& params,
     const SlotInputs* inputs) {
-  static obs::Counter& admitted_packets =
+  static thread_local obs::Counter& admitted_packets =
       obs::registry().counter("admit.admitted_packets");
-  static obs::Counter& throttled =
+  static thread_local obs::Counter& throttled =
       obs::registry().counter("admit.throttled_sessions");
   const auto& model = state.model();
   const auto down = [&](int b) {

@@ -6,7 +6,9 @@ namespace gc::core {
 
 namespace {
 
-// Registry handles resolved once per process; step() only bumps them.
+// Registry handles resolved once per thread (against the thread-current
+// registry — per-worker under the parallel sweep engine); step() only
+// bumps them.
 struct ControllerMetrics {
   obs::Histogram& step = obs::registry().histogram("ctrl.step_seconds");
   obs::Histogram& s1 = obs::registry().histogram("ctrl.s1_sched_seconds");
@@ -30,7 +32,7 @@ struct ControllerMetrics {
 };
 
 ControllerMetrics& metrics() {
-  static ControllerMetrics m;
+  static thread_local ControllerMetrics m;
   return m;
 }
 
@@ -73,8 +75,9 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
     if (options_.scheduler == ControllerOptions::Scheduler::SequentialFix) {
       if (options_.fallbacks) {
         try {
-          decision.schedule = sequential_fix_schedule(
-              state_, inputs, options_.fill_in, energy_price, options_.lp);
+          decision.schedule =
+              sequential_fix_schedule(state_, inputs, options_.fill_in,
+                                      energy_price, options_.lp, &lp_ws_s1_);
         } catch (const CheckError&) {
           m.fallback_s1.add();
           ++decision.fallbacks;
@@ -82,8 +85,9 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
               greedy_schedule(state_, inputs, options_.fill_in, energy_price);
         }
       } else {
-        decision.schedule = sequential_fix_schedule(
-            state_, inputs, options_.fill_in, energy_price, options_.lp);
+        decision.schedule =
+            sequential_fix_schedule(state_, inputs, options_.fill_in,
+                                    energy_price, options_.lp, &lp_ws_s1_);
       }
     } else {
       decision.schedule =
@@ -100,7 +104,7 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
       if (options_.fallbacks) {
         try {
           routing = lp_route(state_, decision.schedule, decision.admissions,
-                             options_.lp);
+                             options_.lp, &lp_ws_s3_);
         } catch (const CheckError&) {
           m.fallback_s3.add();
           ++decision.fallbacks;
@@ -109,7 +113,7 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
         }
       } else {
         routing = lp_route(state_, decision.schedule, decision.admissions,
-                           options_.lp);
+                           options_.lp, &lp_ws_s3_);
       }
     } else {
       routing = greedy_route(state_, decision.schedule, decision.admissions);
@@ -131,14 +135,16 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
     if (options_.energy_manager == ControllerOptions::EnergyManager::Lp) {
       if (options_.fallbacks) {
         try {
-          energy = lp_energy_manage(state_, inputs, demands, 64, options_.lp);
+          energy = lp_energy_manage(state_, inputs, demands, 64, options_.lp,
+                                    &lp_ws_s4_);
         } catch (const CheckError&) {
           m.fallback_s4.add();
           ++decision.fallbacks;
           energy = price_energy_manage(state_, inputs, demands);
         }
       } else {
-        energy = lp_energy_manage(state_, inputs, demands, 64, options_.lp);
+        energy = lp_energy_manage(state_, inputs, demands, 64, options_.lp,
+                                  &lp_ws_s4_);
       }
     } else {
       energy = price_energy_manage(state_, inputs, demands);

@@ -78,6 +78,11 @@ class LyapunovController {
   ControllerOptions options_;
   NetworkState state_;
   double last_grid_j_ = 0.0;  // P(t-1), for energy-aware scheduling
+  // Reusable LP solver state, one workspace per LP-backed subproblem so
+  // each solves a single model family (S1 additionally warm-starts its
+  // sequential-fix series through lp_ws_s1_; see scheduler.hpp). Purely
+  // solver-internal: nothing here is part of the checkpointed state.
+  lp::Workspace lp_ws_s1_, lp_ws_s3_, lp_ws_s4_;
 };
 
 }  // namespace gc::core

@@ -308,7 +308,8 @@ EnergyResult lp_energy_manage(const NetworkState& state,
                               const SlotInputs& inputs,
                               const std::vector<double>& demands_j,
                               int pwl_segments,
-                              const lp::Options& lp_options) {
+                              const lp::Options& lp_options,
+                              lp::Workspace* workspace) {
   const auto& model = state.model();
   const int n = model.num_nodes();
   GC_CHECK(static_cast<int>(demands_j.size()) == n);
@@ -375,7 +376,9 @@ EnergyResult lp_energy_manage(const NetworkState& state,
     m.set_coeff(row, yvar, -1.0);
   }
 
-  const lp::Solution sol = lp::solve(m, lp_options);
+  lp::Workspace local_ws;
+  const lp::Solution sol =
+      lp::solve(m, lp_options, workspace != nullptr ? *workspace : local_ws);
   GC_CHECK_MSG(sol.status == lp::Status::Optimal,
                "S4 LP not optimal at slot " << state.slot() << ": "
                                             << lp::to_string(sol.status));

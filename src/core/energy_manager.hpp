@@ -60,11 +60,15 @@ EnergyResult price_energy_manage(const NetworkState& state,
                                  const SlotInputs& inputs,
                                  const std::vector<double>& demands_j);
 
+// lp_energy_manage's `workspace` (optional) reuses solver buffers across
+// slots; no warm-start hint is ever set, so results are identical with or
+// without one.
 EnergyResult lp_energy_manage(const NetworkState& state,
                               const SlotInputs& inputs,
                               const std::vector<double>& demands_j,
                               int pwl_segments = 64,
-                              const lp::Options& lp_options = {});
+                              const lp::Options& lp_options = {},
+                              lp::Workspace* workspace = nullptr);
 
 // Psi4 (eq. (38)) of a given decision vector, for tests. `cost_multiplier`
 // applies a price spike (pass inputs.cost_multiplier when comparing against

@@ -22,7 +22,7 @@ struct RouterMetrics {
 
 void note_routes(const NetworkState& state,
                  const std::vector<RouteDecision>& routes) {
-  static RouterMetrics m;
+  static thread_local RouterMetrics m;
   const auto& model = state.model();
   for (const auto& r : routes) {
     if (r.rx != model.session(r.session).destination)
@@ -131,7 +131,8 @@ RoutingResult greedy_route(const NetworkState& state,
 RoutingResult lp_route(const NetworkState& state,
                        const std::vector<ScheduledLink>& schedule,
                        const std::vector<AdmissionDecision>& admissions,
-                       const lp::Options& lp_options) {
+                       const lp::Options& lp_options,
+                       lp::Workspace* workspace) {
   const auto& model = state.model();
   const int S = model.num_sessions();
   RoutingResult result;
@@ -184,7 +185,9 @@ RoutingResult lp_route(const NetworkState& state,
       m.set_objective_coeff(v, m.objective_coeff(v) - dominate);
   }
 
-  const lp::Solution sol = lp::solve(m, lp_options);
+  lp::Workspace local_ws;
+  const lp::Solution sol =
+      lp::solve(m, lp_options, workspace != nullptr ? *workspace : local_ws);
   GC_CHECK_MSG(sol.status == lp::Status::Optimal,
                "S3 LP not optimal at slot " << state.slot() << ": "
                                             << lp::to_string(sol.status));

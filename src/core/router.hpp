@@ -38,11 +38,14 @@ RoutingResult greedy_route(const NetworkState& state,
 // handling here: S1 already withheld down/faded elements. `lp_options`
 // bounds the solve (watchdog); a non-Optimal status throws gc::CheckError
 // naming the simplex status and the slot, which the controller's fallback
-// ladder catches (Lp -> Greedy).
+// ladder catches (Lp -> Greedy). `workspace` (optional) reuses solver
+// buffers across slots; no warm-start hint is ever set, so results are
+// identical with or without one.
 RoutingResult lp_route(const NetworkState& state,
                        const std::vector<ScheduledLink>& schedule,
                        const std::vector<AdmissionDecision>& admissions,
-                       const lp::Options& lp_options = {});
+                       const lp::Options& lp_options = {},
+                       lp::Workspace* workspace = nullptr);
 
 // Objective value of S3 for a given routing.
 double routing_objective(const NetworkState& state,

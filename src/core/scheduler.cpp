@@ -24,7 +24,7 @@ struct SchedulerMetrics {
 };
 
 SchedulerMetrics& sched_metrics() {
-  static SchedulerMetrics m;
+  static thread_local SchedulerMetrics m;
   return m;
 }
 
@@ -215,11 +215,18 @@ void greedy_fill(const NetworkState& state,
 
 std::vector<ScheduledLink> sequential_fix_schedule(
     const NetworkState& state, const SlotInputs& inputs, bool fill_in,
-    double marginal_energy_price, const lp::Options& lp_options) {
+    double marginal_energy_price, const lp::Options& lp_options,
+    lp::Workspace* workspace) {
   const auto& model = state.model();
   std::vector<CandidateLinkBand> cands = build_candidates(state, inputs);
   std::vector<ScheduledLink> schedule;
   RadioUsage usage(model);
+  // All passes solve through one workspace (caller's, or a local fallback)
+  // so buffers are reused; each compaction below leaves a warm-start map
+  // for the next pass. The first pass is always cold — no hint can be
+  // pending (set_warm_start only fires mid-loop and solve() consumes it).
+  lp::Workspace local_ws;
+  lp::Workspace& ws = workspace != nullptr ? *workspace : local_ws;
 
   while (!cands.empty()) {
     sched_metrics().lp_passes.add();
@@ -245,7 +252,7 @@ std::vector<ScheduledLink> sequential_fix_schedule(
         m.set_coeff(band_row[bi], static_cast<int>(v), 1.0);
       }
     }
-    const lp::Solution sol = lp::solve(m, lp_options);
+    const lp::Solution sol = lp::solve(m, lp_options, ws);
     GC_CHECK_MSG(sol.status == lp::Status::Optimal,
                  "SF relaxation not optimal at slot "
                      << state.slot() << ": " << lp::to_string(sol.status));
@@ -275,9 +282,19 @@ std::vector<ScheduledLink> sequential_fix_schedule(
       link.capacity_bps = f.capacity_bps;
       schedule.push_back(link);
     }
-    std::erase_if(cands, [&](const CandidateLinkBand& c) {
-      return !usage.can_take(c.tx, c.rx, c.band);
-    });
+    // Compact the surviving candidates, recording where each one sat in
+    // the LP just solved: that correspondence is exactly the warm-start
+    // map for the next (strictly smaller) relaxation.
+    std::vector<int> warm_map;
+    warm_map.reserve(cands.size());
+    std::size_t kept = 0;
+    for (std::size_t v = 0; v < cands.size(); ++v) {
+      if (!usage.can_take(cands[v].tx, cands[v].rx, cands[v].band)) continue;
+      cands[kept++] = cands[v];
+      warm_map.push_back(static_cast<int>(v));
+    }
+    cands.resize(kept);
+    if (!cands.empty()) ws.set_warm_start(std::move(warm_map));
   }
   sched_metrics().primary.add(static_cast<double>(schedule.size()));
   // Psi3-aware fill-in over radios SF left idle (see

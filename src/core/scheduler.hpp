@@ -76,9 +76,21 @@ std::vector<CandidateLinkBand> build_fill_in_candidates(
 // relaxation solves (iteration / wall-clock watchdog); a non-Optimal pass
 // throws gc::CheckError naming the simplex status and the slot, which the
 // controller's fallback ladder catches.
+//
+// `workspace` (optional) is the caller-owned lp::Workspace the relaxation
+// series solves through. Passing one amortizes the tableau allocations
+// across slots AND lets SF warm-start each pass after the first from the
+// previous pass's bound states (the surviving candidates' variables map
+// 1:1 onto the shrunk LP), which collapses most of phase I. Hints never
+// cross calls — the first pass of every call is cold, and the within-call
+// hints depend only on within-call history — so the same state always
+// yields the same schedule (checkpoint/resume replays exactly). Against a
+// workspace-free run, objectives and statuses match but a degenerate
+// relaxation may round a different (equally optimal) alpha.
 std::vector<ScheduledLink> sequential_fix_schedule(
     const NetworkState& state, const SlotInputs& inputs, bool fill_in = true,
-    double marginal_energy_price = 0.0, const lp::Options& lp_options = {});
+    double marginal_energy_price = 0.0, const lp::Options& lp_options = {},
+    lp::Workspace* workspace = nullptr);
 std::vector<ScheduledLink> greedy_schedule(const NetworkState& state,
                                            const SlotInputs& inputs,
                                            bool fill_in = true,

@@ -21,7 +21,7 @@ struct SanitizeMetrics {
 };
 
 SanitizeMetrics& sanitize_metrics() {
-  static SanitizeMetrics m;
+  static thread_local SanitizeMetrics m;
   return m;
 }
 

@@ -25,7 +25,7 @@ struct FaultMetrics {
 };
 
 FaultMetrics& metrics() {
-  static FaultMetrics m;
+  static thread_local FaultMetrics m;
   return m;
 }
 

@@ -34,7 +34,9 @@ struct SimplexMetrics {
 };
 
 SimplexMetrics& lp_metrics() {
-  static SimplexMetrics m;
+  // thread_local: references resolve against the thread-current registry
+  // (per-worker under the parallel sweep engine; see obs/registry.hpp).
+  static thread_local SimplexMetrics m;
   return m;
 }
 
@@ -52,17 +54,36 @@ const char* to_string(Status s) {
   return "?";
 }
 
-namespace {
-
-enum class VarState : std::uint8_t { AtLower, AtUpper, Basic };
-
-class Simplex {
+// The solver proper. All working vectors live in the caller's Workspace
+// (bound by reference) so a long-lived workspace turns every per-solve
+// allocation into an assign() over retained capacity.
+class SimplexEngine {
  public:
-  Simplex(const Model& model, const Options& opt) : model_(model), opt_(opt) {
+  SimplexEngine(const Model& model, const Options& opt, Workspace& ws)
+      : model_(model),
+        opt_(opt),
+        ws_(ws),
+        tab_(ws.tab_),
+        lo_(ws.lo_),
+        hi_(ws.hi_),
+        cost_(ws.cost_),
+        state_(ws.state_),
+        basis_(ws.basis_),
+        xb_(ws.xb_),
+        dscratch_(ws.dscratch_) {
     build();
   }
 
   Solution run();
+
+  // Saves the structural variables' final states into the workspace (for
+  // the next solve's warm start) and consumes the one-shot hint. Lives
+  // here because SimplexEngine is the Workspace's only friend.
+  static void record_warm_state(Workspace& ws, int nstruct) {
+    ws.prev_struct_state_.assign(ws.state_.begin(),
+                                 ws.state_.begin() + nstruct);
+    ws.warm_map_.clear();
+  }
 
  private:
   void build();
@@ -79,18 +100,21 @@ class Simplex {
 
   const Model& model_;
   const Options& opt_;
+  Workspace& ws_;
 
   int m_ = 0;        // rows
   int nstruct_ = 0;  // structural variables
   int ntot_ = 0;     // structural + slack + artificial
   int width_ = 0;    // ntot_ + 1 (rhs column)
 
-  std::vector<double> tab_;  // m_ x width_, row-major; column ntot_ is B^-1 b
-  std::vector<double> lo_, hi_, cost_;
-  std::vector<VarState> state_;
-  std::vector<int> basis_;  // basis_[i] = variable basic in row i
-  std::vector<double> xb_;  // value of basis_[i]
-  std::vector<double> dscratch_;
+  std::vector<double>& tab_;  // m_ x width_, row-major; column ntot_ is B^-1 b
+  std::vector<double>& lo_;
+  std::vector<double>& hi_;
+  std::vector<double>& cost_;
+  std::vector<VarState>& state_;
+  std::vector<int>& basis_;  // basis_[i] = variable basic in row i
+  std::vector<double>& xb_;  // value of basis_[i]
+  std::vector<double>& dscratch_;
   int first_artificial_ = 0;
   // Wall-clock watchdog (Options::max_seconds); invalid when unlimited.
   bool has_deadline_ = false;
@@ -112,7 +136,7 @@ class Simplex {
   }
 };
 
-void Simplex::build() {
+void SimplexEngine::build() {
   m_ = model_.num_rows();
   nstruct_ = model_.num_variables();
 
@@ -138,6 +162,27 @@ void Simplex::build() {
     hi_[j] = model_.upper(j);
     GC_CHECK_MSG(std::isfinite(lo_[j]),
                  "variable " << j << " lacks a finite lower bound");
+  }
+
+  // Warm start (one-shot; see Workspace): rest mapped structural variables
+  // at the bound they ended the previous solve on. The artificial-basis
+  // residuals below are computed from nonbasic_value(), so the hint feeds
+  // straight into a (near-)feasible starting point for phase I. A variable
+  // that was basic before has no bound to rest at and stays at its lower
+  // bound like any cold variable.
+  if (!ws_.warm_map_.empty() && !ws_.prev_struct_state_.empty()) {
+    GC_CHECK_MSG(static_cast<int>(ws_.warm_map_.size()) == nstruct_,
+                 "warm-start map covers " << ws_.warm_map_.size()
+                                          << " variables, model has "
+                                          << nstruct_);
+    const int nprev = static_cast<int>(ws_.prev_struct_state_.size());
+    for (int j = 0; j < nstruct_; ++j) {
+      const int o = ws_.warm_map_[j];
+      if (o < 0 || o >= nprev) continue;
+      if (ws_.prev_struct_state_[o] == VarState::AtUpper &&
+          std::isfinite(hi_[j]))
+        state_[j] = VarState::AtUpper;
+    }
   }
 
   for (int r = 0; r < m_; ++r) {
@@ -182,7 +227,7 @@ void Simplex::build() {
   }
 }
 
-double Simplex::current_cost() const {
+double SimplexEngine::current_cost() const {
   double c = 0.0;
   for (int j = 0; j < ntot_; ++j)
     if (state_[j] != VarState::Basic && cost_[j] != 0.0)
@@ -191,7 +236,7 @@ double Simplex::current_cost() const {
   return c;
 }
 
-void Simplex::recompute_basic_values() {
+void SimplexEngine::recompute_basic_values() {
   lp_metrics().refactorizations.add();
   // x_B = (B^-1 b) - sum_{nonbasic j} (B^-1 A_j) * xval_j; both factors live
   // in the updated tableau.
@@ -209,7 +254,7 @@ void Simplex::recompute_basic_values() {
   }
 }
 
-int Simplex::price(bool bland) {
+int SimplexEngine::price(bool bland) {
   // Reduced costs d_j = c_j - c_B^T (B^-1 A_j), accumulated row-wise so the
   // dense tableau is walked cache-friendly.
   double* d = dscratch_.data();
@@ -242,7 +287,7 @@ int Simplex::price(bool bland) {
   return best;
 }
 
-void Simplex::pivot(int row, int col) {
+void SimplexEngine::pivot(int row, int col) {
   const double inv = 1.0 / T(row, col);
   double* prow = &tab_[static_cast<std::size_t>(row) * width_];
   for (int j = 0; j < width_; ++j) prow[j] *= inv;
@@ -257,7 +302,7 @@ void Simplex::pivot(int row, int col) {
   }
 }
 
-Status Simplex::iterate(int* iter_budget) {
+Status SimplexEngine::iterate(int* iter_budget) {
   bool bland = false;
   int stall = 0;
   double best_obj = current_cost();
@@ -364,7 +409,7 @@ Status Simplex::iterate(int* iter_budget) {
   }
 }
 
-Solution Simplex::run() {
+Solution SimplexEngine::run() {
   Solution sol;
   int budget = opt_.max_iterations;
   if (opt_.max_seconds > 0.0) {
@@ -424,18 +469,25 @@ Solution Simplex::run() {
   return sol;
 }
 
-}  // namespace
-
-Solution solve(const Model& model, const Options& options) {
+Solution solve(const Model& model, const Options& options,
+               Workspace& workspace) {
   SimplexMetrics& m = lp_metrics();
   obs::ScopedTimer timer(m.solve_seconds);
-  Simplex s(model, options);
+  SimplexEngine s(model, options, workspace);
   Solution sol = s.run();
+  // Record the structural variables' final states for the next solve's
+  // warm start and consume the (one-shot) hint that fed this one.
+  SimplexEngine::record_warm_state(workspace, model.num_variables());
   m.solves.add();
   m.iterations.add(sol.iterations);
   if (sol.status == Status::TimeLimit) m.time_limits.add();
   if (sol.status == Status::NumericalError) m.numerical_errors.add();
   return sol;
+}
+
+Solution solve(const Model& model, const Options& options) {
+  Workspace workspace;
+  return solve(model, options, workspace);
 }
 
 }  // namespace gc::lp

@@ -17,6 +17,7 @@
 // bookkeeping.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "lp/model.hpp"
@@ -65,6 +66,64 @@ struct Solution {
   double infeasibility = 0.0;
 };
 
+// Where a variable rests between pivots. Exposed (rather than kept private
+// to the solver) because the Workspace records the structural variables'
+// final states for warm starts.
+enum class VarState : std::uint8_t { AtLower, AtUpper, Basic };
+
+// Caller-owned, reusable solver state.
+//
+// The tableau, bounds, cost, basis and scratch vectors live here and are
+// resized (std::vector::assign — capacity is kept) instead of freshly
+// allocated on every solve. A controller that issues thousands of mid-size
+// LPs per run (the S1 sequential-fix series, S3, S4) holds one Workspace
+// per call site and amortizes all per-solve allocation away after the first
+// slot. A Workspace must not be shared between concurrent solves; one per
+// thread/controller is the intended shape.
+//
+// Warm start: after every solve the workspace remembers each structural
+// variable's final VarState. A caller whose next model reuses (a subset
+// of) the previous model's variables can pass that correspondence through
+// set_warm_start(); the next solve then starts mapped nonbasic variables at
+// their previous bound instead of the default lower bound, which makes the
+// initial artificial basis nearly feasible and collapses phase I. The hint
+// is one-shot (cleared by the solve that consumes it) and purely a
+// starting-point change — the solver still proves optimality from scratch,
+// so statuses and objective values are unaffected; only the vertex reached
+// among ties and the iteration count may differ.
+class Workspace {
+ public:
+  // `map[j]` = index of the variable in the PREVIOUS solve that variable j
+  // of the NEXT model corresponds to, or -1 for a brand-new variable. The
+  // map's size must equal the next model's variable count.
+  void set_warm_start(std::vector<int> map) { warm_map_ = std::move(map); }
+
+  // Drops the recorded states and any pending hint (buffers keep their
+  // capacity). Use when switching the workspace to an unrelated model
+  // family mid-stream; not needed otherwise — without set_warm_start the
+  // recorded states are inert.
+  void clear_warm_start() {
+    warm_map_.clear();
+    prev_struct_state_.clear();
+  }
+
+ private:
+  friend class SimplexEngine;
+  std::vector<double> tab_, lo_, hi_, cost_, xb_, dscratch_;
+  std::vector<VarState> state_;
+  std::vector<int> basis_;
+  // Structural-variable states after the most recent solve + the pending
+  // one-shot correspondence hint.
+  std::vector<VarState> prev_struct_state_;
+  std::vector<int> warm_map_;
+};
+
 Solution solve(const Model& model, const Options& options = {});
+
+// Same solver, but all working memory lives in (and persists through)
+// `workspace`. Results are identical to the workspace-free overload unless
+// a warm-start hint is pending (see Workspace).
+Solution solve(const Model& model, const Options& options,
+               Workspace& workspace);
 
 }  // namespace gc::lp

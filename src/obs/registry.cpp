@@ -58,6 +58,21 @@ void Histogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
 namespace {
 
 template <class T>
@@ -108,9 +123,33 @@ void Registry::reset() {
   for (auto& [_, h] : histograms_) h->reset();
 }
 
-Registry& registry() {
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_)
+    counter(name).merge_from(*c);
+  for (const auto& [name, g] : other.gauges_) gauge(name).merge_from(*g);
+  for (const auto& [name, h] : other.histograms_)
+    histogram(name).merge_from(*h);
+}
+
+Registry& global_registry() {
   static Registry r;
   return r;
 }
+
+namespace {
+// The thread-current override; null = use the global registry. A plain
+// pointer (not an RAII member) so registry() stays a two-instruction load.
+thread_local Registry* tls_registry = nullptr;
+}  // namespace
+
+Registry& registry() {
+  return tls_registry != nullptr ? *tls_registry : global_registry();
+}
+
+ThreadRegistryScope::ThreadRegistryScope(Registry* r) : prev_(tls_registry) {
+  tls_registry = r;
+}
+
+ThreadRegistryScope::~ThreadRegistryScope() { tls_registry = prev_; }
 
 }  // namespace gc::obs

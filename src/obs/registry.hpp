@@ -11,10 +11,16 @@
 //    function the optimizer deletes;
 //  * no dependencies above util, so lp/net/core/sim can all link it.
 //
-// Instruments are process-global and cumulative; `Registry::reset()` zeroes
-// them (keeping registrations) for tools that want per-run numbers.
-// Updates are not synchronized — the simulator and benches are
-// single-threaded; a future parallel runner should shard registries.
+// Instruments are cumulative; `Registry::reset()` zeroes them (keeping
+// registrations) for tools that want per-run numbers.
+//
+// Threading model (docs/PERFORMANCE.md): instrument updates are NOT
+// synchronized. Instead, `registry()` resolves to a thread-current registry
+// — the process-global one by default, or whatever a ThreadRegistryScope
+// installed on this thread. The parallel sweep engine (sim/sweep.hpp) gives
+// every worker thread its own registry and folds them into the caller's
+// with `merge_from` after the workers have joined, so hot-path updates stay
+// a few unsynchronized arithmetic ops.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +51,11 @@ class Counter {
   double total() const { return sum_; }
   std::int64_t events() const { return n_; }
   void reset() { sum_ = 0.0, n_ = 0; }
+  // Folds another counter's accumulation into this one (sweep merge).
+  void merge_from(const Counter& other) {
+    sum_ += other.sum_;
+    n_ += other.n_;
+  }
 
  private:
   double sum_ = 0.0;
@@ -55,14 +66,27 @@ class Counter {
 class Gauge {
  public:
   void set(double v) {
-    if constexpr (kCompiledIn) value_ = v;
-    else (void)v;
+    if constexpr (kCompiledIn) {
+      value_ = v;
+      set_ = true;
+    } else {
+      (void)v;
+    }
   }
   double value() const { return value_; }
   void reset() { value_ = 0.0; }
+  // Last-writer-wins has no order across threads; the merge takes the
+  // other's value whenever that registry ever set it.
+  void merge_from(const Gauge& other) {
+    if (other.set_) {
+      value_ = other.value_;
+      set_ = true;
+    }
+  }
 
  private:
   double value_ = 0.0;
+  bool set_ = false;
 };
 
 // Streaming histogram over positive values (durations in seconds, sizes,
@@ -91,6 +115,11 @@ class Histogram {
 
   void reset();
 
+  // Exact for count/sum/min/max and the bucket populations (both sides use
+  // the same fixed geometric grid, so merging histograms loses nothing
+  // beyond each side's own bucket resolution).
+  void merge_from(const Histogram& other);
+
  private:
   std::int64_t count_ = 0;
   double sum_ = 0.0;
@@ -115,13 +144,44 @@ class Registry {
   // Zeroes every instrument, keeping registrations (and references) alive.
   void reset();
 
+  // Folds every instrument of `other` into this registry, creating
+  // instruments this registry has not seen yet. Counters and histograms
+  // accumulate; gauges take the other's value if it was ever set. The
+  // parallel sweep engine calls this once per worker after joining its
+  // threads — the caller must guarantee `other` is no longer being written.
+  void merge_from(const Registry& other);
+
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-// The process-global registry every built-in instrumentation site uses.
+// The process-global registry.
+Registry& global_registry();
+
+// The registry instrumentation sites resolve against: the registry
+// installed on this thread by a live ThreadRegistryScope, or
+// global_registry() when none is. Cached instrument references (the
+// `static thread_local FooMetrics` idiom used across src/) are resolved per
+// thread, so a worker that installs its scope before first touching an
+// instrument keeps every subsequent update private to its own registry.
 Registry& registry();
+
+// RAII: makes `r` this thread's current registry for the scope's lifetime
+// (restoring the previous current registry afterwards). Install it at the
+// top of a worker thread, BEFORE any instrumented code runs on that thread
+// — cached references resolved earlier on the same thread keep pointing at
+// whatever registry was current when they were resolved.
+class ThreadRegistryScope {
+ public:
+  explicit ThreadRegistryScope(Registry* r);
+  ~ThreadRegistryScope();
+  ThreadRegistryScope(const ThreadRegistryScope&) = delete;
+  ThreadRegistryScope& operator=(const ThreadRegistryScope&) = delete;
+
+ private:
+  Registry* prev_;
+};
 
 }  // namespace gc::obs

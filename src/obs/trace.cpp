@@ -32,6 +32,7 @@ TraceSink::TraceSink(const std::string& path)
 }
 
 void TraceSink::write(const TraceRecord& r) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string& s = line_;
   s.clear();
   s += "{\"t\":";

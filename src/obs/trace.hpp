@@ -18,6 +18,7 @@
 #pragma once
 
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,13 +55,22 @@ class TraceSink {
   // Opens (truncates) `path`; throws gc::CheckError if it cannot.
   explicit TraceSink(const std::string& path);
 
+  // Serializes each record as one complete line. Safe to call from
+  // concurrent simulations sharing one sink: the format-and-write cycle is
+  // under a mutex, so lines are never torn or interleaved (parallel sweeps
+  // normally give every job its own sink — sim/sweep.hpp enforces distinct
+  // paths — but a deliberately shared sink must stay parseable too).
   void write(const TraceRecord& r);
 
-  int records() const { return records_; }
+  int records() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+  }
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
+  mutable std::mutex mutex_;  // guards out_, line_, records_
   std::ofstream out_;
   std::string line_;  // reused per-record buffer
   int records_ = 0;

@@ -1,0 +1,95 @@
+#include "sim/sweep.hpp"
+
+#include <exception>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gc::sim {
+
+Metrics run_job(const SimJob& job) {
+  core::NetworkModel model = job.scenario.build();
+  const core::ControllerOptions opts =
+      job.controller ? *job.controller : job.scenario.controller_options();
+  core::LyapunovController controller(model, job.V, opts);
+  if (job.mobility)
+    return run_simulation_mobile(model, controller, job.slots, *job.mobility,
+                                 job.sim);
+  return run_simulation(model, controller, job.slots, job.sim);
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options)),
+      threads_(util::ThreadPool::resolve_num_threads(options_.threads)) {}
+
+void SweepRunner::run_indexed(int n, const std::function<void(int)>& fn) {
+  GC_CHECK_MSG(n >= 0, "sweep size must be >= 0");
+  if (n == 0) return;
+
+  // One private registry per worker. The scope objects are constructed and
+  // destroyed ON the worker threads (ThreadPool's start/stop hooks) so the
+  // thread-current registry is installed before any instrumented code runs
+  // there; each worker only ever touches its own slot.
+  std::vector<std::unique_ptr<obs::Registry>> registries;
+  registries.reserve(static_cast<std::size_t>(threads_));
+  for (int w = 0; w < threads_; ++w)
+    registries.push_back(std::make_unique<obs::Registry>());
+  std::vector<std::unique_ptr<obs::ThreadRegistryScope>> scopes(
+      static_cast<std::size_t>(threads_));
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  {
+    util::ThreadPool::Options pool_options;
+    pool_options.num_threads = threads_;
+    pool_options.on_thread_start = [&](int w) {
+      scopes[w] = std::make_unique<obs::ThreadRegistryScope>(
+          registries[static_cast<std::size_t>(w)].get());
+    };
+    pool_options.on_thread_stop = [&](int w) { scopes[w].reset(); };
+    util::ThreadPool pool(pool_options);
+    for (int i = 0; i < n; ++i)
+      pool.submit([&fn, &errors, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          errors[static_cast<std::size_t>(i)] = std::current_exception();
+        }
+      });
+    pool.wait_idle();
+  }  // pool joins here; no worker is writing its registry anymore
+
+  // Fold in worker-index order so counter totals are reproducible (they
+  // would be regardless for commutative integer adds, but FP sums of
+  // doubles are order-sensitive).
+  obs::Registry& target =
+      options_.merge_into ? *options_.merge_into : obs::global_registry();
+  for (const auto& r : registries) target.merge_from(*r);
+
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::vector<Metrics> SweepRunner::run(const std::vector<SimJob>& jobs) {
+  // Jobs run concurrently, so any two writing the same file would race.
+  // TraceSink serializes writes per sink, but two sinks truncating one path
+  // still clobber each other — require distinct paths outright.
+  std::set<std::string> trace_paths, checkpoint_paths;
+  for (const SimJob& job : jobs) {
+    if (!job.sim.trace_path.empty())
+      GC_CHECK_MSG(trace_paths.insert(job.sim.trace_path).second,
+                   "sweep jobs share trace path " << job.sim.trace_path);
+    if (!job.sim.checkpoint_path.empty())
+      GC_CHECK_MSG(
+          checkpoint_paths.insert(job.sim.checkpoint_path).second,
+          "sweep jobs share checkpoint path " << job.sim.checkpoint_path);
+  }
+  return map<Metrics>(static_cast<int>(jobs.size()),
+                      [&jobs](int i) { return run_job(jobs[i]); });
+}
+
+}  // namespace gc::sim

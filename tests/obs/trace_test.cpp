@@ -1,8 +1,10 @@
 #include "obs/trace.hpp"
 
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -111,6 +113,41 @@ TEST(TraceSink, WritesOneParseableLinePerRecord) {
 
 TEST(TraceSink, UnwritablePathThrows) {
   EXPECT_THROW(TraceSink("/nonexistent-dir/trace.jsonl"), CheckError);
+}
+
+// write() is safe under concurrent callers: no torn or interleaved lines,
+// every record accounted for. (The parallel sweep gives each sim its own
+// sink, but nothing stops a caller from sharing one.)
+TEST(TraceSink, ConcurrentWritersProduceWholeLines) {
+  const std::string path = ::testing::TempDir() + "gc_trace_concurrent.jsonl";
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  {
+    TraceSink sink(path);
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kThreads; ++w) {
+      writers.emplace_back([&sink, w] {
+        for (int i = 0; i < kPerThread; ++i) {
+          TraceRecord r;
+          r.slot = w * kPerThread + i;  // unique tag per record
+          r.cost = 0.25 * r.slot;
+          sink.write(r);
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+    EXPECT_EQ(sink.records(), kThreads * kPerThread);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<int> slots_seen;
+  for (const auto& line : lines) {
+    const JsonValue v = json_parse(line);  // throws on a torn line
+    const int slot = static_cast<int>(v.at("t").as_number());
+    EXPECT_TRUE(slots_seen.insert(slot).second) << "duplicate slot " << slot;
+    EXPECT_DOUBLE_EQ(v.at("energy").at("cost").as_number(), 0.25 * slot);
+  }
+  EXPECT_EQ(static_cast<int>(slots_seen.size()), kThreads * kPerThread);
 }
 
 // Integration: a traced simulation emits exactly one valid record per slot,

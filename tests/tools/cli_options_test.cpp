@@ -131,7 +131,8 @@ TEST(CliOptions, UsageMentionsEveryFlag) {
         "--multihop", "--renewables", "--bs-radios", "--user-radios",
         "--phy", "--tariff", "--V", "--lambda", "--slots", "--input-seed",
         "--mobility", "--validate", "--csv", "--quiet", "--help",
-        "--faults", "--checkpoint", "--checkpoint-every", "--resume"})
+        "--faults", "--checkpoint", "--checkpoint-every", "--resume",
+        "--seeds", "--threads"})
     EXPECT_NE(u.find(flag), std::string::npos) << flag;
 }
 
@@ -145,6 +146,31 @@ TEST(CliOptions, ParsesRobustnessFlags) {
   EXPECT_EQ(r.options->resume_path, "old.ckpt");
   EXPECT_FALSE(parse({"--checkpoint-every", "-3"}).options);
   EXPECT_FALSE(parse({"--checkpoint"}).options);  // missing value
+}
+
+TEST(CliOptions, ParsesSweepFlags) {
+  const auto r = parse({"--seeds", "8", "--threads", "4"});
+  ASSERT_TRUE(r.options) << r.error;
+  EXPECT_EQ(r.options->seeds, 8);
+  EXPECT_EQ(r.options->threads, 4);
+  // Defaults: one seed, auto thread count.
+  const auto d = parse({});
+  ASSERT_TRUE(d.options);
+  EXPECT_EQ(d.options->seeds, 1);
+  EXPECT_EQ(d.options->threads, 0);
+  EXPECT_FALSE(parse({"--seeds", "0"}).options);
+  EXPECT_FALSE(parse({"--threads", "-1"}).options);
+}
+
+// A replicate sweep runs every seed from slot 0; resuming or checkpointing
+// a single run inside it is undefined, so the combination is rejected.
+TEST(CliOptions, RejectsSeedsWithCheckpointOrResume) {
+  const auto a = parse({"--seeds", "4", "--checkpoint", "run.ckpt"});
+  EXPECT_FALSE(a.options);
+  EXPECT_NE(a.error.find("--seeds"), std::string::npos);
+  EXPECT_FALSE(parse({"--seeds", "4", "--resume", "old.ckpt"}).options);
+  // One seed with a checkpoint is the normal single-run flow.
+  EXPECT_TRUE(parse({"--seeds", "1", "--checkpoint", "run.ckpt"}).options);
 }
 
 TEST(CliOptions, ParsedScenarioBuilds) {

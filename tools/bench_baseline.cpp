@@ -1,0 +1,204 @@
+// bench_baseline: serial-vs-parallel sweep benchmark for the parallel
+// sweep engine (sim/sweep.hpp). Runs the same batch of replicate
+// simulations once on 1 worker thread and once on --threads workers,
+// verifies the per-seed Metrics are bit-identical, and writes the numbers
+// (wall time, slots/sec, speedup, LP solver volumes) as BENCH_sweep.json.
+// docs/PERFORMANCE.md explains every field.
+//
+//   $ bench_baseline --scenario tiny --seeds 4 --slots 20 --threads 2
+//   $ bench_baseline --out BENCH_sweep.json
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using gc::sim::Metrics;
+using gc::sim::SimJob;
+
+struct Args {
+  int threads = 0;  // 0 = all hardware threads
+  int seeds = 8;
+  int slots = 40;
+  std::string scenario = "paper";
+  std::string out = "BENCH_sweep.json";
+};
+
+bool parse_args(const std::vector<std::string>& argv, Args* out,
+                std::string* error) {
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& flag = argv[i];
+    if (flag == "--help") {
+      *error =
+          "usage: bench_baseline [--threads N] [--seeds N] [--slots N]\n"
+          "                      [--scenario paper|tiny] [--out PATH]";
+      return false;
+    }
+    if (i + 1 >= argv.size()) {
+      *error = "missing value for " + flag;
+      return false;
+    }
+    const std::string& v = argv[++i];
+    if (flag == "--threads")
+      out->threads = std::atoi(v.c_str());
+    else if (flag == "--seeds")
+      out->seeds = std::atoi(v.c_str());
+    else if (flag == "--slots")
+      out->slots = std::atoi(v.c_str());
+    else if (flag == "--scenario")
+      out->scenario = v;
+    else if (flag == "--out")
+      out->out = v;
+    else {
+      *error = "unknown flag " + flag;
+      return false;
+    }
+  }
+  if (out->seeds < 1 || out->slots < 1 || out->threads < 0 ||
+      (out->scenario != "paper" && out->scenario != "tiny")) {
+    *error = "need --seeds >= 1, --slots >= 1, --threads >= 0, "
+             "--scenario paper|tiny";
+    return false;
+  }
+  return true;
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool series_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!bits_equal(a[i], b[i])) return false;
+  return true;
+}
+
+// Bit-level equality of everything a run's Metrics records except wall
+// clock (timing is the one field allowed to differ between runs).
+bool metrics_equal(const Metrics& a, const Metrics& b) {
+  return a.slots == b.slots && series_equal(a.cost, b.cost) &&
+         series_equal(a.grid_j, b.grid_j) && series_equal(a.q_bs, b.q_bs) &&
+         series_equal(a.q_users, b.q_users) &&
+         series_equal(a.battery_bs_j, b.battery_bs_j) &&
+         series_equal(a.battery_users_j, b.battery_users_j) &&
+         bits_equal(a.cost_avg.average(), b.cost_avg.average()) &&
+         bits_equal(a.total_demand_shortfall, b.total_demand_shortfall) &&
+         bits_equal(a.total_unserved_energy_j, b.total_unserved_energy_j) &&
+         bits_equal(a.total_curtailed_j, b.total_curtailed_j) &&
+         bits_equal(a.total_delivered_packets, b.total_delivered_packets) &&
+         bits_equal(a.total_admitted_packets, b.total_admitted_packets);
+}
+
+struct Timed {
+  std::vector<Metrics> runs;
+  double wall_s = 0.0;
+  double lp_solves = 0.0;
+  double lp_iterations = 0.0;
+};
+
+// Runs `jobs` on `threads` workers, observability into a private registry
+// so the serial and parallel passes can report their LP volumes
+// separately.
+Timed timed_sweep(const std::vector<SimJob>& jobs, int threads) {
+  gc::obs::Registry registry;
+  gc::sim::SweepOptions opt;
+  opt.threads = threads;
+  opt.merge_into = &registry;
+  gc::sim::SweepRunner runner(opt);
+  Timed result;
+  const auto t0 = std::chrono::steady_clock::now();
+  result.runs = runner.run(jobs);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  result.lp_solves = registry.counter("lp.solves").total();
+  result.lp_iterations = registry.counter("lp.iterations").total();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  std::string error;
+  if (!parse_args({argv + 1, argv + argc}, &args, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return error.rfind("usage:", 0) == 0 ? 0 : 2;
+  }
+
+  std::vector<SimJob> jobs;
+  for (int k = 0; k < args.seeds; ++k) {
+    SimJob job;
+    job.scenario = args.scenario == "tiny"
+                       ? gc::sim::ScenarioConfig::tiny()
+                       : gc::sim::ScenarioConfig::paper();
+    job.slots = args.slots;
+    job.sim.input_seed = 1000 + static_cast<std::uint64_t>(k);
+    jobs.push_back(job);
+  }
+
+  try {
+    const Timed serial = timed_sweep(jobs, 1);
+    const Timed parallel = timed_sweep(jobs, args.threads);
+    const int threads_used =
+        gc::util::ThreadPool::resolve_num_threads(args.threads);
+
+    bool deterministic = true;
+    for (int k = 0; k < args.seeds; ++k)
+      deterministic =
+          deterministic && metrics_equal(serial.runs[k], parallel.runs[k]);
+
+    const double total_slots =
+        static_cast<double>(args.seeds) * args.slots;
+    const double speedup =
+        parallel.wall_s > 0.0 ? serial.wall_s / parallel.wall_s : 0.0;
+
+    std::ofstream out(args.out, std::ios::trunc);
+    GC_CHECK_MSG(out.good(), "cannot open " << args.out);
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"scenario\": \"%s\",\n"
+        "  \"seeds\": %d,\n"
+        "  \"slots_per_seed\": %d,\n"
+        "  \"total_slots\": %.0f,\n"
+        "  \"threads\": %d,\n"
+        "  \"serial\": {\"wall_s\": %.6f, \"slots_per_s\": %.3f,\n"
+        "             \"lp_solves\": %.0f, \"lp_iterations\": %.0f},\n"
+        "  \"parallel\": {\"wall_s\": %.6f, \"slots_per_s\": %.3f,\n"
+        "               \"lp_solves\": %.0f, \"lp_iterations\": %.0f},\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"deterministic\": %s\n"
+        "}\n",
+        args.scenario.c_str(), args.seeds, args.slots, total_slots,
+        threads_used, serial.wall_s,
+        serial.wall_s > 0.0 ? total_slots / serial.wall_s : 0.0,
+        serial.lp_solves, serial.lp_iterations, parallel.wall_s,
+        parallel.wall_s > 0.0 ? total_slots / parallel.wall_s : 0.0,
+        parallel.lp_solves, parallel.lp_iterations, speedup,
+        deterministic ? "true" : "false");
+    out << buf;
+    std::printf("%s", buf);
+    std::printf("written to %s\n", args.out.c_str());
+    if (!deterministic) {
+      std::fprintf(stderr,
+                   "error: parallel per-seed Metrics differ from serial\n");
+      return 1;
+    }
+    return 0;
+  } catch (const gc::CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

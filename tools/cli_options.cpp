@@ -55,6 +55,16 @@ robustness (docs/ROBUSTNESS.md):
                         (default 0 = only the final checkpoint)
   --resume PATH         restore a checkpoint and continue; the combined
                         series is bit-identical to an uninterrupted run
+
+parallel sweep (docs/PERFORMANCE.md):
+  --seeds N             run N replicates (input seeds S, S+1, ...) through
+                        the parallel sweep engine and print per-seed lines
+                        plus a mean/min/max summary; per-seed results are
+                        bit-identical at any thread count. --trace/--csv
+                        paths get a ".seed<k>" suffix per replicate; not
+                        combinable with --checkpoint/--resume
+  --threads N           sweep worker threads (default 0 = all hardware
+                        threads)
 )";
 }
 
@@ -173,9 +183,16 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       opt.checkpoint_every = iv;
     else if (flag == "--resume" && !v.empty())
       opt.resume_path = v;
+    else if (flag == "--seeds" && parse_int(v, &iv) && iv >= 1)
+      opt.seeds = iv;
+    else if (flag == "--threads" && parse_int(v, &iv) && iv >= 0)
+      opt.threads = iv;
     else
       return err("unknown flag or bad value: " + flag + " " + v);
   }
+  if (opt.seeds > 1 &&
+      (!opt.checkpoint_path.empty() || !opt.resume_path.empty()))
+    return err("--seeds > 1 cannot be combined with --checkpoint/--resume");
   return ParseResult{opt, ""};
 }
 

@@ -34,6 +34,15 @@ struct Options {
   int checkpoint_every = 0;     // 0 = only the final checkpoint
   std::string resume_path;      // empty = start from slot 0
 
+  // Parallel replicate sweep (docs/PERFORMANCE.md). seeds > 1 runs that
+  // many replicates (input_seed, input_seed+1, ...) through the sweep
+  // engine and prints per-seed lines plus an aggregate summary; trace/CSV
+  // paths get a ".seed<k>" suffix per replicate. Incompatible with
+  // --checkpoint/--resume (those name one run's state). threads caps the
+  // sweep workers; 0 = all hardware threads.
+  int seeds = 1;
+  int threads = 0;
+
   bool help = false;  // --help was requested; usage() already printed
 };
 

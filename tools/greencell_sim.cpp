@@ -11,8 +11,10 @@
 #include "fault/fault_schedule.hpp"
 #include "obs/report.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -70,6 +72,105 @@ int main(int argc, char** argv) {
 
 namespace {
 
+// --csv output for one run's per-slot series.
+void write_csv(const std::string& path, const gc::sim::Metrics& m) {
+  gc::CsvWriter csv(path, {"t", "cost", "grid_j", "q_bs", "q_users",
+                           "battery_bs_j", "battery_users_j"});
+  for (int t = 0; t < m.slots; ++t)
+    csv.row({static_cast<double>(t + 1), m.cost[t], m.grid_j[t], m.q_bs[t],
+             m.q_users[t], m.battery_bs_j[t], m.battery_users_j[t]});
+}
+
+std::string seed_suffixed(const std::string& path, int k) {
+  return path.empty() ? path : path + ".seed" + std::to_string(k);
+}
+
+// --seeds N > 1: N replicates over input seeds S..S+N-1, fanned out
+// through the parallel sweep engine; per-seed lines plus an aggregate
+// mean/min/max summary. Per-seed results are bit-identical at any
+// --threads value (sim/sweep.hpp).
+int run_replicates(const gc::cli::Options& opt,
+                   const gc::fault::FaultSchedule* faults) {
+  std::vector<gc::sim::SimJob> jobs;
+  for (int k = 0; k < opt.seeds; ++k) {
+    gc::sim::SimJob job;
+    job.scenario = opt.scenario;
+    job.V = opt.V;
+    job.slots = opt.slots;
+    job.sim.input_seed = opt.input_seed + static_cast<std::uint64_t>(k);
+    job.sim.validate = opt.validate;
+    job.sim.trace_path = seed_suffixed(opt.trace_path, k);
+    job.sim.faults = faults;
+    if (opt.mobility_mps > 0.0) {
+      gc::sim::MobilityConfig mob;
+      mob.speed_mps_lo = 0.0;
+      mob.speed_mps_hi = opt.mobility_mps;
+      mob.area_m = opt.scenario.area_m;
+      job.mobility = mob;
+    }
+    jobs.push_back(job);
+  }
+
+  gc::sim::SweepOptions sweep_opts;
+  sweep_opts.threads = opt.threads;
+  gc::sim::SweepRunner runner(sweep_opts);
+  const std::vector<gc::sim::Metrics> runs = runner.run(jobs);
+
+  if (!opt.quiet)
+    std::printf(
+        "replicate sweep: %d seeds (%llu..%llu), %d worker thread(s)\n",
+        opt.seeds, static_cast<unsigned long long>(opt.input_seed),
+        static_cast<unsigned long long>(opt.input_seed + opt.seeds - 1),
+        runner.threads());
+  gc::RunningStat cost, delivered, delay, backlog;
+  for (int k = 0; k < opt.seeds; ++k) {
+    const gc::sim::Metrics& m = runs[k];
+    const double final_backlog =
+        m.slots == 0 ? 0.0 : m.q_bs.back() + m.q_users.back();
+    cost.add(m.cost_avg.average());
+    delivered.add(m.total_delivered_packets);
+    delay.add(m.average_delay_slots());
+    backlog.add(final_backlog);
+    std::printf("seed=%llu avg_cost=%.6g delivered=%.0f delay=%.2f "
+                "backlog=%.0f\n",
+                static_cast<unsigned long long>(opt.input_seed + k),
+                m.cost_avg.average(), m.total_delivered_packets,
+                m.average_delay_slots(), final_backlog);
+    if (!opt.csv_path.empty()) write_csv(seed_suffixed(opt.csv_path, k), m);
+  }
+  std::printf("aggregate avg_cost mean=%.6g min=%.6g max=%.6g\n",
+              cost.mean(), cost.min(), cost.max());
+  std::printf("aggregate delivered mean=%.1f min=%.0f max=%.0f\n",
+              delivered.mean(), delivered.min(), delivered.max());
+  std::printf("aggregate delay mean=%.2f min=%.2f max=%.2f\n", delay.mean(),
+              delay.min(), delay.max());
+  std::printf("aggregate backlog mean=%.1f min=%.0f max=%.0f\n",
+              backlog.mean(), backlog.min(), backlog.max());
+  if (!opt.quiet) {
+    if (!opt.csv_path.empty())
+      std::printf("per-seed CSVs written to %s.seed<k>\n",
+                  opt.csv_path.c_str());
+    if (!opt.trace_path.empty())
+      std::printf("per-seed traces written to %s.seed<k>\n",
+                  opt.trace_path.c_str());
+  }
+  if (opt.report) {
+    // Worker registries were merged into the global registry by the sweep,
+    // so the report covers all replicates; per-run timing is summed.
+    gc::sim::Metrics total;
+    for (const auto& m : runs) {
+      total.slots += m.slots;
+      total.timing.s1_s += m.timing.s1_s;
+      total.timing.s2_s += m.timing.s2_s;
+      total.timing.s3_s += m.timing.s3_s;
+      total.timing.s4_s += m.timing.s4_s;
+      total.timing.step_s += m.timing.step_s;
+    }
+    print_report(total);
+  }
+  return 0;
+}
+
 int run(const gc::cli::Options& opt) {
   gc::core::NetworkModel model = opt.scenario.build();
   gc::core::LyapunovController controller(model, opt.V,
@@ -89,6 +190,10 @@ int run(const gc::cli::Options& opt) {
     sim_opts.faults = &faults;
   }
 
+  // Replicate sweep: fan the seeds out and aggregate (the FaultSchedule is
+  // read-only during runs, so sharing it across jobs is safe).
+  if (opt.seeds > 1) return run_replicates(opt, sim_opts.faults);
+
   gc::sim::Metrics m;
   if (opt.mobility_mps > 0.0) {
     gc::sim::MobilityConfig mob;
@@ -101,14 +206,7 @@ int run(const gc::cli::Options& opt) {
     m = gc::sim::run_simulation(model, controller, opt.slots, sim_opts);
   }
 
-  if (!opt.csv_path.empty()) {
-    gc::CsvWriter csv(opt.csv_path,
-                      {"t", "cost", "grid_j", "q_bs", "q_users",
-                       "battery_bs_j", "battery_users_j"});
-    for (int t = 0; t < m.slots; ++t)
-      csv.row({static_cast<double>(t + 1), m.cost[t], m.grid_j[t], m.q_bs[t],
-               m.q_users[t], m.battery_bs_j[t], m.battery_users_j[t]});
-  }
+  if (!opt.csv_path.empty()) write_csv(opt.csv_path, m);
 
   // A --slots 0 dry run leaves every series empty; report zeros.
   const bool empty = m.slots == 0;
