@@ -1,0 +1,239 @@
+// scale_scenarios: throughput (controller slots/s) versus network size
+// across the declarative example scenarios (examples/scenarios/*.json).
+// Each spec is compiled through src/scenario, run single-threaded for
+// --slots slots, and the row (nodes, base stations, users, sessions,
+// wall_s, slots_per_s) lands in the "scale_scenarios" array of
+// BENCH_sweep.json. The file is read-modify-written: bench_baseline's
+// serial/parallel sweep section is preserved, only the scale_scenarios
+// member is replaced. docs/PERFORMANCE.md explains the fields.
+//
+//   $ bench/scale_scenarios --dir examples/scenarios --slots 20
+//   $ bench/scale_scenarios a.json b.json --out BENCH_sweep.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "obs/json.hpp"
+#include "scenario/spec.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gc::obs::JsonValue;
+
+struct Args {
+  std::vector<std::string> files;
+  std::string dir;
+  int slots = 20;
+  std::string out = "BENCH_sweep.json";
+};
+
+bool parse_args(const std::vector<std::string>& argv, Args* out,
+                std::string* error) {
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& flag = argv[i];
+    if (flag == "--help") {
+      *error =
+          "usage: scale_scenarios [SPEC.json ...] [--dir DIR] [--slots N]\n"
+          "                       [--out PATH]";
+      return false;
+    }
+    if (flag.rfind("--", 0) != 0) {
+      out->files.push_back(flag);
+      continue;
+    }
+    if (i + 1 >= argv.size()) {
+      *error = "missing value for " + flag;
+      return false;
+    }
+    const std::string& v = argv[++i];
+    if (flag == "--dir")
+      out->dir = v;
+    else if (flag == "--slots")
+      out->slots = std::atoi(v.c_str());
+    else if (flag == "--out")
+      out->out = v;
+    else {
+      *error = "unknown flag " + flag;
+      return false;
+    }
+  }
+  if (out->slots < 1) {
+    *error = "need --slots >= 1";
+    return false;
+  }
+  if (!out->dir.empty()) {
+    for (const auto& e : fs::directory_iterator(out->dir))
+      if (e.path().extension() == ".json")
+        out->files.push_back(e.path().string());
+  }
+  std::sort(out->files.begin(), out->files.end());
+  if (out->files.empty()) {
+    *error = "no scenario files (pass SPEC.json paths or --dir DIR)";
+    return false;
+  }
+  return true;
+}
+
+// Minimal canonical dump of a parsed JsonValue, used to re-emit the
+// sections of BENCH_sweep.json this bench does not own.
+void dump(const JsonValue& v, std::string* out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (v.kind()) {
+    case JsonValue::Kind::Null:
+      *out += "null";
+      break;
+    case JsonValue::Kind::Bool:
+      *out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::Number: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v.as_number());
+      *out += buf;
+      break;
+    }
+    case JsonValue::Kind::String:
+      *out += "\"" + gc::obs::json_escape(v.as_string()) + "\"";
+      break;
+    case JsonValue::Kind::Array: {
+      const auto& a = v.as_array();
+      if (a.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        *out += pad + "  ";
+        dump(a[i], out, indent + 1);
+        *out += i + 1 < a.size() ? ",\n" : "\n";
+      }
+      *out += pad + "]";
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      const auto& o = v.as_object();
+      if (o.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      std::size_t i = 0;
+      for (const auto& [k, val] : o) {
+        *out += pad + "  \"" + gc::obs::json_escape(k) + "\": ";
+        dump(val, out, indent + 1);
+        *out += ++i < o.size() ? ",\n" : "\n";
+      }
+      *out += pad + "}";
+      break;
+    }
+  }
+}
+
+struct Row {
+  std::string name;
+  int nodes = 0, bs = 0, users = 0, sessions = 0, slots = 0;
+  double wall_s = 0.0, slots_per_s = 0.0;
+};
+
+Row run_one(const std::string& path, int slots) {
+  const gc::scenario::ScenarioSpec spec =
+      gc::scenario::load_scenario_file(path);
+  const gc::core::NetworkModel model = spec.config.build();
+  gc::core::LyapunovController controller(model, 3.0,
+                                          spec.config.controller_options());
+  gc::sim::SimOptions sim_opts;
+  sim_opts.scenario_name = spec.name;
+  sim_opts.scenario_hash = gc::scenario::scenario_hash(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  const gc::sim::Metrics m =
+      gc::sim::run_simulation(model, controller, slots, sim_opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  Row row;
+  row.name = spec.name;
+  row.nodes = model.num_nodes();
+  row.bs = model.topology().num_base_stations();
+  row.users = model.topology().num_users();
+  row.sessions = model.num_sessions();
+  row.slots = m.slots;
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  row.slots_per_s = row.wall_s > 0.0 ? m.slots / row.wall_s : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  std::string error;
+  if (!parse_args({argv + 1, argv + argc}, &args, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return error.rfind("usage:", 0) == 0 ? 0 : 2;
+  }
+
+  try {
+    std::vector<Row> rows;
+    for (const std::string& f : args.files) {
+      std::printf("running %s (%d slots)...\n", f.c_str(), args.slots);
+      rows.push_back(run_one(f, args.slots));
+      const Row& r = rows.back();
+      std::printf("  %s: %d nodes (%d BS + %d users), %d sessions, "
+                  "%.3f s wall, %.2f slots/s\n",
+                  r.name.c_str(), r.nodes, r.bs, r.users, r.sessions,
+                  r.wall_s, r.slots_per_s);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.nodes < b.nodes; });
+
+    // Read-modify-write: keep every member of the existing BENCH_sweep.json
+    // except "scale_scenarios", which this bench owns.
+    std::string body = "{\n";
+    {
+      std::ifstream in(args.out);
+      if (in.good()) {
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const JsonValue prior = gc::obs::json_parse(ss.str());
+        for (const auto& [k, v] : prior.as_object()) {
+          if (k == "scale_scenarios") continue;
+          body += "  \"" + gc::obs::json_escape(k) + "\": ";
+          dump(v, &body, 1);
+          body += ",\n";
+        }
+      }
+    }
+    body += "  \"scale_scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      char buf[512];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"scenario\": \"%s\", \"nodes\": %d, \"bs\": %d, "
+                    "\"users\": %d, \"sessions\": %d, \"slots\": %d,\n"
+                    "     \"wall_s\": %.6f, \"slots_per_s\": %.3f}%s\n",
+                    gc::obs::json_escape(r.name).c_str(), r.nodes, r.bs,
+                    r.users, r.sessions, r.slots, r.wall_s, r.slots_per_s,
+                    i + 1 < rows.size() ? "," : "");
+      body += buf;
+    }
+    body += "  ]\n}\n";
+
+    std::ofstream out(args.out, std::ios::trunc);
+    GC_CHECK_MSG(out.good(), "cannot open " << args.out);
+    out << body;
+    std::printf("written to %s\n", args.out.c_str());
+    return 0;
+  } catch (const gc::CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const fs::filesystem_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -99,24 +99,28 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   // S3 — routing over the realized capacities (ladder: Lp -> Greedy).
   {
     obs::ScopedTimer t(m.s3, &decision.timing.s3_s);
+    const std::vector<double>* demand =
+        inputs.session_demand_packets.empty() ? nullptr
+                                              : &inputs.session_demand_packets;
     RoutingResult routing;
     if (options_.router == ControllerOptions::Router::Lp) {
       if (options_.fallbacks) {
         try {
           routing = lp_route(state_, decision.schedule, decision.admissions,
-                             options_.lp, &lp_ws_s3_);
+                             options_.lp, &lp_ws_s3_, demand);
         } catch (const CheckError&) {
           m.fallback_s3.add();
           ++decision.fallbacks;
-          routing =
-              greedy_route(state_, decision.schedule, decision.admissions);
+          routing = greedy_route(state_, decision.schedule,
+                                 decision.admissions, demand);
         }
       } else {
         routing = lp_route(state_, decision.schedule, decision.admissions,
-                           options_.lp, &lp_ws_s3_);
+                           options_.lp, &lp_ws_s3_, demand);
       }
     } else {
-      routing = greedy_route(state_, decision.schedule, decision.admissions);
+      routing = greedy_route(state_, decision.schedule, decision.admissions,
+                             demand);
     }
     decision.routes = std::move(routing.routes);
     decision.demand_shortfall = std::move(routing.demand_shortfall);

@@ -177,6 +177,18 @@ SlotInputs NetworkModel::sample_inputs(int slot, Rng& rng) const {
         energy::GridConnection(nodes_[i].grid).sample_connected(grid_rng) ? 1
                                                                           : 0;
   }
+
+  if (config_.traffic != nullptr) {
+    // Run-level traffic stream (position-independent fork: the same stream
+    // every slot); models fork it further by (session, slot/block), so the
+    // evaluation stays pure and checkpoint-resume-safe.
+    const Rng traffic_rng = rng.fork(0x4000u);
+    const int S = num_sessions();
+    in.session_demand_packets.assign(static_cast<std::size_t>(S), 0.0);
+    for (int s = 0; s < S; ++s)
+      in.session_demand_packets[s] = config_.traffic->demand_packets(
+          s, slot, sessions_[s].demand_packets, traffic_rng);
+  }
   return in;
 }
 

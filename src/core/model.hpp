@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/traffic.hpp"
 #include "core/types.hpp"
 #include "energy/battery.hpp"
 #include "energy/cost.hpp"
@@ -52,6 +53,10 @@ struct ModelConfig {
   // more throughput for more transmit energy (bench/ablation_phy_policy).
   enum class PhyPolicy { MinPowerFixedRate, MaxPowerAdaptiveRate };
   PhyPolicy phy_policy = PhyPolicy::MinPowerFixedRate;
+  // Time-varying session demand v_s(t) (core/traffic.hpp). Null keeps the
+  // constant-rate model: sample_inputs leaves the demand vector empty and
+  // nothing downstream changes.
+  std::shared_ptr<const TrafficModel> traffic;
 };
 
 class NetworkModel {
@@ -85,6 +90,15 @@ class NetworkModel {
   const NodeParams& node(int i) const { return nodes_[check_node(i)]; }
   const Session& session(int s) const { return sessions_[check_session(s)]; }
   const std::vector<Session>& sessions() const { return sessions_; }
+
+  // v_s(t): the slot's sampled demand when the inputs carry one
+  // (time-varying traffic), else the session's constant demand.
+  double demand_packets(int s, const SlotInputs& inputs) const {
+    check_session(s);
+    return inputs.session_demand_packets.empty()
+               ? sessions_[s].demand_packets
+               : inputs.session_demand_packets[s];
+  }
 
   double slot_seconds() const { return config_.slot_seconds; }
   double packet_bits() const { return config_.packet_bits; }

@@ -49,9 +49,14 @@ struct LinkCap {
 
 RoutingResult greedy_route(const NetworkState& state,
                            const std::vector<ScheduledLink>& schedule,
-                           const std::vector<AdmissionDecision>& admissions) {
+                           const std::vector<AdmissionDecision>& admissions,
+                           const std::vector<double>* demand) {
   const auto& model = state.model();
   const int S = model.num_sessions();
+  const auto demand_of = [&](int s) {
+    return demand != nullptr ? (*demand)[static_cast<std::size_t>(s)]
+                             : model.session(s).demand_packets;
+  };
   RoutingResult result;
   result.demand_shortfall.assign(static_cast<std::size_t>(S), 0.0);
 
@@ -80,7 +85,7 @@ RoutingResult greedy_route(const NetworkState& state,
   // out.
   for (int s = 0; s < S; ++s) {
     const int dest = model.session(s).destination;
-    double need = model.session(s).demand_packets;
+    double need = demand_of(s);
     if (need <= 0.0) continue;
     std::vector<std::size_t> incoming;
     for (std::size_t l = 0; l < links.size(); ++l)
@@ -132,9 +137,14 @@ RoutingResult lp_route(const NetworkState& state,
                        const std::vector<ScheduledLink>& schedule,
                        const std::vector<AdmissionDecision>& admissions,
                        const lp::Options& lp_options,
-                       lp::Workspace* workspace) {
+                       lp::Workspace* workspace,
+                       const std::vector<double>* demand) {
   const auto& model = state.model();
   const int S = model.num_sessions();
+  const auto demand_of = [&](int s) {
+    return demand != nullptr ? (*demand)[static_cast<std::size_t>(s)]
+                             : model.session(s).demand_packets;
+  };
   RoutingResult result;
   result.demand_shortfall.assign(static_cast<std::size_t>(S), 0.0);
 
@@ -174,12 +184,12 @@ RoutingResult lp_route(const NetworkState& state,
   for (int v = 0; v < m.num_variables(); ++v)
     dominate = std::max(dominate, std::abs(m.objective_coeff(v)) + 1.0);
   for (int s = 0; s < S; ++s) {
-    const double demand = model.session(s).demand_packets;
-    if (demand <= 0.0 || dest_vars[s].empty()) {
-      result.demand_shortfall[s] = demand;
+    const double need = demand_of(s);
+    if (need <= 0.0 || dest_vars[s].empty()) {
+      result.demand_shortfall[s] = need;
       continue;
     }
-    const int row = m.add_row(lp::Sense::LessEqual, demand);
+    const int row = m.add_row(lp::Sense::LessEqual, need);
     for (int v : dest_vars[s]) m.set_coeff(row, v, 1.0);
     for (int v : dest_vars[s])
       m.set_objective_coeff(v, m.objective_coeff(v) - dominate);
@@ -202,8 +212,7 @@ RoutingResult lp_route(const NetworkState& state,
       delivered[vars[v].session] += packets;
   }
   for (int s = 0; s < S; ++s)
-    result.demand_shortfall[s] =
-        std::max(model.session(s).demand_packets - delivered[s], 0.0);
+    result.demand_shortfall[s] = std::max(demand_of(s) - delivered[s], 0.0);
   note_routes(state, result.routes);
   return result;
 }

@@ -28,9 +28,13 @@ struct RoutingResult {
   std::vector<double> demand_shortfall;
 };
 
+// `demand` (optional) carries the slot's sampled v_s(t) when the model has
+// a time-varying TrafficModel (SlotInputs::session_demand_packets); null
+// falls back to the sessions' constant demand.
 RoutingResult greedy_route(const NetworkState& state,
                            const std::vector<ScheduledLink>& schedule,
-                           const std::vector<AdmissionDecision>& admissions);
+                           const std::vector<AdmissionDecision>& admissions,
+                           const std::vector<double>* demand = nullptr);
 
 // Exact LP solution of S3 (continuous relaxation; the constraint structure
 // is integral in practice). Reference implementation for tests/ablation.
@@ -45,7 +49,8 @@ RoutingResult lp_route(const NetworkState& state,
                        const std::vector<ScheduledLink>& schedule,
                        const std::vector<AdmissionDecision>& admissions,
                        const lp::Options& lp_options = {},
-                       lp::Workspace* workspace = nullptr);
+                       lp::Workspace* workspace = nullptr,
+                       const std::vector<double>* demand = nullptr);
 
 // Objective value of S3 for a given routing.
 double routing_objective(const NetworkState& state,

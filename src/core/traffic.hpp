@@ -1,0 +1,134 @@
+// Time-varying session demand v_s(t) (Section II-A models it as a random
+// process; the seed reproduction pinned it constant).
+//
+// A TrafficModel maps (session, slot, base demand) to the slot's offered
+// demand in packets. Implementations must be *pure per-slot evaluations*:
+// the result may depend only on the arguments and on forks of the passed
+// run-level Rng (it arrives const, so models can only fork it — typically
+// by (session, slot) or (session, block) tags), never on hidden history.
+// That is what keeps runs bit-reproducible at any thread count and lets a
+// checkpoint resume at slot t without replaying slots [0, t).
+//
+// Models are attached via ModelConfig::traffic; when absent, SlotInputs
+// carries no demand vector and every consumer falls back to the sessions'
+// constant demand, bit-identically to the pre-scenario code path.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gc::core {
+
+class TrafficModel {
+ public:
+  virtual ~TrafficModel() = default;
+  // Offered demand v_s(t) in whole packets. `base_packets` is the session's
+  // constant-rate demand; `rng` is the run-level traffic stream (fork it,
+  // do not advance it).
+  virtual double demand_packets(int session, int slot, double base_packets,
+                                const Rng& rng) const = 0;
+  // Upper bound on demand_packets / base_packets over all slots; bounds the
+  // admission burst the same way K_s^max does.
+  virtual double max_factor() const = 0;
+};
+
+// Diurnal sinusoid: base * (1 + amplitude * sin(...)), peaking at
+// peak_phase (fraction of the day, 0.5 = midday for phase-0 mornings).
+class DiurnalTraffic final : public TrafficModel {
+ public:
+  DiurnalTraffic(int slots_per_day, double amplitude, double peak_phase)
+      : slots_per_day_(slots_per_day),
+        amplitude_(amplitude),
+        peak_phase_(peak_phase) {
+    GC_CHECK(slots_per_day >= 2);
+    GC_CHECK(amplitude >= 0.0 && amplitude <= 1.0);
+    GC_CHECK(peak_phase >= 0.0 && peak_phase <= 1.0);
+  }
+  double demand_packets(int /*session*/, int slot, double base_packets,
+                        const Rng& /*rng*/) const override {
+    const double phase =
+        static_cast<double>(slot % slots_per_day_) / slots_per_day_;
+    const double wave =
+        std::sin(2.0 * M_PI * (phase - peak_phase_) + 0.5 * M_PI);
+    return std::floor(std::max(0.0, base_packets * (1.0 + amplitude_ * wave)));
+  }
+  double max_factor() const override { return 1.0 + amplitude_; }
+
+ private:
+  int slots_per_day_;
+  double amplitude_;
+  double peak_phase_;
+};
+
+// Two-state bursty (MMPP-style) demand: each session follows an on/off
+// Markov chain scaling its base demand by on_mult / off_mult. To keep the
+// per-slot evaluation pure (checkpoint-safe, O(block) not O(t)), time is
+// cut into regeneration blocks of `block_slots`: the chain starts each
+// block from its stationary distribution (seeded by the block index and
+// session) and evolves deterministically within the block. Correlations
+// therefore span up to block_slots slots; across blocks draws are
+// independent.
+class BurstyTraffic final : public TrafficModel {
+ public:
+  BurstyTraffic(double on_mult, double off_mult, double p_on_off,
+                double p_off_on, int block_slots)
+      : on_mult_(on_mult),
+        off_mult_(off_mult),
+        p_on_off_(p_on_off),
+        p_off_on_(p_off_on),
+        block_slots_(block_slots) {
+    GC_CHECK(on_mult >= 0.0 && off_mult >= 0.0);
+    GC_CHECK(p_on_off > 0.0 && p_on_off <= 1.0);
+    GC_CHECK(p_off_on > 0.0 && p_off_on <= 1.0);
+    GC_CHECK(block_slots >= 1);
+  }
+  double demand_packets(int session, int slot, double base_packets,
+                        const Rng& rng) const override {
+    const int block = slot / block_slots_;
+    Rng chain = rng.fork(0x5000u +
+                         (static_cast<std::uint64_t>(session) << 32) +
+                         static_cast<std::uint64_t>(block));
+    const double stationary_on = p_off_on_ / (p_on_off_ + p_off_on_);
+    bool on = chain.bernoulli(stationary_on);
+    const int steps = slot % block_slots_;
+    for (int k = 0; k < steps; ++k)
+      on = on ? !chain.bernoulli(p_on_off_) : chain.bernoulli(p_off_on_);
+    return std::floor(
+        std::max(0.0, base_packets * (on ? on_mult_ : off_mult_)));
+  }
+  double max_factor() const override { return std::max(on_mult_, off_mult_); }
+
+ private:
+  double on_mult_, off_mult_;
+  double p_on_off_, p_off_on_;
+  int block_slots_;
+};
+
+// Flash crowd: demand multiplied by `multiplier` during
+// [start_slot, start_slot + duration_slots); base everywhere else.
+class FlashCrowdTraffic final : public TrafficModel {
+ public:
+  FlashCrowdTraffic(int start_slot, int duration_slots, double multiplier)
+      : start_(start_slot), duration_(duration_slots), mult_(multiplier) {
+    GC_CHECK(start_slot >= 0);
+    GC_CHECK(duration_slots >= 1);
+    GC_CHECK(multiplier >= 0.0);
+  }
+  double demand_packets(int /*session*/, int slot, double base_packets,
+                        const Rng& /*rng*/) const override {
+    const bool spiking = slot >= start_ && slot < start_ + duration_;
+    return std::floor(
+        std::max(0.0, base_packets * (spiking ? mult_ : 1.0)));
+  }
+  double max_factor() const override { return std::max(1.0, mult_); }
+
+ private:
+  int start_, duration_;
+  double mult_;
+};
+
+}  // namespace gc::core

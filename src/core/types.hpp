@@ -25,6 +25,11 @@ struct SlotInputs {
   std::vector<double> bandwidth_hz;   // W_m(t), indexed by band
   std::vector<double> renewable_j;    // R_i(t) * dt, indexed by node
   std::vector<char> grid_connected;   // omega_i(t), indexed by node
+  // v_s(t), indexed by session, sampled from the model's TrafficModel
+  // (core/traffic.hpp). Empty under the constant-rate model, in which case
+  // every consumer uses the sessions' constant demand — the pre-scenario
+  // behavior, bit for bit. Read via NetworkModel::demand_packets.
+  std::vector<double> session_demand_packets;
 
   // Fault overlay. A down node admits, forwards, transmits, receives,
   // charges and discharges nothing — its queues and battery freeze. A faded

@@ -119,11 +119,11 @@ std::vector<std::string> validate_decision(const NetworkState& pre_state,
         s < static_cast<int>(decision.demand_shortfall.size())
             ? decision.demand_shortfall[s]
             : 0.0;
-    if (std::abs(into_dest + shortfall - model.session(s).demand_packets) >
+    if (std::abs(into_dest + shortfall - model.demand_packets(s, inputs)) >
         tol)
       fail(str("(18) violated: session ", s, " delivered ", into_dest,
                " + shortfall ", shortfall, " != demand ",
-               model.session(s).demand_packets));
+               model.demand_packets(s, inputs)));
     if (options.require_demand_met && shortfall > tol)
       fail(str("(18) shortfall ", shortfall, " for session ", s));
   }

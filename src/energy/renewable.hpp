@@ -79,4 +79,35 @@ class SolarRenewable final : public RenewableModel {
   double clearness_lo_;
 };
 
+// Wind turbine: wind speed drawn i.i.d. per slot from a Weibull(shape)
+// distribution (scale normalized so the rated speed is `rated_speed_ratio`
+// scale units), mapped through the standard cubic power curve and clipped
+// at the rated output. Bounded by peak_w * dt, so the analysis constants
+// (Section II-D) carry over unchanged.
+class WindRenewable final : public RenewableModel {
+ public:
+  WindRenewable(double peak_w, double slot_seconds, double weibull_shape = 2.0,
+                double rated_speed_ratio = 1.5)
+      : peak_j_(peak_w * slot_seconds),
+        shape_(weibull_shape),
+        rated_(rated_speed_ratio) {
+    GC_CHECK(peak_w >= 0.0 && slot_seconds > 0.0);
+    GC_CHECK(weibull_shape > 0.0);
+    GC_CHECK(rated_speed_ratio > 0.0);
+  }
+  double sample_j(int /*slot*/, Rng& rng) const override {
+    // Inverse-transform Weibull draw with unit scale.
+    const double u = rng.uniform01();
+    const double speed = std::pow(-std::log(1.0 - u), 1.0 / shape_);
+    const double frac = std::min(1.0, std::pow(speed / rated_, 3.0));
+    return peak_j_ * frac;
+  }
+  double max_j() const override { return peak_j_; }
+
+ private:
+  double peak_j_;
+  double shape_;
+  double rated_;
+};
+
 }  // namespace gc::energy

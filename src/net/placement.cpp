@@ -1,0 +1,79 @@
+#include "net/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::net {
+
+std::vector<Vec2> hex_grid_centers(const HexGridParams& params,
+                                   double* width_m, double* height_m) {
+  GC_CHECK_MSG(params.rows >= 1 && params.cols >= 1,
+               "hex grid needs rows >= 1 and cols >= 1");
+  GC_CHECK_MSG(params.cell_radius_m > 0.0, "hex cell radius must be > 0");
+  const double pitch = std::sqrt(3.0) * params.cell_radius_m;
+  // Row spacing of a honeycomb is 3/2 * R; odd rows shift half a pitch.
+  const double row_step = 1.5 * params.cell_radius_m;
+  const double margin = 0.5 * pitch;
+  std::vector<Vec2> centers;
+  centers.reserve(static_cast<std::size_t>(params.rows) * params.cols);
+  for (int r = 0; r < params.rows; ++r) {
+    const double offset = (r % 2 == 1) ? 0.5 * pitch : 0.0;
+    for (int c = 0; c < params.cols; ++c)
+      centers.push_back(
+          Vec2{margin + offset + c * pitch, margin + r * row_step});
+  }
+  if (width_m != nullptr)
+    *width_m = (params.cols - 1) * pitch + (params.rows > 1 ? 0.5 * pitch : 0.0) +
+               2.0 * margin;
+  if (height_m != nullptr) *height_m = (params.rows - 1) * row_step + 2.0 * margin;
+  return centers;
+}
+
+std::vector<Vec2> place_uniform(int count, double width_m, double height_m,
+                                Rng& rng) {
+  GC_CHECK(count >= 0);
+  GC_CHECK(width_m > 0.0 && height_m > 0.0);
+  std::vector<Vec2> points;
+  points.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    points.push_back(
+        Vec2{rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)});
+  return points;
+}
+
+std::vector<Vec2> place_poisson(double mean_count, double width_m,
+                                double height_m, Rng& rng) {
+  GC_CHECK(mean_count >= 0.0);
+  const int count = static_cast<int>(rng.poisson(mean_count));
+  return place_uniform(count, width_m, height_m, rng);
+}
+
+std::vector<Vec2> place_clustered(int count, int hotspots, double sigma_m,
+                                  double cluster_fraction, double width_m,
+                                  double height_m, Rng& rng) {
+  GC_CHECK(count >= 0);
+  GC_CHECK_MSG(hotspots >= 1, "clustered placement needs >= 1 hotspot");
+  GC_CHECK(sigma_m >= 0.0);
+  GC_CHECK(cluster_fraction >= 0.0 && cluster_fraction <= 1.0);
+  GC_CHECK(width_m > 0.0 && height_m > 0.0);
+  const std::vector<Vec2> centers =
+      place_uniform(hotspots, width_m, height_m, rng);
+  std::vector<Vec2> points;
+  points.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (rng.bernoulli(cluster_fraction)) {
+      const Vec2& c =
+          centers[static_cast<std::size_t>(rng.uniform_int(0, hotspots - 1))];
+      const double x = std::clamp(c.x + rng.normal(0.0, sigma_m), 0.0, width_m);
+      const double y =
+          std::clamp(c.y + rng.normal(0.0, sigma_m), 0.0, height_m);
+      points.push_back(Vec2{x, y});
+    } else {
+      points.push_back(
+          Vec2{rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)});
+    }
+  }
+  return points;
+}
+
+}  // namespace gc::net

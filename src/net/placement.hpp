@@ -1,0 +1,54 @@
+// Procedural topology generators for the scenario subsystem
+// (docs/SCENARIOS.md): base-station layouts beyond the paper's fixed 2-BS
+// line, and user-placement point processes beyond uniform scatter.
+//
+// Everything here is a pure function of its parameters and the passed Rng,
+// so generated topologies are bit-reproducible from the scenario seed and
+// safe to rebuild identically on checkpoint resume.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace gc::net {
+
+// Hexagonal multi-cell grid: rows x cols base stations at hexagonal cell
+// centers with center-to-center pitch sqrt(3) * cell_radius_m (adjacent
+// hexagons of circumradius cell_radius_m touch). Odd rows are offset by
+// half a pitch, the classic honeycomb.
+struct HexGridParams {
+  int rows = 2;
+  int cols = 2;
+  double cell_radius_m = 500.0;
+};
+
+// The cell centers, translated so the grid sits centered inside its
+// bounding box [0, width] x [0, height] with a half-pitch margin on every
+// side. `width_m`/`height_m` (optional) receive the bounding box, which is
+// also the area users are placed in and mobility walks over.
+std::vector<Vec2> hex_grid_centers(const HexGridParams& params,
+                                   double* width_m = nullptr,
+                                   double* height_m = nullptr);
+
+// Uniform scatter: `count` points i.i.d. uniform over the box. Draw order
+// is (x, y) per point, matching Topology::paper_layout's user placement.
+std::vector<Vec2> place_uniform(int count, double width_m, double height_m,
+                                Rng& rng);
+
+// Homogeneous Poisson point process: N ~ Poisson(mean_count) points,
+// uniform over the box (the standard conditional construction). The
+// realized count varies with the seed; callers must cope with 0.
+std::vector<Vec2> place_poisson(double mean_count, double width_m,
+                                double height_m, Rng& rng);
+
+// Clustered hotspots (Matern-style): `hotspots` cluster centers uniform
+// over the box; each of the `count` points joins a random cluster with
+// probability `cluster_fraction` (Gaussian offset of scale `sigma_m`,
+// clamped to the box) and falls back to uniform background otherwise.
+std::vector<Vec2> place_clustered(int count, int hotspots, double sigma_m,
+                                  double cluster_fraction, double width_m,
+                                  double height_m, Rng& rng);
+
+}  // namespace gc::net

@@ -31,6 +31,28 @@ TraceSink::TraceSink(const std::string& path)
   GC_CHECK_MSG(out_.good(), "cannot open trace file " << path);
 }
 
+void TraceSink::write_header(const std::string& scenario_name,
+                             std::uint64_t scenario_hash) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string& s = line_;
+  s.clear();
+  s += "{\"scenario\":{\"name\":\"";
+  // Scenario names are restricted to JSON-safe characters by the scenario
+  // parser, but escape the two structural ones defensively.
+  for (char c : scenario_name) {
+    if (c == '"' || c == '\\') s += '\\';
+    s += c;
+  }
+  s += "\",\"hash\":\"0x";
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(scenario_hash));
+  s += buf;
+  s += "\"}}\n";
+  out_ << s;
+  GC_CHECK_MSG(out_.good(), "trace write failed on " << path_);
+}
+
 void TraceSink::write(const TraceRecord& r) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string& s = line_;

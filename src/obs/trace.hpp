@@ -17,6 +17,7 @@
 // every other library; the simulator flattens its state into TraceRecord.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <mutex>
 #include <string>
@@ -54,6 +55,15 @@ class TraceSink {
  public:
   // Opens (truncates) `path`; throws gc::CheckError if it cannot.
   explicit TraceSink(const std::string& path);
+
+  // Writes the one-line header record identifying the run's scenario:
+  //   {"scenario":{"name":"...","hash":"0x..."}}
+  // Call before the first slot record; tools (trace_summarize) detect the
+  // header by its "scenario" key. An empty name and hash 0 mean an ad-hoc
+  // run; the header is still written so the file shape is uniform. Header
+  // lines do not count toward records().
+  void write_header(const std::string& scenario_name,
+                    std::uint64_t scenario_hash);
 
   // Serializes each record as one complete line. Safe to call from
   // concurrent simulations sharing one sink: the format-and-write cycle is

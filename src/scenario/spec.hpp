@@ -1,0 +1,59 @@
+// Declarative scenario specs (docs/SCENARIOS.md): scenarios are data, not
+// code. A JSON file selects the topology/traffic/renewable/tariff
+// generators and their parameters; this layer validates it against the
+// schema (precise error paths like "topology.cells.rows: expected int >=
+// 1", unknown keys rejected), compiles it into sim::ScenarioConfig, and
+// serializes the *resolved* spec back to canonical JSON (every field
+// present, fixed key order, %.17g numbers) so specs round-trip bit-exactly
+// and can be diffed, golden-tested, and hashed.
+//
+// The scenario hash (FNV-1a 64 over the canonical config-only JSON — the
+// name is attribution, not configuration) is the run's identity: it is
+// stamped into trace headers and checkpoints, and a checkpoint resume
+// under a different hash is refused (sim/simulator.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/scenario.hpp"
+
+namespace gc::scenario {
+
+struct ScenarioSpec {
+  // Attribution only; excluded from the hash. Restricted to
+  // [A-Za-z0-9._-], at most 64 characters (safe in filenames, trace
+  // headers, and reports without escaping).
+  std::string name = "default";
+  sim::ScenarioConfig config;
+};
+
+// Parses and schema-validates one scenario JSON document. Errors are
+// gc::CheckError with the offending path and the accepted domain, e.g.
+//   topology.cells.rows: expected int >= 1, got -3
+//   traffic: unknown key "burstiness" (allowed: kind, sessions, ...)
+// Absent keys take the ScenarioConfig defaults, so "{}" is the paper
+// scenario named "default".
+ScenarioSpec parse_scenario_json(const std::string& text);
+
+// Reads `path` and parses it; file errors and parse errors both name the
+// file.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+// Canonical resolved dump: every schema key present (defaults filled in),
+// fixed key order, 2-space indent, %.17g numbers. parse(to_json(s)) == s,
+// and to_json(parse(to_json(s))) == to_json(s) byte for byte. A
+// time-of-use tariff block resolves to its multiplier trace, so
+// semantically equal specs serialize identically.
+std::string to_json(const ScenarioSpec& spec);
+
+// FNV-1a 64-bit over the canonical config-only JSON (to_json with the
+// name field dropped). Two specs hash equal iff they resolve to the same
+// configuration.
+std::uint64_t scenario_hash(const ScenarioSpec& spec);
+
+// "0x" + 16 lowercase hex digits; the format used in trace headers and
+// human-facing messages.
+std::string hash_hex(std::uint64_t hash);
+
+}  // namespace gc::scenario

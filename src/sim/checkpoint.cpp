@@ -193,6 +193,7 @@ void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
     GC_CHECK_MSG(out.good(), "cannot open checkpoint file " << tmp);
     out.write(kCheckpointMagic, 8);
     put_u32(out, kCheckpointVersion);
+    put_u64(out, checkpoint.scenario_hash);
     put_i64(out, checkpoint.next_slot);
     put_rng(out, checkpoint.input_rng);
     put_f64(out, checkpoint.last_grid_j);
@@ -217,6 +218,7 @@ void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
     put_f64(out, m.total_curtailed_j);
     put_f64(out, m.total_delivered_packets);
     put_f64(out, m.total_admitted_packets);
+    put_f64(out, m.total_offered_packets);
     put_i64(out, m.slots);
     put_f64(out, m.timing.s1_s);
     put_f64(out, m.timing.s2_s);
@@ -255,9 +257,13 @@ Checkpoint load_checkpoint(const std::string& path) {
                "bad checkpoint magic in " << path);
   const std::uint32_t version = get_u32(in);
   GC_CHECK_MSG(version == kCheckpointVersion,
-               "unsupported checkpoint version " << version << " in "
-                                                 << path);
+               "unsupported checkpoint version "
+                   << version << " in " << path << " (this build reads v"
+                   << kCheckpointVersion
+                   << "; older checkpoints lack the scenario hash and "
+                      "offered-packets fields — re-run from slot 0)");
   Checkpoint c;
+  c.scenario_hash = get_u64(in);
   c.next_slot = static_cast<int>(get_i64(in));
   c.input_rng = get_rng(in);
   c.last_grid_j = get_f64(in);
@@ -283,6 +289,7 @@ Checkpoint load_checkpoint(const std::string& path) {
   m.total_curtailed_j = get_f64(in);
   m.total_delivered_packets = get_f64(in);
   m.total_admitted_packets = get_f64(in);
+  m.total_offered_packets = get_f64(in);
   m.slots = static_cast<int>(get_i64(in));
   m.timing.s1_s = get_f64(in);
   m.timing.s2_s = get_f64(in);

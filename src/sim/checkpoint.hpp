@@ -13,7 +13,10 @@
 //  * optionally the mobility walker (trips + RNG) and the user positions.
 //
 // Serialization is a versioned binary format: the 8-byte magic "GCCKPT01"
-// followed by a u32 format version (currently 1) and fixed-width
+// followed by a u32 format version (currently 2: v2 added the scenario
+// hash and the offered-packets total; v1 files are refused loudly — re-run
+// from slot 0 rather than resuming with silently missing state) and
+// fixed-width
 // little-endian fields (doubles as their IEEE-754 bit patterns, so the
 // round trip is bit-exact). save_checkpoint writes to a temp file and
 // renames it into place, so a crash mid-write never corrupts the previous
@@ -34,10 +37,13 @@
 namespace gc::sim {
 
 inline constexpr char kCheckpointMagic[9] = "GCCKPT01";
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 struct Checkpoint {
   int next_slot = 0;  // first slot the resumed run executes
+  // Scenario identity hash (src/scenario); 0 for runs without a scenario
+  // spec. run_loop refuses to resume when it differs from the run's.
+  std::uint64_t scenario_hash = 0;
   RngState input_rng;
   double last_grid_j = 0.0;  // controller's P(t-1) memory
 

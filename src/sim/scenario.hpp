@@ -22,6 +22,60 @@
 
 namespace gc::sim {
 
+// Declarative generator selections (docs/SCENARIOS.md). Every spec's
+// default reproduces the paper evaluation path bit-identically, so a
+// default-constructed ScenarioConfig is unchanged by their existence.
+
+struct TopologySpec {
+  // Paper: the fixed 2-BS line layout of Section VI inside the area_m
+  // square. HexGrid: rows x cols base stations at hexagonal cell centers
+  // (net/placement.hpp); the bounding box replaces area_m.
+  enum class Layout { Paper, HexGrid };
+  Layout layout = Layout::Paper;
+  int rows = 2, cols = 2;        // HexGrid only
+  double cell_radius_m = 500.0;  // HexGrid only
+
+  // User point process over the box. Uniform is the paper's scatter;
+  // Poisson draws the count itself (num_users becomes the mean);
+  // Clustered concentrates users around random hotspots.
+  enum class Placement { Uniform, Poisson, Clustered };
+  Placement placement = Placement::Uniform;
+  int hotspots = 3;               // Clustered only
+  double hotspot_sigma_m = 150.0; // Clustered only
+  double hotspot_fraction = 0.7;  // Clustered only
+};
+
+struct TrafficSpec {
+  // Constant is the v_s(t) = v_s model the seed reproduction pinned; the
+  // others attach a core::TrafficModel (core/traffic.hpp).
+  enum class Kind { Constant, Diurnal, Bursty, FlashCrowd };
+  Kind kind = Kind::Constant;
+  // Diurnal sinusoid.
+  int slots_per_day = 1440;
+  double amplitude = 0.5;
+  double peak_phase = 0.5;
+  // Two-state bursty (MMPP-style).
+  double on_mult = 2.0, off_mult = 0.25;
+  double p_on_off = 0.1, p_off_on = 0.1;
+  int block_slots = 64;
+  // Flash crowd.
+  int start_slot = 100;
+  int duration_slots = 50;
+  double spike_multiplier = 4.0;
+};
+
+struct RenewableSpec {
+  // Uniform is the paper's U[0, peak]; Solar/Wind are the diurnal and
+  // Weibull models of energy/renewable.hpp, applied to BS and users alike
+  // (each keeps its own peak wattage).
+  enum class Kind { Uniform, Solar, Wind };
+  Kind kind = Kind::Uniform;
+  int slots_per_day = 1440;        // Solar only
+  double clearness_lo = 0.3;       // Solar only
+  double weibull_shape = 2.0;      // Wind only
+  double rated_speed_ratio = 1.5;  // Wind only
+};
+
 struct ScenarioConfig {
   std::uint64_t seed = 42;
 
@@ -92,8 +146,16 @@ struct ScenarioConfig {
   core::ModelConfig::PhyPolicy phy_policy =
       core::ModelConfig::PhyPolicy::MinPowerFixedRate;
 
-  // Cyclic tariff multipliers (empty = flat; see energy/tariff.hpp).
+  // Cyclic tariff multipliers (empty = flat; see energy/tariff.hpp). The
+  // scenario JSON's tariff block (flat / time-of-use / trace) compiles down
+  // to this vector.
   std::vector<double> tariff_multipliers;
+
+  // Declarative generators; defaults take the legacy paper code path
+  // bit for bit.
+  TopologySpec topology;
+  TrafficSpec traffic;
+  RenewableSpec renewable;
 
   // Algorithm parameters. lambda*V is the source-backlog admission
   // threshold in packets.

@@ -14,7 +14,7 @@ namespace gc::sim {
 namespace {
 
 void record(Metrics& m, const core::NetworkModel& model,
-            const core::NetworkState& state,
+            const core::NetworkState& state, const core::SlotInputs& inputs,
             const core::SlotDecision& decision) {
   m.cost.push_back(decision.cost);
   m.grid_j.push_back(decision.grid_total_j);
@@ -34,6 +34,8 @@ void record(Metrics& m, const core::NetworkModel& model,
     if (r.rx == model.session(r.session).destination)
       m.total_delivered_packets += r.packets;
   for (const auto& a : decision.admissions) m.total_admitted_packets += a.packets;
+  for (int s = 0; s < model.num_sessions(); ++s)
+    m.total_offered_packets += model.demand_packets(s, inputs);
 
   m.timing.s1_s += decision.timing.s1_s;
   m.timing.s2_s += decision.timing.s2_s;
@@ -108,6 +110,14 @@ Metrics run_loop(const core::NetworkModel& model,
   int start_slot = 0;
   if (!options.resume_path.empty()) {
     const Checkpoint checkpoint = load_checkpoint(options.resume_path);
+    GC_CHECK_MSG(
+        checkpoint.scenario_hash == options.scenario_hash,
+        "checkpoint " << options.resume_path << " was written for scenario "
+                      << "hash 0x" << std::hex << checkpoint.scenario_hash
+                      << " but this run is scenario hash 0x"
+                      << options.scenario_hash << std::dec
+                      << "; resuming under a different scenario spec is "
+                         "refused (rebuild the checkpoint or match specs)");
     restore_checkpoint(checkpoint, input_rng, controller, m, mobility,
                        topology);
     start_slot = checkpoint.next_slot;
@@ -120,14 +130,18 @@ Metrics run_loop(const core::NetworkModel& model,
   // negative values with counters so long unattended runs survive them.
   controller.mutable_state().set_sanitize(!options.validate);
   std::unique_ptr<obs::TraceSink> trace;
-  if (!options.trace_path.empty())
+  if (!options.trace_path.empty()) {
     trace = std::make_unique<obs::TraceSink>(options.trace_path);
+    trace->write_header(options.scenario_name, options.scenario_hash);
+  }
   const bool have_faults =
       options.faults != nullptr && !options.faults->empty();
   const auto checkpoint_now = [&](int next_slot) {
-    save_checkpoint(make_checkpoint(next_slot, input_rng, controller, m,
-                                    mobility, topology),
-                    options.checkpoint_path);
+    Checkpoint c =
+        make_checkpoint(next_slot, input_rng, controller, m, mobility,
+                        topology);
+    c.scenario_hash = options.scenario_hash;
+    save_checkpoint(c, options.checkpoint_path);
   };
 
   for (int t = start_slot; t < slots; ++t) {
@@ -152,13 +166,13 @@ Metrics run_loop(const core::NetworkModel& model,
         for (const auto& v : violations) os << "\n  " << v;
         GC_CHECK_MSG(false, os.str());
       }
-      record(m, model, controller.state(), decision);
+      record(m, model, controller.state(), inputs, decision);
       if (trace)
         trace_slot(*trace, t, model, controller.state(), decision,
                    fault_events, options.trace_top_k);
     } else {
       const core::SlotDecision decision = controller.step(inputs);
-      record(m, model, controller.state(), decision);
+      record(m, model, controller.state(), inputs, decision);
       if (trace)
         trace_slot(*trace, t, model, controller.state(), decision,
                    fault_events, options.trace_top_k);

@@ -34,6 +34,10 @@ struct Metrics {
   double total_curtailed_j = 0.0;
   double total_delivered_packets = 0.0;  // into destinations
   double total_admitted_packets = 0.0;
+  // Sum of v_s(t) over sessions and slots — the demand the scenario
+  // offered. Equals slots * sum_s v_s under constant-rate traffic; the
+  // denominator for delivery percentages under time-varying traffic.
+  double total_offered_packets = 0.0;
   int slots = 0;
 
   // Accumulated controller wall-clock (seconds) across the run, split by
@@ -82,6 +86,15 @@ struct SimOptions {
   std::string checkpoint_path;
   int checkpoint_every = 0;
   std::string resume_path;
+
+  // Scenario identity (src/scenario). The name and hash are attached to
+  // the trace header and stamped into checkpoints; resuming a checkpoint
+  // whose hash differs from the run's is refused loudly (a resume under a
+  // different scenario would silently compute nonsense). Hash 0 = unknown
+  // (ad-hoc ScenarioConfig, direct library callers), which matches only
+  // checkpoints that were also written without a scenario.
+  std::string scenario_name;
+  std::uint64_t scenario_hash = 0;
 };
 
 // Runs `controller` for `slots` slots against freshly sampled inputs.

@@ -83,6 +83,30 @@ bool Rng::bernoulli(double p) {
   return uniform01() < p;
 }
 
+double Rng::normal01() {
+  // Box-Muller on (0,1] uniforms; 1 - uniform01() avoids log(0).
+  const double u = 1.0 - uniform01();
+  const double v = uniform01();
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(2.0 * M_PI * v);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  GC_CHECK_MSG(mean >= 0.0, "poisson mean must be >= 0, got " << mean);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    std::int64_t k = 0;
+    double p = uniform01();
+    while (p > limit) {
+      ++k;
+      p *= uniform01();
+    }
+    return k;
+  }
+  const double draw = std::round(normal(mean, std::sqrt(mean)));
+  return draw < 0.0 ? 0 : static_cast<std::int64_t>(draw);
+}
+
 Rng Rng::fork(std::uint64_t tag) const {
   // Mix the parent's seed with the tag through splitmix; independent of the
   // parent's current position.

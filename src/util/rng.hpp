@@ -48,6 +48,18 @@ class Rng {
   // Bernoulli trial with success probability p in [0, 1].
   bool bernoulli(double p);
 
+  // Standard normal via Box-Muller (one draw per call; the pair's second
+  // value is discarded so the stream stays position-independent).
+  double normal01();
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal01();
+  }
+
+  // Poisson-distributed count with the given mean (>= 0). Knuth's product
+  // method below mean 30, normal approximation (rounded, clamped at 0)
+  // above — both bounded work per call, suitable for scenario generators.
+  std::int64_t poisson(double mean);
+
   // Derive an independent child stream; stable under the parent's seed and
   // the tag only (calling order of other methods does not matter if all
   // forks happen with distinct tags).

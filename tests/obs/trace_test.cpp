@@ -165,9 +165,13 @@ TEST(TraceIntegration, SimulationEmitsOneRecordPerSlot) {
   EXPECT_EQ(m.slots, slots);
 
   const auto lines = read_lines(path);
-  ASSERT_EQ(lines.size(), static_cast<std::size_t>(slots));
+  // Line 0 is the scenario header; slot records follow.
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(slots) + 1);
+  const JsonValue header = json_parse(lines[0]);
+  EXPECT_EQ(header.at("scenario").at("hash").as_string(),
+            "0x0000000000000000");
   for (int t = 0; t < slots; ++t) {
-    const JsonValue v = json_parse(lines[t]);
+    const JsonValue v = json_parse(lines[t + 1]);
     EXPECT_DOUBLE_EQ(v.at("t").as_number(), t);
     // Trace queue totals must match the metrics series the plots use.
     EXPECT_DOUBLE_EQ(v.at("queues").at("q_bs").as_number(), m.q_bs[t]);

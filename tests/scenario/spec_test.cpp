@@ -1,0 +1,205 @@
+// Declarative scenario specs (src/scenario, docs/SCENARIOS.md): schema
+// validation with precise error paths, the canonical resolved dump (golden
+// files in this directory), round-trip idempotence, and the config hash
+// that stamps traces and checkpoints.
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace gc::scenario {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string golden_path(const char* name) {
+  return std::string(GC_SCENARIO_TEST_DIR) + "/" + name;
+}
+
+std::string example_path(const char* name) {
+  return std::string(GC_SCENARIO_EXAMPLES_DIR) + "/" + name;
+}
+
+// The CheckError message for a spec that must not parse ("" = it parsed).
+std::string parse_error(const std::string& text) {
+  try {
+    parse_scenario_json(text);
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ScenarioSpec, EmptyObjectIsTheNamedPaperDefault) {
+  const ScenarioSpec s = parse_scenario_json("{}");
+  EXPECT_EQ(s.name, "default");
+  const sim::ScenarioConfig d;
+  EXPECT_EQ(s.config.num_users, d.num_users);
+  EXPECT_EQ(s.config.num_sessions, d.num_sessions);
+  EXPECT_EQ(s.config.seed, d.seed);
+  EXPECT_DOUBLE_EQ(s.config.session_rate_bps, d.session_rate_bps);
+  EXPECT_DOUBLE_EQ(s.config.area_m, d.area_m);
+  EXPECT_EQ(s.config.multihop, d.multihop);
+  EXPECT_EQ(s.config.renewables, d.renewables);
+}
+
+// The committed golden files pin the canonical dump byte for byte; any
+// schema or formatting change must be a deliberate golden update.
+TEST(ScenarioSpec, GoldenDefaultResolvedDump) {
+  EXPECT_EQ(to_json(parse_scenario_json("{}")),
+            slurp(golden_path("golden_default.json")));
+}
+
+TEST(ScenarioSpec, GoldenDiurnalSolarTouResolvedDump) {
+  const ScenarioSpec s =
+      load_scenario_file(example_path("diurnal_solar_tou.json"));
+  EXPECT_EQ(to_json(s), slurp(golden_path("golden_diurnal_solar_tou.json")));
+}
+
+TEST(ScenarioSpec, RoundTripIsIdempotentForEveryExample) {
+  for (const char* name :
+       {"paper_baseline.json", "hex_16bs_500users.json",
+        "diurnal_solar_tou.json", "flash_crowd.json"}) {
+    const ScenarioSpec s = load_scenario_file(example_path(name));
+    const std::string once = to_json(s);
+    const ScenarioSpec reparsed = parse_scenario_json(once);
+    EXPECT_EQ(to_json(reparsed), once) << name;
+    EXPECT_EQ(reparsed.name, s.name) << name;
+    EXPECT_EQ(scenario_hash(reparsed), scenario_hash(s)) << name;
+  }
+}
+
+TEST(ScenarioSpec, ErrorsNamePathAndDomain) {
+  EXPECT_NE(parse_error(R"({"topology":{"cells":{"rows":0}}})")
+                .find("topology.cells.rows: expected int >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"traffic":{"rate_bps":-5}})")
+                .find("traffic.rate_bps: expected number > 0"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"traffic":{"rate_bps":"fast"}})")
+                .find("traffic.rate_bps"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"energy":{"user":{"connect_probability":2}}})")
+                .find("energy.user.connect_probability"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, UnknownKeysRejectedWithAllowedSet) {
+  const std::string root = parse_error(R"({"bogus":1})");
+  EXPECT_NE(root.find("unknown key \"bogus\""), std::string::npos);
+  EXPECT_NE(root.find("allowed:"), std::string::npos);
+  const std::string nested = parse_error(R"({"traffic":{"burstiness":2}})");
+  EXPECT_NE(nested.find("traffic"), std::string::npos);
+  EXPECT_NE(nested.find("unknown key \"burstiness\""), std::string::npos);
+}
+
+TEST(ScenarioSpec, EnumErrorsListTheChoices) {
+  const std::string e = parse_error(R"({"traffic":{"kind":"sawtooth"}})");
+  EXPECT_NE(e.find("traffic.kind"), std::string::npos);
+  for (const char* choice : {"constant", "diurnal", "bursty", "flash_crowd"})
+    EXPECT_NE(e.find(choice), std::string::npos) << choice;
+}
+
+TEST(ScenarioSpec, NameRestrictedToSafeCharacters) {
+  EXPECT_NE(parse_error(R"({"name":"has space"})").find("name"),
+            std::string::npos);
+  EXPECT_NE(parse_error("{\"name\":\"" + std::string(65, 'a') + "\"}")
+                .find("64"),
+            std::string::npos);
+  EXPECT_EQ(parse_scenario_json(R"({"name":"ok-1.2_b"})").name, "ok-1.2_b");
+}
+
+TEST(ScenarioSpec, TraceTariffRequiresMultipliers) {
+  EXPECT_NE(parse_error(R"({"tariff":{"kind":"trace"}})").find("tariff"),
+            std::string::npos);
+  const ScenarioSpec s = parse_scenario_json(
+      R"({"tariff":{"kind":"trace","multipliers":[1.0,2.0]}})");
+  ASSERT_EQ(s.config.tariff_multipliers.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.config.tariff_multipliers[1], 2.0);
+}
+
+TEST(ScenarioSpec, TimeOfUseTariffResolvesToTrace) {
+  const ScenarioSpec tou = parse_scenario_json(
+      R"({"tariff":{"kind":"time_of_use","slots_per_day":4,
+          "peak_begin":1,"peak_end":3,"peak_mult":2.0}})");
+  ASSERT_EQ(tou.config.tariff_multipliers.size(), 4u);
+  EXPECT_DOUBLE_EQ(tou.config.tariff_multipliers[0], 1.0);
+  EXPECT_DOUBLE_EQ(tou.config.tariff_multipliers[1], 2.0);
+  // The resolved dump writes the trace, so the TOU form and its expansion
+  // serialize (and hash) identically.
+  const ScenarioSpec trace = parse_scenario_json(
+      R"({"tariff":{"kind":"trace","multipliers":[1.0,2.0,2.0,1.0]}})");
+  EXPECT_EQ(to_json(tou), to_json(trace));
+  EXPECT_EQ(scenario_hash(tou), scenario_hash(trace));
+}
+
+TEST(ScenarioSpec, HashIgnoresNameAndTracksConfig) {
+  const ScenarioSpec a = parse_scenario_json("{}");
+  const ScenarioSpec b = parse_scenario_json(R"({"name":"renamed"})");
+  const ScenarioSpec c = parse_scenario_json(R"({"seed":43})");
+  EXPECT_EQ(scenario_hash(a), scenario_hash(b));
+  EXPECT_NE(scenario_hash(a), scenario_hash(c));
+  const std::string hex = hash_hex(scenario_hash(a));
+  ASSERT_EQ(hex.size(), 18u);
+  EXPECT_EQ(hex.rfind("0x", 0), 0u);
+}
+
+TEST(ScenarioSpec, FileErrorsNameTheFile) {
+  try {
+    load_scenario_file("/nonexistent/dir/spec.json");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.json"), std::string::npos);
+  }
+  const std::string bad = testing::TempDir() + "gc_spec_test_malformed.json";
+  std::ofstream(bad) << "{ not json";
+  try {
+    load_scenario_file(bad);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("gc_spec_test_malformed.json"),
+              std::string::npos);
+  }
+  std::remove(bad.c_str());
+}
+
+TEST(ScenarioSpec, GeneratorBlocksParse) {
+  const ScenarioSpec s = parse_scenario_json(R"({
+    "topology": {
+      "layout": "hex_grid",
+      "cells": {"rows": 3, "cols": 2, "radius_m": 350},
+      "users": {"count": 40, "placement": "clustered",
+                "hotspots": 2, "hotspot_sigma_m": 90,
+                "hotspot_fraction": 0.6}
+    },
+    "traffic": {"kind": "bursty", "on_mult": 3.0, "block_slots": 16},
+    "renewables": {"kind": "wind", "weibull_shape": 1.8}
+  })");
+  using sim::TopologySpec;
+  using sim::TrafficSpec;
+  using sim::RenewableSpec;
+  EXPECT_EQ(s.config.topology.layout, TopologySpec::Layout::HexGrid);
+  EXPECT_EQ(s.config.topology.rows, 3);
+  EXPECT_EQ(s.config.topology.placement, TopologySpec::Placement::Clustered);
+  EXPECT_EQ(s.config.num_users, 40);
+  EXPECT_EQ(s.config.traffic.kind, TrafficSpec::Kind::Bursty);
+  EXPECT_DOUBLE_EQ(s.config.traffic.on_mult, 3.0);
+  EXPECT_EQ(s.config.traffic.block_slots, 16);
+  EXPECT_EQ(s.config.renewable.kind, RenewableSpec::Kind::Wind);
+  EXPECT_DOUBLE_EQ(s.config.renewable.weibull_shape, 1.8);
+}
+
+}  // namespace
+}  // namespace gc::scenario

@@ -116,7 +116,8 @@ TEST(Sweep, DistinctTracePathsAllWritten) {
     std::string line;
     while (std::getline(in, line))
       if (!line.empty()) ++lines;
-    EXPECT_EQ(lines, job.slots) << job.sim.trace_path;
+    // One scenario header line plus one record per slot.
+    EXPECT_EQ(lines, job.slots + 1) << job.sim.trace_path;
   }
 }
 

@@ -25,10 +25,15 @@ if(trace_size EQUAL 0)
   message(FATAL_ERROR "trace file is empty: ${TRACE_FILE}")
 endif()
 
+# 1 scenario header line + 50 slot records.
 file(STRINGS "${TRACE_FILE}" trace_lines)
 list(LENGTH trace_lines n_lines)
-if(NOT n_lines EQUAL 50)
-  message(FATAL_ERROR "expected 50 trace records, got ${n_lines}")
+if(NOT n_lines EQUAL 51)
+  message(FATAL_ERROR "expected 51 trace lines (header + 50 records), got ${n_lines}")
+endif()
+list(GET trace_lines 0 first_line)
+if(NOT first_line MATCHES "\"scenario\"")
+  message(FATAL_ERROR "first trace line is not the scenario header: ${first_line}")
 endif()
 
 message(STATUS "smoke ok: rc=0, ${n_lines} trace records, ${trace_size} bytes")

@@ -2,11 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 namespace gc::cli {
 namespace {
 
 ParseResult parse(std::initializer_list<std::string> args) {
   return parse_args(std::vector<std::string>(args));
+}
+
+// Writes `text` to a temp file and returns its path (caller removes it).
+std::string write_temp(const char* name, const std::string& text) {
+  const std::string path = testing::TempDir() + "gc_cli_test_" + name;
+  std::ofstream(path) << text;
+  return path;
 }
 
 TEST(CliOptions, DefaultsWhenNoFlags) {
@@ -171,6 +182,112 @@ TEST(CliOptions, RejectsSeedsWithCheckpointOrResume) {
   EXPECT_FALSE(parse({"--seeds", "4", "--resume", "old.ckpt"}).options);
   // One seed with a checkpoint is the normal single-run flow.
   EXPECT_TRUE(parse({"--seeds", "1", "--checkpoint", "run.ckpt"}).options);
+}
+
+// Satellite 2: every value flag's parse failure names the offending flag
+// AND the accepted domain, not a generic "bad value".
+TEST(CliOptions, EveryFlagFailureNamesFlagAndDomain) {
+  const struct {
+    const char* flag;
+    const char* bad;
+    const char* domain;
+  } cases[] = {
+      {"--users", "0", "int >= 1"},
+      {"--sessions", "x", "int >= 1"},
+      {"--rate-kbps", "-5", "number > 0"},
+      {"--area", "0", "number > 0"},
+      {"--seed", "-1", "int >= 0"},
+      {"--multihop", "2", "0 or 1"},
+      {"--renewables", "yes", "0 or 1"},
+      {"--bs-radios", "0", "int >= 1"},
+      {"--user-radios", "1.5", "int >= 1"},
+      {"--phy", "telepathy", "\"min\" or \"adaptive\""},
+      {"--tariff", "20:8:1.5", "B:E:M"},
+      {"--mobility", "-1", "number >= 0"},
+      {"--V", "-2", "number >= 0"},
+      {"--lambda", "abc", "number >= 0"},
+      {"--slots", "-1", "int >= 0"},
+      {"--input-seed", "-7", "int >= 0"},
+      {"--csv", "", "non-empty file path"},
+      {"--trace", "", "non-empty file path"},
+      {"--faults", "", "non-empty file path"},
+      {"--checkpoint", "", "non-empty file path"},
+      {"--checkpoint-every", "x", "int >= 0"},
+      {"--resume", "", "non-empty file path"},
+      {"--seeds", "0", "int >= 1"},
+      {"--threads", "-1", "int >= 0"},
+      {"--scenario", "", "non-empty file path"},
+  };
+  for (const auto& c : cases) {
+    const auto r = parse({c.flag, c.bad});
+    EXPECT_FALSE(r.options) << c.flag;
+    EXPECT_NE(r.error.find(c.flag), std::string::npos)
+        << c.flag << ": " << r.error;
+    EXPECT_NE(r.error.find(c.domain), std::string::npos)
+        << c.flag << ": " << r.error;
+  }
+}
+
+TEST(CliOptions, LoadsScenarioFile) {
+  const std::string path = write_temp(
+      "ok.json", R"({"name":"from-file","seed":5,"traffic":{"sessions":7}})");
+  const auto r = parse({"--scenario", path});
+  ASSERT_TRUE(r.options) << r.error;
+  EXPECT_EQ(r.options->scenario_path, path);
+  EXPECT_EQ(r.options->scenario_name, "from-file");
+  EXPECT_NE(r.options->scenario_hash, 0u);
+  EXPECT_EQ(r.options->scenario.seed, 5u);
+  EXPECT_EQ(r.options->scenario.num_sessions, 7);
+  std::remove(path.c_str());
+}
+
+TEST(CliOptions, ScenarioFileErrorsSurfaceThroughParse) {
+  const std::string path =
+      write_temp("bad.json", R"({"topology":{"cells":{"rows":0}}})");
+  const auto r = parse({"--scenario", path});
+  EXPECT_FALSE(r.options);
+  EXPECT_NE(r.error.find("topology.cells.rows"), std::string::npos)
+      << r.error;
+  std::remove(path.c_str());
+  EXPECT_FALSE(parse({"--scenario", "/nonexistent/spec.json"}).options);
+}
+
+// Satellite 1: shaping flags conflict with --scenario regardless of the
+// order they appear in; run flags (--slots, --trace, ...) compose fine.
+TEST(CliOptions, ScenarioConflictsWithShapingFlagsOrderIndependent) {
+  const std::string path = write_temp("conflict.json", "{}");
+  for (const auto& args :
+       {std::vector<std::string>{"--scenario", path, "--users", "5"},
+        std::vector<std::string>{"--users", "5", "--scenario", path}}) {
+    const auto r = parse_args(args);
+    EXPECT_FALSE(r.options);
+    EXPECT_NE(r.error.find("--scenario"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("--users"), std::string::npos) << r.error;
+  }
+  const auto multi = parse({"--scenario", path, "--seed", "1", "--tariff",
+                            "8:20:2", "--lambda", "5"});
+  EXPECT_FALSE(multi.options);
+  EXPECT_NE(multi.error.find("--seed"), std::string::npos);
+  EXPECT_NE(multi.error.find("--tariff"), std::string::npos);
+  EXPECT_NE(multi.error.find("--lambda"), std::string::npos);
+  const auto ok = parse({"--scenario", path, "--slots", "10", "--V", "4",
+                         "--trace", "t.jsonl", "--seeds", "2"});
+  EXPECT_TRUE(ok.options) << ok.error;
+  std::remove(path.c_str());
+}
+
+TEST(CliOptions, PrintScenarioFlagParses) {
+  const auto r = parse({"--print-scenario"});
+  ASSERT_TRUE(r.options);
+  EXPECT_TRUE(r.options->print_scenario);
+  EXPECT_FALSE(parse({}).options->print_scenario);
+}
+
+TEST(CliOptions, UsageMentionsScenarioFlags) {
+  const std::string u = usage();
+  EXPECT_NE(u.find("--scenario"), std::string::npos);
+  EXPECT_NE(u.find("--print-scenario"), std::string::npos);
+  EXPECT_NE(u.find("docs/SCENARIOS.md"), std::string::npos);
 }
 
 TEST(CliOptions, ParsedScenarioBuilds) {

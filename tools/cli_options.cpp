@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "energy/tariff.hpp"
+#include "scenario/spec.hpp"
+#include "util/check.hpp"
 
 namespace gc::cli {
 
@@ -13,7 +15,16 @@ std::string usage() {
 
 usage: greencell_sim [flags]
 
-scenario:
+declarative scenarios (docs/SCENARIOS.md):
+  --scenario PATH       load a scenario JSON spec (topology, traffic,
+                        renewables, tariff, energy model, algorithm); the
+                        file is the single source of truth, so the
+                        scenario-shaping flags below are rejected with it
+  --print-scenario      print the resolved scenario as canonical JSON and
+                        exit (also works without --scenario: dumps the
+                        flag-built scenario, a migration path to specs)
+
+scenario flags (shorthand for the spec fields):
   --users N             mobile users (default 20)
   --sessions N          downlink sessions (default 4)
   --rate-kbps R         per-session demand (default 100)
@@ -102,6 +113,25 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   auto err = [](const std::string& msg) {
     return ParseResult{std::nullopt, msg};
   };
+  // Every parse failure names the offending flag AND the accepted domain:
+  //   --users: expected int >= 1, got "abc"
+  auto bad = [](const std::string& flag, const std::string& domain,
+                const std::string& v) {
+    return flag + ": expected " + domain + ", got \"" + v + "\"";
+  };
+  // Scenario-shaping flags seen on the command line. They conflict with
+  // --scenario (the spec file is the single source of truth); the check
+  // runs after the loop so rejection is order-independent.
+  std::vector<std::string> shaping_seen;
+
+  static const char* kValueFlags[] = {
+      "--scenario", "--users",    "--sessions",         "--rate-kbps",
+      "--area",     "--seed",     "--multihop",         "--renewables",
+      "--bs-radios", "--user-radios", "--phy",          "--tariff",
+      "--mobility", "--V",        "--lambda",           "--slots",
+      "--input-seed", "--csv",    "--trace",            "--faults",
+      "--checkpoint", "--checkpoint-every", "--resume", "--seeds",
+      "--threads"};
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -122,35 +152,83 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       opt.report = true;
       continue;
     }
-    // Everything else takes a value.
-    if (i + 1 >= args.size()) return err("missing value for " + flag);
+    if (flag == "--print-scenario") {
+      opt.print_scenario = true;
+      continue;
+    }
+    bool known = false;
+    for (const char* f : kValueFlags)
+      if (flag == f) known = true;
+    if (!known)
+      return err("unknown flag " + flag + " (see --help for accepted flags)");
+    if (i + 1 >= args.size()) return err(flag + ": missing value");
     const std::string& v = args[++i];
     int iv = 0;
     double dv = 0.0;
     bool bv = false;
-    if (flag == "--users" && parse_int(v, &iv) && iv >= 1)
+    if (flag == "--scenario") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      try {
+        scenario::ScenarioSpec spec = scenario::load_scenario_file(v);
+        opt.scenario_path = v;
+        opt.scenario = spec.config;
+        opt.scenario_name = spec.name;
+        opt.scenario_hash = scenario::scenario_hash(spec);
+      } catch (const CheckError& e) {
+        return err(e.what());
+      }
+    } else if (flag == "--users") {
+      shaping_seen.push_back(flag);
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
       opt.scenario.num_users = iv;
-    else if (flag == "--sessions" && parse_int(v, &iv) && iv >= 1)
+    } else if (flag == "--sessions") {
+      shaping_seen.push_back(flag);
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
       opt.scenario.num_sessions = iv;
-    else if (flag == "--rate-kbps" && parse_double(v, &dv) && dv > 0)
+    } else if (flag == "--rate-kbps") {
+      shaping_seen.push_back(flag);
+      if (!parse_double(v, &dv) || dv <= 0)
+        return err(bad(flag, "number > 0", v));
       opt.scenario.session_rate_bps = dv * 1e3;
-    else if (flag == "--area" && parse_double(v, &dv) && dv > 0)
+    } else if (flag == "--area") {
+      shaping_seen.push_back(flag);
+      if (!parse_double(v, &dv) || dv <= 0)
+        return err(bad(flag, "number > 0", v));
       opt.scenario.area_m = dv;
-    else if (flag == "--seed" && parse_double(v, &dv) && dv >= 0)
+    } else if (flag == "--seed") {
+      shaping_seen.push_back(flag);
+      if (!parse_double(v, &dv) || dv < 0)
+        return err(bad(flag, "int >= 0", v));
       opt.scenario.seed = static_cast<std::uint64_t>(dv);
-    else if (flag == "--multihop" && parse_bool01(v, &bv))
+    } else if (flag == "--multihop") {
+      shaping_seen.push_back(flag);
+      if (!parse_bool01(v, &bv)) return err(bad(flag, "0 or 1", v));
       opt.scenario.multihop = bv;
-    else if (flag == "--renewables" && parse_bool01(v, &bv))
+    } else if (flag == "--renewables") {
+      shaping_seen.push_back(flag);
+      if (!parse_bool01(v, &bv)) return err(bad(flag, "0 or 1", v));
       opt.scenario.renewables = bv;
-    else if (flag == "--bs-radios" && parse_int(v, &iv) && iv >= 1)
+    } else if (flag == "--bs-radios") {
+      shaping_seen.push_back(flag);
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
       opt.scenario.bs_radios = iv;
-    else if (flag == "--user-radios" && parse_int(v, &iv) && iv >= 1)
+    } else if (flag == "--user-radios") {
+      shaping_seen.push_back(flag);
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
       opt.scenario.user_radios = iv;
-    else if (flag == "--phy" && (v == "min" || v == "adaptive"))
+    } else if (flag == "--phy") {
+      shaping_seen.push_back(flag);
+      if (v != "min" && v != "adaptive")
+        return err(bad(flag, "\"min\" or \"adaptive\"", v));
       opt.scenario.phy_policy =
           v == "min" ? core::ModelConfig::PhyPolicy::MinPowerFixedRate
                      : core::ModelConfig::PhyPolicy::MaxPowerAdaptiveRate;
-    else if (flag == "--tariff") {
+    } else if (flag == "--tariff") {
+      shaping_seen.push_back(flag);
       int begin = 0, end = 0;
       double mult = 0.0;
       std::istringstream ss(v);
@@ -158,37 +236,68 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       if (!(ss >> begin >> c1 >> end >> c2 >> mult) || c1 != ':' ||
           c2 != ':' || !ss.eof() || begin < 0 || end > 24 || begin > end ||
           mult <= 0.0)
-        return err("bad --tariff, expected B:E:M with 0<=B<=E<=24, M>0");
+        return err(bad(flag, "B:E:M with 0 <= B <= E <= 24 and M > 0", v));
       opt.scenario.tariff_multipliers =
           energy::time_of_use_tariff(24, begin, end, mult, 1.0);
-    } else if (flag == "--mobility" && parse_double(v, &dv) && dv >= 0)
+    } else if (flag == "--mobility") {
+      if (!parse_double(v, &dv) || dv < 0)
+        return err(bad(flag, "number >= 0", v));
       opt.mobility_mps = dv;
-    else if (flag == "--V" && parse_double(v, &dv) && dv >= 0)
+    } else if (flag == "--V") {
+      if (!parse_double(v, &dv) || dv < 0)
+        return err(bad(flag, "number >= 0", v));
       opt.V = dv;
-    else if (flag == "--lambda" && parse_double(v, &dv) && dv >= 0)
+    } else if (flag == "--lambda") {
+      shaping_seen.push_back(flag);
+      if (!parse_double(v, &dv) || dv < 0)
+        return err(bad(flag, "number >= 0", v));
       opt.scenario.lambda = dv;
-    else if (flag == "--slots" && parse_int(v, &iv) && iv >= 0)
+    } else if (flag == "--slots") {
+      if (!parse_int(v, &iv) || iv < 0)
+        return err(bad(flag, "int >= 0", v));
       opt.slots = iv;
-    else if (flag == "--input-seed" && parse_double(v, &dv) && dv >= 0)
+    } else if (flag == "--input-seed") {
+      if (!parse_double(v, &dv) || dv < 0)
+        return err(bad(flag, "int >= 0", v));
       opt.input_seed = static_cast<std::uint64_t>(dv);
-    else if (flag == "--csv" && !v.empty())
+    } else if (flag == "--csv") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.csv_path = v;
-    else if (flag == "--trace" && !v.empty())
+    } else if (flag == "--trace") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.trace_path = v;
-    else if (flag == "--faults" && !v.empty())
+    } else if (flag == "--faults") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.faults_path = v;
-    else if (flag == "--checkpoint" && !v.empty())
+    } else if (flag == "--checkpoint") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.checkpoint_path = v;
-    else if (flag == "--checkpoint-every" && parse_int(v, &iv) && iv >= 0)
+    } else if (flag == "--checkpoint-every") {
+      if (!parse_int(v, &iv) || iv < 0)
+        return err(bad(flag, "int >= 0", v));
       opt.checkpoint_every = iv;
-    else if (flag == "--resume" && !v.empty())
+    } else if (flag == "--resume") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.resume_path = v;
-    else if (flag == "--seeds" && parse_int(v, &iv) && iv >= 1)
+    } else if (flag == "--seeds") {
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
       opt.seeds = iv;
-    else if (flag == "--threads" && parse_int(v, &iv) && iv >= 0)
+    } else if (flag == "--threads") {
+      if (!parse_int(v, &iv) || iv < 0)
+        return err(bad(flag, "int >= 0", v));
       opt.threads = iv;
-    else
-      return err("unknown flag or bad value: " + flag + " " + v);
+    }
+  }
+  if (!opt.scenario_path.empty() && !shaping_seen.empty()) {
+    std::string list;
+    for (const std::string& f : shaping_seen) {
+      if (!list.empty()) list += ", ";
+      list += f;
+    }
+    return err("--scenario conflicts with " + list +
+               ": the scenario file defines these; edit the JSON instead "
+               "(docs/SCENARIOS.md)");
   }
   if (opt.seeds > 1 &&
       (!opt.checkpoint_path.empty() || !opt.resume_path.empty()))

@@ -15,6 +15,16 @@ namespace gc::cli {
 
 struct Options {
   sim::ScenarioConfig scenario;
+  // Declarative scenario (src/scenario, docs/SCENARIOS.md). When
+  // scenario_path is set, `scenario` was loaded from that JSON file and
+  // the scenario-shaping flags (--users, --seed, --tariff, ...) are
+  // rejected: the file is the single source of truth. name/hash carry the
+  // spec's identity into trace headers and checkpoints.
+  std::string scenario_path;
+  std::string scenario_name = "default";
+  std::uint64_t scenario_hash = 0;
+  // --print-scenario: dump the resolved scenario JSON to stdout and exit.
+  bool print_scenario = false;
   double V = 3.0;
   int slots = 100;
   // Max random-waypoint walking speed in m/s; 0 = static users.

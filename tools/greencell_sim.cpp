@@ -10,6 +10,7 @@
 #include "core/controller.hpp"
 #include "fault/fault_schedule.hpp"
 #include "obs/report.hpp"
+#include "scenario/spec.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "util/check.hpp"
@@ -100,6 +101,8 @@ int run_replicates(const gc::cli::Options& opt,
     job.sim.input_seed = opt.input_seed + static_cast<std::uint64_t>(k);
     job.sim.validate = opt.validate;
     job.sim.trace_path = seed_suffixed(opt.trace_path, k);
+    job.sim.scenario_name = opt.scenario_name;
+    job.sim.scenario_hash = opt.scenario_hash;
     job.sim.faults = faults;
     if (opt.mobility_mps > 0.0) {
       gc::sim::MobilityConfig mob;
@@ -172,6 +175,16 @@ int run_replicates(const gc::cli::Options& opt,
 }
 
 int run(const gc::cli::Options& opt) {
+  // --print-scenario: dump the resolved spec (whether it came from a
+  // --scenario file or from shaping flags) as canonical JSON and exit.
+  if (opt.print_scenario) {
+    gc::scenario::ScenarioSpec spec;
+    spec.name = opt.scenario_name;
+    spec.config = opt.scenario;
+    std::fputs(gc::scenario::to_json(spec).c_str(), stdout);
+    return 0;
+  }
+
   gc::core::NetworkModel model = opt.scenario.build();
   gc::core::LyapunovController controller(model, opt.V,
                                           opt.scenario.controller_options());
@@ -179,6 +192,8 @@ int run(const gc::cli::Options& opt) {
   sim_opts.input_seed = opt.input_seed;
   sim_opts.validate = opt.validate;
   sim_opts.trace_path = opt.trace_path;
+  sim_opts.scenario_name = opt.scenario_name;
+  sim_opts.scenario_hash = opt.scenario_hash;
   sim_opts.checkpoint_path = opt.checkpoint_path;
   sim_opts.checkpoint_every = opt.checkpoint_every;
   sim_opts.resume_path = opt.resume_path;
@@ -215,6 +230,11 @@ int run(const gc::cli::Options& opt) {
   const double final_battery_users = empty ? 0.0 : m.battery_users_j.back();
 
   if (!opt.quiet) {
+    if (!opt.scenario_path.empty())
+      std::printf("scenario spec: %s (%s) from %s\n",
+                  opt.scenario_name.c_str(),
+                  gc::scenario::hash_hex(opt.scenario_hash).c_str(),
+                  opt.scenario_path.c_str());
     std::printf("scenario: %d users, %d sessions @ %.0f kbps, %s, %s, V=%g\n",
                 opt.scenario.num_users, opt.scenario.num_sessions,
                 opt.scenario.session_rate_bps / 1e3,
@@ -222,11 +242,13 @@ int run(const gc::cli::Options& opt) {
                 opt.scenario.renewables ? "renewables" : "grid-only", opt.V);
     std::printf("slots:                %d\n", m.slots);
     std::printf("avg energy cost:      %.6g\n", m.cost_avg.average());
-    std::printf("delivered packets:    %.0f (%.1f%% of demand)\n",
+    // Offered = what the (possibly time-varying) traffic model actually
+    // presented this run, so the percentage is meaningful under diurnal /
+    // bursty / flash-crowd workloads too.
+    std::printf("delivered packets:    %.0f (%.1f%% of offered)\n",
                 m.total_delivered_packets,
                 100.0 * m.total_delivered_packets /
-                    std::max(1.0, opt.scenario.demand_packets() *
-                                      opt.scenario.num_sessions * m.slots));
+                    std::max(1.0, m.total_offered_packets));
     std::printf("avg delay (slots):    %.2f\n", m.average_delay_slots());
     std::printf("final backlog:        %.0f packets\n", final_backlog);
     std::printf("energy buffers:       %.1f kJ (BS), %.1f kJ (users)\n",

@@ -75,6 +75,9 @@ int main(int argc, char** argv) {
   std::string line;
   int lineno = 0;
   int skipped = 0;
+  // From the trace header record (first line since the scenario subsystem;
+  // absent in older traces, which start directly with slot records).
+  std::string scenario_name, scenario_hash;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
@@ -83,6 +86,12 @@ int main(int argc, char** argv) {
     // aborting the whole summary.
     try {
       const JsonValue rec = gc::obs::json_parse(line);
+      if (rec.has("scenario")) {
+        const JsonValue& sc = rec.at("scenario");
+        scenario_name = sc.at("name").as_string();
+        scenario_hash = sc.at("hash").as_string();
+        continue;
+      }
       const JsonValue& t = rec.at("time_s");
       const JsonValue& q = rec.at("queues");
       const JsonValue& e = rec.at("energy");
@@ -136,6 +145,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("trace: %s — %d slots\n", argv[1], slots);
+  if (!scenario_name.empty())
+    std::printf("scenario: %s (hash %s)\n", scenario_name.c_str(),
+                scenario_hash.c_str());
 
   std::printf("\n-- subproblem wall time --\n");
   std::printf("  %-14s%12s%12s%12s%12s%9s\n", "subproblem", "total_ms",
