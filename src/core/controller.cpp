@@ -52,10 +52,12 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   ControllerMetrics& m = metrics();
   SlotDecision decision;
   obs::ScopedTimer step_timer(m.step, &decision.timing.step_s);
+  obs::Span step_span("controller.step", state_.slot());
 
   // S2 — source selection + admission control.
   {
     obs::ScopedTimer t(m.s2, &decision.timing.s2_s);
+    obs::Span span("controller.s2_admission", state_.slot());
     decision.admissions =
         allocate_resources(state_, options_.allocator, &inputs);
   }
@@ -66,6 +68,7 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   // scheduler for this slot instead of aborting the run.
   {
     obs::ScopedTimer t(m.s1, &decision.timing.s1_s);
+    obs::Span span("controller.s1_schedule", state_.slot());
     const double energy_price =
         options_.energy_aware_scheduling
             ? state_.V() * model_->cost_at(state_.slot())
@@ -99,6 +102,7 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   // S3 — routing over the realized capacities (ladder: Lp -> Greedy).
   {
     obs::ScopedTimer t(m.s3, &decision.timing.s3_s);
+    obs::Span span("controller.s3_routing", state_.slot());
     const std::vector<double>* demand =
         inputs.session_demand_packets.empty() ? nullptr
                                               : &inputs.session_demand_packets;
@@ -130,6 +134,7 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   // Lp -> Price). A down node demands nothing, not even its baseline draw.
   {
     obs::ScopedTimer t(m.s4, &decision.timing.s4_s);
+    obs::Span span("controller.s4_energy", state_.slot());
     std::vector<double> demands =
         compute_energy_demands(*model_, decision.schedule);
     if (inputs.any_node_down())

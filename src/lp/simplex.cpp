@@ -473,6 +473,7 @@ Solution solve(const Model& model, const Options& options,
                Workspace& workspace) {
   SimplexMetrics& m = lp_metrics();
   obs::ScopedTimer timer(m.solve_seconds);
+  obs::Span span("lp.solve", model.num_variables());
   SimplexEngine s(model, options, workspace);
   Solution sol = s.run();
   // Record the structural variables' final states for the next solve's

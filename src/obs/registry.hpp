@@ -75,8 +75,12 @@ class Gauge {
   }
   double value() const { return value_; }
   void reset() { value_ = 0.0; }
-  // Last-writer-wins has no order across threads; the merge takes the
-  // other's value whenever that registry ever set it.
+  // Merge semantics are deterministic last-writer-wins in MERGE order: the
+  // merge takes the other's value whenever that registry ever set the
+  // gauge, so after folding registries r_0, r_1, ..., r_k (in that order)
+  // the gauge holds the value from the highest-index registry that set it.
+  // The sweep engine merges per-worker registries in worker-index order
+  // (sim/sweep.cpp), which pins the winner independently of thread timing.
   void merge_from(const Gauge& other) {
     if (other.set_) {
       value_ = other.value_;
@@ -146,9 +150,10 @@ class Registry {
 
   // Folds every instrument of `other` into this registry, creating
   // instruments this registry has not seen yet. Counters and histograms
-  // accumulate; gauges take the other's value if it was ever set. The
-  // parallel sweep engine calls this once per worker after joining its
-  // threads — the caller must guarantee `other` is no longer being written.
+  // accumulate; gauges follow deterministic merge-order last-writer-wins
+  // (see Gauge::merge_from). The parallel sweep engine calls this once per
+  // worker, in worker-index order, after joining its threads — the caller
+  // must guarantee `other` is no longer being written.
   void merge_from(const Registry& other);
 
  private:

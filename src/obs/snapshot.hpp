@@ -1,0 +1,91 @@
+// Live run telemetry: periodic atomic snapshots of a running simulation
+// (or a sweep of them) for external monitoring.
+//
+// Every write lands TWICE, both atomically (tmp + std::rename, the
+// checkpoint idiom — a reader never sees a torn file):
+//  * `path`       — one JSON object: progress (slot, slots/s, ETA),
+//                   queue/battery/cost aggregates, the stability auditor's
+//                   worst bound margins, and a full registry dump;
+//  * `path.prom`  — the same numbers in Prometheus text exposition format
+//                   (gc_* metric families) for external scrapers.
+//
+// The writer is deliberately dumb: the simulator decides when a snapshot is
+// due (SnapshotWriter::due) and flattens everything into SnapshotData, so
+// this file — like the rest of src/obs — depends on nothing above util.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gc::obs {
+
+class Registry;
+
+// Everything one snapshot reports. Optional sections are keyed by their
+// presence flags; the writer emits only what is set.
+struct SnapshotData {
+  // Progress.
+  int slot = 0;         // completed slots
+  int total_slots = 0;  // run horizon (0 = unknown)
+  double wall_s = 0.0;  // since the run started
+  double slots_per_s = 0.0;
+  double eta_s = 0.0;  // remaining wall time at the current rate (0 = done
+                       // or unknown)
+  std::string scenario_name;
+  std::uint64_t scenario_hash = 0;
+
+  // Current aggregates (after the last completed slot).
+  bool have_aggregates = false;
+  double q_total_packets = 0.0;   // all data queues
+  double h_total = 0.0;           // virtual-queue sum
+  double battery_total_j = 0.0;   // all batteries
+  double cost_last = 0.0;         // f(P) of the last slot
+  double cost_time_avg = 0.0;     // running time-average cost
+  double grid_total_j = 0.0;      // cumulative grid energy
+
+  // Stability auditor digest (src/obs/stability.hpp).
+  bool have_stability = false;
+  double worst_q_margin = 0.0;   // min over the run; negative = violated
+  double worst_z_margin_j = 0.0;
+  double q_violations = 0.0;
+  double z_violations = 0.0;
+  double drift_violations = 0.0;
+  double unstable_windows = 0.0;
+
+  // Sweep fleet progress (sim/sweep.hpp). jobs_total < 0 = not a fleet
+  // snapshot.
+  int jobs_done = 0;
+  int jobs_total = -1;
+
+  // Full instrument dump; null = omit (mid-sweep fleet snapshots skip it —
+  // worker registries are still being written).
+  const Registry* registry = nullptr;
+};
+
+class SnapshotWriter {
+ public:
+  // `every_slots`: a snapshot is due after every N completed slots; 0 means
+  // only the caller-forced final write. Throws gc::CheckError on an
+  // unusable path at the first write, not at construction.
+  SnapshotWriter(std::string path, int every_slots);
+
+  const std::string& path() const { return path_; }
+  std::string prom_path() const { return path_ + ".prom"; }
+  int every_slots() const { return every_; }
+
+  // True when `completed_slots` lands on the cadence.
+  bool due(int completed_slots) const {
+    return every_ > 0 && completed_slots > 0 && completed_slots % every_ == 0;
+  }
+
+  // Atomically replaces both files with the snapshot. Thread-compatible,
+  // not thread-safe: concurrent writers must serialize externally (the
+  // sweep runner holds a mutex around fleet writes).
+  void write(const SnapshotData& data);
+
+ private:
+  std::string path_;
+  int every_ = 0;
+};
+
+}  // namespace gc::obs

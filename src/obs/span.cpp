@@ -1,0 +1,138 @@
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/timer.hpp"
+#include "util/check.hpp"
+
+namespace gc::obs {
+
+SpanRecorder& SpanRecorder::instance() {
+  static SpanRecorder r;
+  return r;
+}
+
+void SpanRecorder::enable(std::size_t capacity) {
+  GC_CHECK_MSG(capacity > 0, "span ring capacity must be > 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.assign(capacity, SpanEvent{});
+  next_ = size_ = 0;
+  dropped_ = 0;
+  if (!have_epoch_.load(std::memory_order_relaxed)) {
+    epoch_ = std::chrono::steady_clock::now();
+    have_epoch_.store(true, std::memory_order_release);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SpanRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+double SpanRecorder::now_s() const {
+  // Lock-free: epoch_ is written once, published by the release store on
+  // have_epoch_ (enable holds the mutex for the rest of its work).
+  if (!have_epoch_.load(std::memory_order_acquire)) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void SpanRecorder::record(const char* name, double start_s, double dur_s,
+                          std::int64_t id) {
+  if constexpr (!kCompiledIn) {
+    (void)name, (void)start_s, (void)dur_s, (void)id;
+    return;
+  }
+  if (!enabled()) return;
+  const std::uint32_t tid = thread_lane();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return;  // enable() never ran with capacity
+  if (size_ == ring_.size()) ++dropped_;  // overwriting the oldest
+  ring_[next_] = SpanEvent{name, start_s, dur_s, tid, id};
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+}
+
+std::vector<SpanEvent> SpanRecorder::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanEvent> out;
+  out.reserve(size_);
+  // Oldest-first: the ring's logical start is next_ - size_ (mod capacity).
+  for (std::size_t k = 0; k < size_; ++k) {
+    const std::size_t i =
+        (next_ + ring_.size() - size_ + k) % ring_.size();
+    out.push_back(ring_[i]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_s < b.start_s;
+                   });
+  next_ = size_ = 0;
+  dropped_ = 0;
+  return out;
+}
+
+std::int64_t SpanRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void SpanRecorder::export_chrome_trace(const std::string& path) const {
+  std::string body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body.reserve(64 + size_ * 96);
+    body += "{\"traceEvents\":[";
+    char buf[64];
+    bool first = true;
+    for (std::size_t k = 0; k < size_; ++k) {
+      const std::size_t i =
+          (next_ + ring_.size() - size_ + k) % ring_.size();
+      const SpanEvent& e = ring_[i];
+      if (!first) body += ',';
+      first = false;
+      body += "\n{\"name\":\"";
+      for (const char* c = e.name; *c; ++c) {
+        if (*c == '"' || *c == '\\') body += '\\';
+        body += *c;
+      }
+      // Complete ("X") events in microseconds, one pid, tid = lane.
+      body += "\",\"ph\":\"X\",\"ts\":";
+      std::snprintf(buf, sizeof buf, "%.3f", e.start_s * 1e6);
+      body += buf;
+      body += ",\"dur\":";
+      std::snprintf(buf, sizeof buf, "%.3f", e.dur_s * 1e6);
+      body += buf;
+      std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%u",
+                    static_cast<unsigned>(e.tid));
+      body += buf;
+      if (e.id >= 0) {
+        std::snprintf(buf, sizeof buf, ",\"args\":{\"id\":%lld}",
+                      static_cast<long long>(e.id));
+        body += buf;
+      }
+      body += '}';
+    }
+    body += "\n]}\n";
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    GC_CHECK_MSG(out.good(), "cannot open span trace file " << tmp);
+    out << body;
+    out.flush();
+    GC_CHECK_MSG(out.good(), "span trace write failed on " << tmp);
+  }
+  GC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot move span trace into place at " << path);
+}
+
+std::uint32_t SpanRecorder::thread_lane() {
+  static std::atomic<std::uint32_t> next_lane{0};
+  static thread_local std::uint32_t lane =
+      next_lane.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+}  // namespace gc::obs

@@ -1,0 +1,176 @@
+#include "obs/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace gc::obs {
+
+namespace {
+
+// Resolved once per thread against the thread-current registry, like every
+// other instrumented subsystem (docs/OBSERVABILITY.md).
+struct StabilityMetrics {
+  Counter& audited = registry().counter("stability.audited_slots");
+  Counter& q_viol = registry().counter("stability.q_bound_violations");
+  Counter& z_viol = registry().counter("stability.z_bound_violations");
+  Counter& drift_viol = registry().counter("stability.drift_bound_violations");
+  Counter& unstable = registry().counter("stability.unstable_windows");
+  Gauge& lyapunov = registry().gauge("stability.lyapunov");
+  Gauge& drift = registry().gauge("stability.drift");
+  Gauge& dpp = registry().gauge("stability.dpp");
+  Gauge& worst_q = registry().gauge("stability.worst_q_margin");
+  Gauge& worst_z = registry().gauge("stability.worst_z_margin_j");
+  Gauge& cost_avg = registry().gauge("stability.cost_time_avg");
+  Gauge& window_backlog = registry().gauge("stability.window_backlog_mean");
+};
+
+StabilityMetrics& metrics() {
+  static thread_local StabilityMetrics m;
+  return m;
+}
+
+}  // namespace
+
+StabilityAuditor::StabilityAuditor(AuditConfig config)
+    : config_(std::move(config)) {
+  GC_CHECK_MSG(config_.z_min.size() == config_.z_max.size(),
+               "audit z_min/z_max must be the same length");
+}
+
+void StabilityAuditor::check_layout(const SlotAudit& slot) {
+  if (!config_.q_bound.empty()) {
+    GC_CHECK_MSG(slot.q != nullptr &&
+                     slot.q->size() == config_.q_bound.size(),
+                 "SlotAudit.q does not match AuditConfig.q_bound layout");
+  }
+  if (!config_.z_min.empty()) {
+    GC_CHECK_MSG(slot.z != nullptr && slot.z->size() == config_.z_min.size(),
+                 "SlotAudit.z does not match AuditConfig.z_min layout");
+  }
+  layout_checked_ = true;
+}
+
+SlotVerdict StabilityAuditor::observe(const SlotAudit& slot) {
+  if (!layout_checked_) check_layout(slot);
+  StabilityMetrics& m = metrics();
+  SlotVerdict v;
+
+  // Deterministic per-queue bounds. NaN backlogs count as violations (a
+  // NaN comparison is false both ways, so test explicitly).
+  if (!config_.q_bound.empty()) {
+    for (std::size_t i = 0; i < config_.q_bound.size(); ++i) {
+      const double margin = config_.q_bound[i] - (*slot.q)[i];
+      if (std::isnan(margin) || margin < v.worst_q_margin) {
+        v.worst_q_margin = std::isnan(margin)
+                               ? -std::numeric_limits<double>::infinity()
+                               : margin;
+        v.worst_q_index = static_cast<int>(i);
+      }
+      if (std::isnan(margin) || margin < 0.0) ++v.q_violations;
+    }
+  }
+
+  // Shifted-battery range.
+  if (!config_.z_min.empty()) {
+    for (std::size_t i = 0; i < config_.z_min.size(); ++i) {
+      const double z = (*slot.z)[i];
+      const double margin = std::min(z - config_.z_min[i],
+                                     config_.z_max[i] - z);
+      if (std::isnan(margin) || margin < v.worst_z_margin) {
+        v.worst_z_margin = std::isnan(margin)
+                               ? -std::numeric_limits<double>::infinity()
+                               : margin;
+        v.worst_z_index = static_cast<int>(i);
+      }
+      if (std::isnan(margin) || margin < 0.0) ++v.z_violations;
+    }
+  }
+
+  // One-slot drift and the drift-plus-penalty value. The first audited slot
+  // has no predecessor, so its drift reads 0 and the bound check is skipped
+  // (Lemma 1 relates consecutive states).
+  if (have_prev_lyapunov_) {
+    v.drift = slot.lyapunov - prev_lyapunov_;
+    v.dpp = v.drift + config_.V * (slot.cost -
+                                   config_.lambda * slot.admitted_packets);
+  }
+  if (!std::isnan(slot.drift_bound_rhs)) {
+    // Check against the exact pre-decision L when the caller supplied it
+    // (it matches the state Psi1..Psi4 were evaluated at); otherwise use
+    // the slot-over-slot drift, which requires a predecessor.
+    const bool have_exact = !std::isnan(slot.pre_lyapunov);
+    if (have_exact || have_prev_lyapunov_) {
+      const double check_drift =
+          have_exact ? slot.lyapunov - slot.pre_lyapunov : v.drift;
+      const double check_dpp =
+          check_drift + config_.V * (slot.cost -
+                                     config_.lambda * slot.admitted_packets);
+      const double slack =
+          config_.drift_tolerance *
+          std::max({std::fabs(check_dpp), std::fabs(slot.drift_bound_rhs),
+                    1.0});
+      if (check_dpp > slot.drift_bound_rhs + slack) v.drift_violations = 1;
+    }
+  }
+  prev_lyapunov_ = slot.lyapunov;
+  have_prev_lyapunov_ = true;
+
+  // Windowed convergence estimator.
+  cost_sum_ += slot.cost;
+  ++slots_;
+  if (config_.window_slots > 0) {
+    window_backlog_sum_ += slot.total_backlog;
+    window_cost_sum_ += slot.cost;
+    if (++window_fill_ >= config_.window_slots) {
+      const double backlog_mean = window_backlog_sum_ / window_fill_;
+      const double cost_mean = window_cost_sum_ / window_fill_;
+      v.window_closed = true;
+      ++closed_windows_;
+      if (have_prev_window_) {
+        window_cost_delta_ = cost_mean - prev_window_cost_mean_;
+        // The first window is warmup (the run ramps from its initial
+        // state), so growth comparisons start at the third closed window:
+        // an equilibrium mean against an equilibrium mean.
+        if (closed_windows_ >= 3) {
+          const double growth = backlog_mean - prev_window_backlog_mean_;
+          const double yardstick =
+              config_.growth_tolerance *
+              std::max(prev_window_backlog_mean_, 1.0);
+          if (growth > yardstick) v.window_unstable = true;
+        }
+      }
+      prev_window_backlog_mean_ = backlog_mean;
+      prev_window_cost_mean_ = cost_mean;
+      have_prev_window_ = true;
+      m.window_backlog.set(backlog_mean);
+      window_fill_ = 0;
+      window_backlog_sum_ = window_cost_sum_ = 0.0;
+    }
+  }
+
+  // Fold into run totals and the registry.
+  total_q_violations_ += v.q_violations;
+  total_z_violations_ += v.z_violations;
+  total_drift_violations_ += v.drift_violations;
+  if (v.window_unstable) ++unstable_windows_;
+  run_worst_q_margin_ = std::min(run_worst_q_margin_, v.worst_q_margin);
+  run_worst_z_margin_ = std::min(run_worst_z_margin_, v.worst_z_margin);
+
+  m.audited.add();
+  if (v.q_violations > 0) m.q_viol.add(v.q_violations);
+  if (v.z_violations > 0) m.z_viol.add(v.z_violations);
+  if (v.drift_violations > 0) m.drift_viol.add(v.drift_violations);
+  if (v.window_unstable) m.unstable.add();
+  m.lyapunov.set(slot.lyapunov);
+  m.drift.set(v.drift);
+  m.dpp.set(v.dpp);
+  if (v.worst_q_index >= 0) m.worst_q.set(v.worst_q_margin);
+  if (v.worst_z_index >= 0) m.worst_z.set(v.worst_z_margin);
+  m.cost_avg.set(cost_time_average());
+  return v;
+}
+
+}  // namespace gc::obs

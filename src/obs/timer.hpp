@@ -11,9 +11,22 @@
 // Cost: two steady_clock reads (~20 ns each) plus one histogram observe per
 // scope. Building with -DGC_OBS_DISABLE removes even that: the class
 // becomes an empty shell the optimizer erases.
+//
+// Span is the tracing twin: the same RAII shape, but instead of feeding a
+// histogram it records a named interval into the process-wide SpanRecorder
+// ring buffer, exportable as Chrome trace-event JSON (chrome://tracing,
+// Perfetto). Spans nest naturally — each scope records its own start and
+// duration, and the viewer reconstructs the stack from containment on the
+// same thread lane. Recording is off by default; a disabled Span costs one
+// relaxed atomic load.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "obs/registry.hpp"
 
@@ -72,6 +85,110 @@ class ScopedTimer {
   Histogram* hist_;
   double* out_;
   clock::time_point start_;
+#endif
+};
+
+// One recorded interval. `name` must be a string literal (or otherwise
+// outlive the recorder) — recording stores the pointer, never copies.
+struct SpanEvent {
+  const char* name = "";
+  double start_s = 0.0;  // seconds since the recorder's epoch
+  double dur_s = 0.0;
+  std::uint32_t tid = 0;  // small dense per-thread index, Chrome lane
+  std::int64_t id = -1;   // caller payload (sweep job index, slot, ...)
+};
+
+// Process-wide bounded span store: a mutex-protected ring buffer that keeps
+// the most recent `capacity` spans (older ones are overwritten; dropped()
+// counts them). Recording is gated on an atomic flag so instrumented hot
+// paths pay one relaxed load when tracing is off. Built with
+// -DGC_OBS_DISABLE, record() compiles to nothing.
+class SpanRecorder {
+ public:
+  static SpanRecorder& instance();
+
+  // Clears the buffer, (re)sizes it, and starts recording. The epoch for
+  // start_s is the first enable() call of the process.
+  void enable(std::size_t capacity = 1 << 18);
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(const char* name, double start_s, double dur_s,
+              std::int64_t id);
+
+  // Seconds since the recorder epoch on the steady clock; 0 before the
+  // first enable().
+  double now_s() const;
+
+  // Copies the buffered spans out in chronological order and clears the
+  // buffer (dropped() resets too).
+  std::vector<SpanEvent> drain();
+  std::int64_t dropped() const;
+
+  // Writes the buffered spans (without draining) as Chrome trace-event
+  // JSON — {"traceEvents":[{"ph":"X",...}]} — atomically (tmp + rename).
+  // Timestamps are microseconds since the recorder epoch.
+  void export_chrome_trace(const std::string& path) const;
+
+  // The calling thread's dense lane index (assigned on first use).
+  static std::uint32_t thread_lane();
+
+ private:
+  SpanRecorder() = default;
+
+  std::atomic<bool> enabled_{false};
+  // The epoch is written once (first enable) and read lock-free afterwards:
+  // the release store on have_epoch_ publishes epoch_.
+  std::atomic<bool> have_epoch_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  // guards the ring below
+  std::vector<SpanEvent> ring_;
+  std::size_t next_ = 0;       // ring write cursor
+  std::size_t size_ = 0;       // live entries (<= ring_.size())
+  std::int64_t dropped_ = 0;
+};
+
+// RAII span: records [construction, destruction) into the SpanRecorder
+// when recording is enabled. `name` must outlive the recorder (use string
+// literals). `id` disambiguates instances (slot index, sweep job index).
+class Span {
+ public:
+  explicit Span(const char* name, std::int64_t id = -1)
+#ifndef GC_OBS_DISABLE
+      : name_(name), id_(id) {
+    if (SpanRecorder::instance().enabled()) {
+      live_ = true;
+      start_s_ = SpanRecorder::instance().now_s();
+    }
+  }
+#else
+  {
+    (void)name;
+    (void)id;
+  }
+#endif
+
+  ~Span() {
+#ifndef GC_OBS_DISABLE
+    if (live_) {
+      SpanRecorder& r = SpanRecorder::instance();
+      const double end_s = r.now_s();
+      r.record(name_, start_s_, end_s - start_s_, id_);
+    }
+#endif
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#ifndef GC_OBS_DISABLE
+  const char* name_;
+  std::int64_t id_;
+  bool live_ = false;
+  double start_s_ = 0.0;
 #endif
 };
 

@@ -47,6 +47,18 @@ struct TraceRecord {
   int fallbacks = 0;
   bool degraded = false;
   int fault_events = 0;
+  // Stability auditor (src/obs/stability.hpp): the slot's Lyapunov value,
+  // one-slot drift, drift-plus-penalty, worst bound margins, and violation
+  // flags. Serialized as a "stability" group only when has_stability is
+  // set (audit-off runs keep the old schema byte for byte).
+  bool has_stability = false;
+  double lyapunov = 0.0;
+  double drift = 0.0;
+  double dpp = 0.0;
+  double worst_q_margin = 0.0;
+  double worst_z_margin_j = 0.0;
+  int stability_violations = 0;  // q + z + drift violations this slot
+  bool window_unstable = false;
   // The k nodes carrying the largest total data backlog, worst first.
   std::vector<std::pair<int, double>> top_backlog;  // (node, packets)
 };

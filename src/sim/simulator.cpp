@@ -1,11 +1,16 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <sstream>
 
+#include "core/psi.hpp"
 #include "core/validate.hpp"
 #include "fault/fault_schedule.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "sim/checkpoint.hpp"
 
@@ -68,9 +73,21 @@ std::vector<std::pair<int, double>> top_backlog_nodes(
 void trace_slot(obs::TraceSink& sink, int t, const core::NetworkModel& model,
                 const core::NetworkState& state,
                 const core::SlotDecision& decision, int fault_events,
-                int top_k) {
+                int top_k, const obs::SlotAudit* audit,
+                const obs::SlotVerdict* verdict) {
   obs::TraceRecord r;
   r.slot = t;
+  if (audit != nullptr && verdict != nullptr) {
+    r.has_stability = true;
+    r.lyapunov = audit->lyapunov;
+    r.drift = verdict->drift;
+    r.dpp = verdict->dpp;
+    r.worst_q_margin = verdict->worst_q_margin;
+    r.worst_z_margin_j = verdict->worst_z_margin;
+    r.stability_violations =
+        verdict->q_violations + verdict->z_violations + verdict->drift_violations;
+    r.window_unstable = verdict->window_unstable;
+  }
   r.fallbacks = decision.fallbacks;
   r.degraded = decision.degraded;
   r.fault_events = fault_events;
@@ -144,7 +161,70 @@ Metrics run_loop(const core::NetworkModel& model,
     save_checkpoint(c, options.checkpoint_path);
   };
 
+  // Theory auditor (docs/OBSERVABILITY.md): strict_bounds forces the audit
+  // on even in GC_OBS_DISABLE builds (the verdict is what aborts the run;
+  // only the stability.* instruments are compiled out there).
+  const bool audit_on = options.audit || options.strict_bounds;
+  const double lambda = controller.options().allocator.lambda;
+  std::unique_ptr<obs::StabilityAuditor> auditor;
+  std::vector<double> audit_q, audit_z;
+  if (audit_on) {
+    obs::AuditConfig cfg = make_audit_config(model, controller.V(), lambda);
+    cfg.window_slots = options.audit_window_slots;
+    auditor = std::make_unique<obs::StabilityAuditor>(std::move(cfg));
+    audit_q.resize(static_cast<std::size_t>(model.num_nodes()) *
+                   static_cast<std::size_t>(model.num_sessions()));
+    audit_z.resize(static_cast<std::size_t>(model.num_nodes()));
+  }
+
+  // Live telemetry. Wall-clock rate covers only this process's slots (a
+  // resumed run does not claim the checkpointed portion's speed); the grid
+  // total does cover the whole run (the series survives the checkpoint).
+  std::unique_ptr<obs::SnapshotWriter> snapshots;
+  if (!options.snapshot_path.empty())
+    snapshots = std::make_unique<obs::SnapshotWriter>(options.snapshot_path,
+                                                      options.snapshot_every);
+  const obs::StopWatch run_watch;
+  double grid_total_j = 0.0;
+  for (double g : m.grid_j) grid_total_j += g;
+  double last_cost = m.cost.empty() ? 0.0 : m.cost.back();
+  const auto write_snapshot = [&](int completed_slots) {
+    obs::SnapshotData d;
+    d.slot = completed_slots;
+    d.total_slots = slots;
+    d.wall_s = run_watch.elapsed_seconds();
+    const int done_here = completed_slots - start_slot;
+    if (d.wall_s > 0.0 && done_here > 0) {
+      d.slots_per_s = done_here / d.wall_s;
+      d.eta_s = (slots - completed_slots) / d.slots_per_s;
+    }
+    d.scenario_name = options.scenario_name;
+    d.scenario_hash = options.scenario_hash;
+    const core::NetworkState& st = controller.state();
+    d.have_aggregates = true;
+    d.q_total_packets =
+        st.total_data_queue_bs() + st.total_data_queue_users();
+    d.h_total = st.total_virtual_queue();
+    d.battery_total_j = st.total_battery_bs_j() + st.total_battery_users_j();
+    d.cost_last = last_cost;
+    d.cost_time_avg = m.cost_avg.average();
+    d.grid_total_j = grid_total_j;
+    if (auditor && auditor->audited_slots() > 0) {
+      d.have_stability = true;
+      d.worst_q_margin = auditor->run_worst_q_margin();
+      d.worst_z_margin_j = auditor->run_worst_z_margin();
+      d.q_violations = static_cast<double>(auditor->total_q_violations());
+      d.z_violations = static_cast<double>(auditor->total_z_violations());
+      d.drift_violations =
+          static_cast<double>(auditor->total_drift_violations());
+      d.unstable_windows = static_cast<double>(auditor->unstable_windows());
+    }
+    d.registry = &obs::registry();
+    snapshots->write(d);
+  };
+
   for (int t = start_slot; t < slots; ++t) {
+    obs::Span slot_span("sim.slot", t);
     if (mobility && t > 0)
       mobility->advance(model.slot_seconds(), *topology);
     core::SlotInputs inputs = model.sample_inputs(t, input_rng);
@@ -154,11 +234,14 @@ Metrics run_loop(const core::NetworkModel& model,
       fault_events = faults.active_events;
       fault::apply_slot_faults(faults, inputs, controller.mutable_state());
     }
+    core::SlotDecision decision;
+    double drift_bound_rhs = std::numeric_limits<double>::quiet_NaN();
+    double pre_lyapunov = std::numeric_limits<double>::quiet_NaN();
     if (options.validate) {
       // validate_decision needs the pre-decision state; copy it after the
       // slot's faults (battery fade) have been imposed.
       const core::NetworkState pre = controller.state();
-      const core::SlotDecision decision = controller.step(inputs);
+      decision = controller.step(inputs);
       const auto violations = core::validate_decision(pre, inputs, decision);
       if (!violations.empty()) {
         std::ostringstream os;
@@ -166,26 +249,115 @@ Metrics run_loop(const core::NetworkModel& model,
         for (const auto& v : violations) os << "\n  " << v;
         GC_CHECK_MSG(false, os.str());
       }
-      record(m, model, controller.state(), inputs, decision);
-      if (trace)
-        trace_slot(*trace, t, model, controller.state(), decision,
-                   fault_events, options.trace_top_k);
+      if (auditor) {
+        // The Lemma-1 sample-path RHS, B + Psi1..Psi4 at the pre-state —
+        // only affordable here, where the pre-state copy already exists.
+        pre_lyapunov = core::lyapunov(pre);
+        drift_bound_rhs = model.drift_constant_B() +
+                          core::psi1_hat(pre, decision.schedule) +
+                          core::psi2_hat(pre, lambda, decision.admissions) +
+                          core::psi3_hat(pre, decision.routes) +
+                          core::psi4_hat(pre, decision.energy);
+      }
     } else {
-      const core::SlotDecision decision = controller.step(inputs);
-      record(m, model, controller.state(), inputs, decision);
-      if (trace)
-        trace_slot(*trace, t, model, controller.state(), decision,
-                   fault_events, options.trace_top_k);
+      decision = controller.step(inputs);
     }
+    record(m, model, controller.state(), inputs, decision);
+    last_cost = decision.cost;
+    grid_total_j += decision.grid_total_j;
+
+    obs::SlotAudit audit;
+    obs::SlotVerdict verdict;
+    if (auditor) {
+      const core::NetworkState& st = controller.state();
+      const int S = model.num_sessions();
+      for (int i = 0; i < model.num_nodes(); ++i) {
+        for (int s = 0; s < S; ++s)
+          audit_q[static_cast<std::size_t>(i * S + s)] = st.q(i, s);
+        audit_z[static_cast<std::size_t>(i)] = st.z(i);
+      }
+      audit.slot = t;
+      audit.q = &audit_q;
+      audit.z = &audit_z;
+      audit.lyapunov = core::lyapunov(st);
+      audit.cost = decision.cost;
+      for (const auto& a : decision.admissions)
+        audit.admitted_packets += a.packets;
+      audit.total_backlog =
+          st.total_data_queue_bs() + st.total_data_queue_users();
+      audit.drift_bound_rhs = drift_bound_rhs;
+      audit.pre_lyapunov = pre_lyapunov;
+      verdict = auditor->observe(audit);
+      if (options.strict_bounds && verdict.any_violation()) {
+        GC_CHECK_MSG(
+            false,
+            auditor->describe_violation(
+                audit, verdict,
+                [S](int i) {
+                  return "node " + std::to_string(i / S) + " session " +
+                         std::to_string(i % S);
+                },
+                [](int i) { return "node " + std::to_string(i); }));
+      }
+    }
+    if (trace)
+      trace_slot(*trace, t, model, controller.state(), decision,
+                 fault_events, options.trace_top_k,
+                 auditor ? &audit : nullptr, auditor ? &verdict : nullptr);
     if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
         (t + 1) % options.checkpoint_every == 0 && t + 1 < slots)
       checkpoint_now(t + 1);
+    if (snapshots && snapshots->due(t + 1) && t + 1 < slots)
+      write_snapshot(t + 1);
   }
   if (!options.checkpoint_path.empty()) checkpoint_now(slots);
+  if (snapshots) write_snapshot(slots);
   return m;
 }
 
 }  // namespace
+
+obs::AuditConfig make_audit_config(const core::NetworkModel& model, double V,
+                                   double lambda) {
+  obs::AuditConfig c;
+  c.V = V;
+  c.lambda = lambda;
+  const int n = model.num_nodes();
+  const int S = model.num_sessions();
+
+  // Deterministic queue bounds. A source queue stops admitting as soon as
+  // Q >= lambda * V, so it never exceeds lambda * V + K_s^max. Relays only
+  // receive while Q_rx < Q_tx (the differential-backlog rule of S3), so a
+  // relay can overshoot the sender's level by at most one slot's in-flow
+  // (R_i radios, each landing at most the best inbound link's packets);
+  // chained over at most n hops that is an n * in-flow allowance. Without
+  // multihop only sources and (always-empty) destinations hold packets.
+  c.q_bound.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(S));
+  for (int i = 0; i < n; ++i) {
+    double relay = 0.0;
+    if (model.config().multihop) {
+      double in_max = 0.0;
+      for (int j = 0; j < n; ++j)
+        if (j != i) in_max = std::max(in_max, model.max_link_packets(j, i));
+      relay = static_cast<double>(n) * model.num_radios(i) * in_max;
+    }
+    for (int s = 0; s < S; ++s)
+      c.q_bound[static_cast<std::size_t>(i * S + s)] =
+          lambda * V + model.session(s).max_admit_packets + relay;
+  }
+
+  // Shifted-battery range (Section IV-B): z = x - shift with
+  // shift = V * gamma_max + d_i^max, and x in [0, capacity].
+  c.z_min.resize(static_cast<std::size_t>(n));
+  c.z_max.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double shift = model.shift_j(i, V);
+    c.z_min[static_cast<std::size_t>(i)] = -shift;
+    c.z_max[static_cast<std::size_t>(i)] =
+        model.node(i).battery.capacity_j - shift;
+  }
+  return c;
+}
 
 Metrics run_simulation(const core::NetworkModel& model,
                        core::LyapunovController& controller, int slots,

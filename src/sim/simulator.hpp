@@ -7,6 +7,8 @@
 
 #include "core/controller.hpp"
 #include "core/model.hpp"
+#include "obs/registry.hpp"  // obs::kCompiledIn, the audit default
+#include "obs/stability.hpp"
 #include "sim/mobility.hpp"
 #include "util/stats.hpp"
 
@@ -95,7 +97,38 @@ struct SimOptions {
   // checkpoints that were also written without a scenario.
   std::string scenario_name;
   std::uint64_t scenario_hash = 0;
+
+  // Lyapunov theory auditor (src/obs/stability.hpp, docs/OBSERVABILITY.md):
+  // per-slot bound checks, drift diagnostics, and the windowed convergence
+  // estimator. On by default when observability is compiled in (the audit
+  // is pure arithmetic on state the simulator already touches); forced on
+  // by strict_bounds regardless of the build flavor.
+  bool audit = obs::kCompiledIn;
+  // Abort (gc::CheckError with a precise message naming the queue/battery,
+  // its value, and the broken bound) on the first audited violation.
+  bool strict_bounds = false;
+  // Window length for the convergence estimator; <= 0 disables windows.
+  int audit_window_slots = 256;
+
+  // Live telemetry (src/obs/snapshot.hpp): when snapshot_path is set, an
+  // atomic JSON snapshot (plus a Prometheus-text twin at PATH.prom) is
+  // written after every `snapshot_every` completed slots and once at the
+  // end of the run (0 = final only).
+  std::string snapshot_path;
+  int snapshot_every = 0;
 };
+
+// The audit contract the paper's analysis implies for `model` at drift
+// weight V and admission coefficient lambda:
+//  * data queues: Q_i^s <= lambda*V + K_s^max + relay allowance, where the
+//    allowance covers differential-backlog in-flow (R_i * beta per slot,
+//    creeping at most num_nodes deep across relay chains; 0 without
+//    multihop);
+//  * shifted batteries: z_i in [-shift_i, capacity_i - shift_i] with
+//    shift_i = V*gamma_max + d_i^max (Section IV-B).
+// Queue index layout is node * num_sessions + session.
+obs::AuditConfig make_audit_config(const core::NetworkModel& model, double V,
+                                   double lambda);
 
 // Runs `controller` for `slots` slots against freshly sampled inputs.
 // `slots` may be 0 (useful for dry runs); all series stay empty.

@@ -1,12 +1,16 @@
 #include "sim/sweep.hpp"
 
+#include <atomic>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
 
 #include "obs/registry.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,6 +46,28 @@ void SweepRunner::run_indexed(int n, const std::function<void(int)>& fn) {
   std::vector<std::unique_ptr<obs::ThreadRegistryScope>> scopes(
       static_cast<std::size_t>(threads_));
 
+  // Fleet telemetry: progress snapshots after each completed job (workers
+  // race to finish, so a mutex serializes the writer), a full one with the
+  // merged registry after the join. Job completions are Metrics-neutral —
+  // snapshots read nothing a job writes.
+  std::unique_ptr<obs::SnapshotWriter> snapshots;
+  if (!options_.snapshot_path.empty())
+    snapshots =
+        std::make_unique<obs::SnapshotWriter>(options_.snapshot_path, 1);
+  std::mutex snapshot_mutex;
+  std::atomic<int> jobs_done{0};
+  const obs::StopWatch fleet_watch;
+  const auto write_fleet = [&](int done, const obs::Registry* registry) {
+    obs::SnapshotData d;
+    d.wall_s = fleet_watch.elapsed_seconds();
+    d.jobs_done = done;
+    d.jobs_total = n;
+    if (d.wall_s > 0.0 && done > 0 && done < n)
+      d.eta_s = (n - done) * d.wall_s / done;
+    d.registry = registry;
+    snapshots->write(d);
+  };
+
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   {
     util::ThreadPool::Options pool_options;
@@ -53,11 +79,17 @@ void SweepRunner::run_indexed(int n, const std::function<void(int)>& fn) {
     pool_options.on_thread_stop = [&](int w) { scopes[w].reset(); };
     util::ThreadPool pool(pool_options);
     for (int i = 0; i < n; ++i)
-      pool.submit([&fn, &errors, i] {
+      pool.submit([&, i] {
         try {
+          obs::Span span("sweep.job", i);
           fn(i);
         } catch (...) {
           errors[static_cast<std::size_t>(i)] = std::current_exception();
+        }
+        if (snapshots) {
+          const int done = jobs_done.fetch_add(1) + 1;
+          std::lock_guard<std::mutex> lock(snapshot_mutex);
+          write_fleet(done, nullptr);
         }
       });
     pool.wait_idle();
@@ -69,6 +101,7 @@ void SweepRunner::run_indexed(int n, const std::function<void(int)>& fn) {
   obs::Registry& target =
       options_.merge_into ? *options_.merge_into : obs::global_registry();
   for (const auto& r : registries) target.merge_from(*r);
+  if (snapshots) write_fleet(n, &target);
 
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
@@ -78,7 +111,9 @@ std::vector<Metrics> SweepRunner::run(const std::vector<SimJob>& jobs) {
   // Jobs run concurrently, so any two writing the same file would race.
   // TraceSink serializes writes per sink, but two sinks truncating one path
   // still clobber each other — require distinct paths outright.
-  std::set<std::string> trace_paths, checkpoint_paths;
+  std::set<std::string> trace_paths, checkpoint_paths, snapshot_paths;
+  if (!options_.snapshot_path.empty())
+    snapshot_paths.insert(options_.snapshot_path);
   for (const SimJob& job : jobs) {
     if (!job.sim.trace_path.empty())
       GC_CHECK_MSG(trace_paths.insert(job.sim.trace_path).second,
@@ -87,6 +122,11 @@ std::vector<Metrics> SweepRunner::run(const std::vector<SimJob>& jobs) {
       GC_CHECK_MSG(
           checkpoint_paths.insert(job.sim.checkpoint_path).second,
           "sweep jobs share checkpoint path " << job.sim.checkpoint_path);
+    if (!job.sim.snapshot_path.empty())
+      GC_CHECK_MSG(snapshot_paths.insert(job.sim.snapshot_path).second,
+                   "sweep jobs share snapshot path "
+                       << job.sim.snapshot_path
+                       << " (also checked against the fleet snapshot path)");
   }
   return map<Metrics>(static_cast<int>(jobs.size()),
                       [&jobs](int i) { return run_job(jobs[i]); });

@@ -9,9 +9,10 @@
 // obs::Registry (installed via obs::ThreadRegistryScope before its first
 // job), and the workers' registries are folded into the target registry in
 // worker-index order after the pool joins. Counter/histogram totals are
-// therefore independent of the job-to-worker assignment; gauges keep
-// last-writer-wins semantics with an unspecified winner (see
-// obs::Registry::merge_from).
+// therefore independent of the job-to-worker assignment; gauges follow
+// deterministic merge-order last-writer-wins — the highest-index worker
+// that set a gauge supplies its final value, independent of thread timing
+// (see obs::Gauge::merge_from).
 //
 // docs/PERFORMANCE.md covers the threading model, the determinism
 // guarantees, and how the benches use this.
@@ -55,6 +56,13 @@ struct SweepOptions {
   // Where worker registries are folded after the join; nullptr = the
   // process-global registry.
   obs::Registry* merge_into = nullptr;
+  // Fleet telemetry (obs::SnapshotWriter, docs/OBSERVABILITY.md): when set,
+  // a fleet snapshot is written (atomically, plus a .prom twin) after every
+  // completed job — progress only, since worker registries are still being
+  // written — and once after the join with the fully merged registry, so
+  // the final snapshot's counter totals equal the merged registry's. Must
+  // not collide with any job's own snapshot path.
+  std::string snapshot_path;
 };
 
 // Runs `job` start to finish on the calling thread: builds the model,

@@ -1,0 +1,239 @@
+// Theory auditor unit tests on hand-crafted AuditConfig/SlotAudit inputs
+// (src/obs/stability.hpp). Assertions go through the auditor's own totals,
+// not the stability.* instruments: those resolve against the thread-current
+// registry once per thread, so a test-installed ThreadRegistryScope on the
+// main thread would poison every later test in the binary.
+#include "obs/stability.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace gc::obs {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string queue_name(int i) { return "queue#" + std::to_string(i); }
+std::string node_name(int i) { return "node#" + std::to_string(i); }
+
+AuditConfig two_queue_config() {
+  AuditConfig cfg;
+  cfg.V = 2.0;
+  cfg.lambda = 1.0;
+  cfg.q_bound = {10.0, 20.0};
+  cfg.window_slots = 0;  // estimator off unless a test opts in
+  return cfg;
+}
+
+SlotAudit make_slot(const std::vector<double>* q, const std::vector<double>* z,
+                    int slot = 0) {
+  SlotAudit a;
+  a.slot = slot;
+  a.q = q;
+  a.z = z;
+  return a;
+}
+
+TEST(StabilityAuditor, CleanSlotHasNoViolationsAndPositiveMargins) {
+  StabilityAuditor auditor(two_queue_config());
+  const std::vector<double> q = {4.0, 19.0};
+  const auto v = auditor.observe(make_slot(&q, nullptr));
+  EXPECT_FALSE(v.any_violation());
+  EXPECT_EQ(v.q_violations, 0);
+  // Worst margin is the tightest queue: 20 - 19 = 1 at index 1.
+  EXPECT_DOUBLE_EQ(v.worst_q_margin, 1.0);
+  EXPECT_EQ(v.worst_q_index, 1);
+  EXPECT_EQ(auditor.audited_slots(), 1);
+  EXPECT_EQ(auditor.total_q_violations(), 0);
+  EXPECT_DOUBLE_EQ(auditor.run_worst_q_margin(), 1.0);
+  // No z config: the z check is disabled, index stays -1.
+  EXPECT_EQ(v.worst_z_index, -1);
+}
+
+TEST(StabilityAuditor, QueueAboveBoundIsCountedWithNegativeMargin) {
+  StabilityAuditor auditor(two_queue_config());
+  const std::vector<double> q = {11.0, 5.0};
+  const auto v = auditor.observe(make_slot(&q, nullptr));
+  EXPECT_TRUE(v.any_violation());
+  EXPECT_EQ(v.q_violations, 1);
+  EXPECT_DOUBLE_EQ(v.worst_q_margin, -1.0);
+  EXPECT_EQ(v.worst_q_index, 0);
+  EXPECT_EQ(auditor.total_q_violations(), 1);
+  EXPECT_DOUBLE_EQ(auditor.run_worst_q_margin(), -1.0);
+  const std::string msg =
+      auditor.describe_violation(make_slot(&q, nullptr), v, queue_name,
+                                 node_name);
+  EXPECT_NE(msg.find("queue#0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("11"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("deterministic bound 10"), std::string::npos) << msg;
+}
+
+TEST(StabilityAuditor, NaNBacklogCountsAsViolation) {
+  StabilityAuditor auditor(two_queue_config());
+  const std::vector<double> q = {kNaN, 5.0};
+  const auto v = auditor.observe(make_slot(&q, nullptr));
+  EXPECT_EQ(v.q_violations, 1);
+  EXPECT_EQ(v.worst_q_index, 0);
+  EXPECT_TRUE(std::isinf(v.worst_q_margin));
+  EXPECT_LT(v.worst_q_margin, 0.0);
+}
+
+TEST(StabilityAuditor, ShiftedBatteryOutsideRangeIsCounted) {
+  AuditConfig cfg;
+  cfg.z_min = {-5.0, -5.0};
+  cfg.z_max = {5.0, 7.0};
+  cfg.window_slots = 0;
+  StabilityAuditor auditor(cfg);
+  // Node 0 sits exactly on the lower edge (margin 0, not a violation);
+  // node 1 overshoots the top by 1.
+  const std::vector<double> z = {-5.0, 8.0};
+  const auto v = auditor.observe(make_slot(nullptr, &z));
+  EXPECT_EQ(v.z_violations, 1);
+  EXPECT_DOUBLE_EQ(v.worst_z_margin, -1.0);
+  EXPECT_EQ(v.worst_z_index, 1);
+  EXPECT_EQ(auditor.total_z_violations(), 1);
+  const std::string msg = auditor.describe_violation(make_slot(nullptr, &z), v,
+                                                     queue_name, node_name);
+  EXPECT_NE(msg.find("node#1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("[-5, 7]"), std::string::npos) << msg;
+}
+
+TEST(StabilityAuditor, DriftBoundUsesExactPreLyapunovWhenProvided) {
+  AuditConfig cfg;
+  cfg.V = 2.0;
+  cfg.lambda = 1.0;
+  cfg.window_slots = 0;
+  StabilityAuditor auditor(cfg);
+  // First slot, but pre_lyapunov makes the check possible immediately:
+  // dpp = (100 - 0) + V*(cost - lambda*admitted) = 100 + 2*(3 - 1*2) = 102.
+  SlotAudit a = make_slot(nullptr, nullptr);
+  a.lyapunov = 100.0;
+  a.pre_lyapunov = 0.0;
+  a.cost = 3.0;
+  a.admitted_packets = 2.0;
+  a.drift_bound_rhs = 50.0;
+  const auto v = auditor.observe(a);
+  EXPECT_EQ(v.drift_violations, 1);
+  EXPECT_EQ(auditor.total_drift_violations(), 1);
+  const std::string msg =
+      auditor.describe_violation(a, v, queue_name, node_name);
+  EXPECT_NE(msg.find("drift-plus-penalty"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Lemma-1"), std::string::npos) << msg;
+
+  // Same arithmetic with a roomy RHS passes.
+  a.drift_bound_rhs = 200.0;
+  EXPECT_EQ(auditor.observe(a).drift_violations, 0);
+}
+
+TEST(StabilityAuditor, DriftBoundSkippedOnFirstSlotWithoutPreState) {
+  AuditConfig cfg;
+  cfg.V = 1.0;
+  cfg.window_slots = 0;
+  StabilityAuditor auditor(cfg);
+  SlotAudit a = make_slot(nullptr, nullptr);
+  a.lyapunov = 1e9;       // huge L, but no predecessor and no pre-state
+  a.drift_bound_rhs = 1.0;
+  EXPECT_EQ(auditor.observe(a).drift_violations, 0);
+  // The second slot has a predecessor; slot-over-slot drift now applies:
+  // drift = 2e9 - 1e9 far above rhs.
+  a.lyapunov = 2e9;
+  const auto v = auditor.observe(a);
+  EXPECT_EQ(v.drift_violations, 1);
+  EXPECT_DOUBLE_EQ(v.drift, 1e9);
+}
+
+TEST(StabilityAuditor, DriftToleranceAbsorbsFloatingPointNoise) {
+  AuditConfig cfg;
+  cfg.V = 1.0;
+  cfg.drift_tolerance = 1e-6;
+  cfg.window_slots = 0;
+  StabilityAuditor auditor(cfg);
+  SlotAudit a = make_slot(nullptr, nullptr);
+  a.pre_lyapunov = 0.0;
+  a.lyapunov = 1000.0 * (1.0 + 1e-9);  // over the bound by well under tol
+  a.drift_bound_rhs = 1000.0;
+  EXPECT_EQ(auditor.observe(a).drift_violations, 0);
+}
+
+TEST(StabilityAuditor, GrowingBacklogFlagsUnstableWindows) {
+  AuditConfig cfg;
+  cfg.q_bound = {10.0};  // backlog_scale = 10
+  cfg.window_slots = 4;
+  cfg.growth_tolerance = 0.01;
+  StabilityAuditor auditor(cfg);
+  const std::vector<double> q = {1.0};
+  bool saw_unstable = false;
+  for (int t = 0; t < 16; ++t) {
+    SlotAudit a = make_slot(&q, nullptr, t);
+    a.total_backlog = 10.0 * t;  // mean grows by 40 per window
+    const auto v = auditor.observe(a);
+    if (v.window_unstable) saw_unstable = true;
+    EXPECT_EQ(v.window_closed, (t + 1) % 4 == 0) << t;
+  }
+  EXPECT_TRUE(saw_unstable);
+  // Window 1 is warmup and window 2 has only it to compare against, so the
+  // growth check starts at window 3: windows 3 and 4 both grew.
+  EXPECT_EQ(auditor.unstable_windows(), 2);
+  const std::string msg = auditor.describe_violation(
+      make_slot(&q, nullptr), [] {
+        SlotVerdict v;
+        v.window_unstable = true;
+        return v;
+      }(),
+      queue_name, node_name);
+  EXPECT_NE(msg.find("still growing"), std::string::npos) << msg;
+}
+
+TEST(StabilityAuditor, FlatBacklogKeepsWindowsStable) {
+  AuditConfig cfg;
+  cfg.q_bound = {10.0};
+  cfg.window_slots = 4;
+  StabilityAuditor auditor(cfg);
+  const std::vector<double> q = {1.0};
+  for (int t = 0; t < 32; ++t) {
+    SlotAudit a = make_slot(&q, nullptr, t);
+    a.total_backlog = 5.0;
+    EXPECT_FALSE(auditor.observe(a).window_unstable);
+  }
+  EXPECT_EQ(auditor.unstable_windows(), 0);
+}
+
+TEST(StabilityAuditor, CostTimeAverageAndWindowDelta) {
+  AuditConfig cfg;
+  cfg.window_slots = 2;
+  StabilityAuditor auditor(cfg);
+  for (int t = 0; t < 4; ++t) {
+    SlotAudit a = make_slot(nullptr, nullptr, t);
+    a.cost = t < 2 ? 1.0 : 3.0;  // window means 1 then 3
+    auditor.observe(a);
+  }
+  EXPECT_DOUBLE_EQ(auditor.cost_time_average(), 2.0);
+  EXPECT_DOUBLE_EQ(auditor.window_cost_delta(), 2.0);
+}
+
+TEST(StabilityAuditor, CleanVerdictDescribesNothing) {
+  StabilityAuditor auditor(two_queue_config());
+  const std::vector<double> q = {0.0, 0.0};
+  const auto v = auditor.observe(make_slot(&q, nullptr));
+  EXPECT_TRUE(
+      auditor.describe_violation(make_slot(&q, nullptr), v, queue_name,
+                                 node_name)
+          .empty());
+}
+
+TEST(StabilityAuditor, MismatchedLayoutIsRejected) {
+  StabilityAuditor auditor(two_queue_config());
+  const std::vector<double> q = {1.0};  // config expects two queues
+  EXPECT_THROW(auditor.observe(make_slot(&q, nullptr)), CheckError);
+  StabilityAuditor no_q(two_queue_config());
+  EXPECT_THROW(no_q.observe(make_slot(nullptr, nullptr)), CheckError);
+}
+
+}  // namespace
+}  // namespace gc::obs

@@ -4,13 +4,16 @@
 // docs/PERFORMANCE.md).
 #include "sim/sweep.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "metrics_testutil.hpp"
+#include "obs/json.hpp"
 #include "obs/registry.hpp"
 #include "util/check.hpp"
 
@@ -119,6 +122,93 @@ TEST(Sweep, DistinctTracePathsAllWritten) {
     // One scenario header line plus one record per slot.
     EXPECT_EQ(lines, job.slots + 1) << job.sim.trace_path;
   }
+}
+
+// Snapshots are pure observers: a sweep that writes per-job and fleet
+// snapshots (with the auditor on) produces bit-identical Metrics to a
+// serial sweep without any of it — and the final fleet snapshot's counter
+// totals equal the merged registry's, since it is written after the
+// worker-index-order merge.
+TEST(Sweep, SnapshotsAreMetricsNeutralAndFleetTotalsMatchMergedRegistry) {
+  const auto plain = grid_jobs();
+  obs::Registry r1;
+  const auto serial = run_with_threads(plain, 1, &r1);
+
+  auto jobs = plain;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].sim.audit = obs::kCompiledIn;
+    jobs[i].sim.snapshot_path = ::testing::TempDir() + "gc_sweep_snap_" +
+                                std::to_string(i) + ".json";
+    jobs[i].sim.snapshot_every = 2;
+  }
+  const std::string fleet_path =
+      ::testing::TempDir() + "gc_sweep_fleet.json";
+  SweepOptions opt;
+  opt.threads = 4;
+  obs::Registry r4;
+  opt.merge_into = &r4;
+  opt.snapshot_path = fleet_path;
+  const auto parallel = SweepRunner(opt).run(jobs);
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    expect_metrics_bit_identical(serial[i], parallel[i]);
+
+  // Every per-job snapshot and the fleet snapshot landed (with .prom twin).
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(std::ifstream(job.sim.snapshot_path).good())
+        << job.sim.snapshot_path;
+    EXPECT_TRUE(std::ifstream(job.sim.snapshot_path + ".prom").good());
+  }
+  std::ifstream in(fleet_path);
+  ASSERT_TRUE(in.good()) << fleet_path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue v = obs::json_parse(ss.str());
+  EXPECT_DOUBLE_EQ(v.at("fleet").at("jobs_done").as_number(),
+                   static_cast<double>(jobs.size()));
+  EXPECT_DOUBLE_EQ(v.at("fleet").at("jobs_total").as_number(),
+                   static_cast<double>(jobs.size()));
+  if (obs::kCompiledIn) {
+    const obs::JsonValue& counters = v.at("registry").at("counters");
+    for (const char* name :
+         {"ctrl.slots", "lp.solves", "stability.audited_slots"}) {
+      ASSERT_TRUE(counters.has(name)) << name;
+      EXPECT_DOUBLE_EQ(counters.at(name).at("total").as_number(),
+                       r4.counter(name).total())
+          << name;
+    }
+    const int expected_slots =
+        static_cast<int>(jobs.size()) * jobs[0].slots;
+    EXPECT_DOUBLE_EQ(
+        counters.at("stability.audited_slots").at("total").as_number(),
+        expected_slots);
+  }
+  for (const auto& job : jobs) {
+    std::remove(job.sim.snapshot_path.c_str());
+    std::remove((job.sim.snapshot_path + ".prom").c_str());
+  }
+  std::remove(fleet_path.c_str());
+  std::remove((fleet_path + ".prom").c_str());
+}
+
+TEST(Sweep, SharedSnapshotPathRejected) {
+  auto jobs = grid_jobs(2);
+  const std::string path = ::testing::TempDir() + "gc_sweep_shared_snap.json";
+  jobs[0].sim.snapshot_path = path;
+  jobs[1].sim.snapshot_path = path;
+  EXPECT_THROW(SweepRunner().run(jobs), CheckError);
+}
+
+// A job snapshot colliding with the FLEET snapshot path is just as torn.
+TEST(Sweep, JobSnapshotPathCollidingWithFleetRejected) {
+  auto jobs = grid_jobs(2);
+  const std::string path = ::testing::TempDir() + "gc_sweep_fleet_clash.json";
+  jobs[1].sim.snapshot_path = path;
+  SweepOptions opt;
+  opt.snapshot_path = path;
+  obs::Registry sink;
+  opt.merge_into = &sink;
+  EXPECT_THROW(SweepRunner(opt).run(jobs), CheckError);
 }
 
 TEST(Sweep, PropagatesFirstFailureAfterFinishing) {

@@ -159,6 +159,44 @@ TEST(CliOptions, ParsesRobustnessFlags) {
   EXPECT_FALSE(parse({"--checkpoint"}).options);  // missing value
 }
 
+TEST(CliOptions, ParsesObservabilityFlags) {
+  const auto r = parse({"--trace-top-k", "5", "--strict-bounds",
+                        "--snapshot", "live.json", "--snapshot-every", "100",
+                        "--spans", "spans.json"});
+  ASSERT_TRUE(r.options) << r.error;
+  EXPECT_EQ(r.options->trace_top_k, 5);
+  EXPECT_TRUE(r.options->strict_bounds);
+  EXPECT_EQ(r.options->snapshot_path, "live.json");
+  EXPECT_EQ(r.options->snapshot_every, 100);
+  EXPECT_EQ(r.options->spans_path, "spans.json");
+  const auto d = parse({});
+  ASSERT_TRUE(d.options);
+  EXPECT_EQ(d.options->trace_top_k, 3);
+  EXPECT_FALSE(d.options->strict_bounds);
+  EXPECT_TRUE(d.options->snapshot_path.empty());
+  EXPECT_EQ(d.options->snapshot_every, 0);
+  // --trace-top-k 0 is valid: trace records without the drill-down array.
+  EXPECT_EQ(parse({"--trace-top-k", "0"}).options->trace_top_k, 0);
+}
+
+// A cadence without a snapshot file has nothing to pace.
+TEST(CliOptions, SnapshotEveryRequiresSnapshotPath) {
+  const auto r = parse({"--snapshot-every", "50"});
+  EXPECT_FALSE(r.options);
+  EXPECT_NE(r.error.find("--snapshot-every"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("--snapshot"), std::string::npos) << r.error;
+  EXPECT_TRUE(
+      parse({"--snapshot", "s.json", "--snapshot-every", "50"}).options);
+}
+
+TEST(CliOptions, UsageMentionsObservabilityFlags) {
+  const std::string u = usage();
+  for (const char* flag : {"--trace-top-k", "--strict-bounds", "--snapshot",
+                           "--snapshot-every", "--spans"})
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+  EXPECT_NE(u.find("docs/OBSERVABILITY.md"), std::string::npos);
+}
+
 TEST(CliOptions, ParsesSweepFlags) {
   const auto r = parse({"--seeds", "8", "--threads", "4"});
   ASSERT_TRUE(r.options) << r.error;
@@ -217,6 +255,12 @@ TEST(CliOptions, EveryFlagFailureNamesFlagAndDomain) {
       {"--seeds", "0", "int >= 1"},
       {"--threads", "-1", "int >= 0"},
       {"--scenario", "", "non-empty file path"},
+      {"--trace-top-k", "-1", "int >= 0"},
+      {"--trace-top-k", "many", "int >= 0"},
+      {"--snapshot", "", "non-empty file path"},
+      {"--snapshot-every", "0", "int >= 1"},
+      {"--snapshot-every", "2.5", "int >= 1"},
+      {"--spans", "", "non-empty file path"},
   };
   for (const auto& c : cases) {
     const auto r = parse({c.flag, c.bad});

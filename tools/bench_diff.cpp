@@ -1,0 +1,177 @@
+// bench_diff: throughput regression gate over two BENCH_sweep.json files
+// (bench_baseline / bench/scale_scenarios output). Compares every section
+// that reports slots_per_s — "serial", "parallel", and each entry of
+// "scale_scenarios" matched by name — and fails when any of them slowed
+// down by more than the tolerance.
+//
+//   $ bench_diff baseline.json candidate.json              # 10% tolerance
+//   $ bench_diff baseline.json candidate.json --tolerance 0.05
+//
+// Exit codes: 0 = no regression, 1 = regression (or malformed input),
+// 2 = usage error. Sections present in only one file are reported and
+// skipped (a scale sweep may cover different scenarios); a candidate
+// missing EVERY comparable section is an error, not a pass.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+struct Args {
+  std::string baseline;
+  std::string candidate;
+  double tolerance = 0.10;  // fractional slowdown allowed
+};
+
+bool parse_args(const std::vector<std::string>& argv, Args* out,
+                std::string* error) {
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& flag = argv[i];
+    if (flag == "--help") {
+      *error =
+          "usage: bench_diff BASELINE.json CANDIDATE.json "
+          "[--tolerance FRAC]\n"
+          "fails (exit 1) when any section's slots_per_s regresses by more\n"
+          "than FRAC (default 0.10) relative to the baseline";
+      return false;
+    }
+    if (flag == "--tolerance") {
+      if (i + 1 >= argv.size()) {
+        *error = "--tolerance: missing value";
+        return false;
+      }
+      char* end = nullptr;
+      out->tolerance = std::strtod(argv[++i].c_str(), &end);
+      if (!end || *end != '\0' || out->tolerance < 0.0) {
+        *error = "--tolerance: expected number >= 0, got \"" + argv[i] + "\"";
+        return false;
+      }
+    } else if (!flag.empty() && flag[0] == '-') {
+      *error = "unknown flag " + flag;
+      return false;
+    } else {
+      positional.push_back(flag);
+    }
+  }
+  if (positional.size() != 2) {
+    *error = "expected exactly two files (baseline, candidate), got " +
+             std::to_string(positional.size());
+    return false;
+  }
+  out->baseline = positional[0];
+  out->candidate = positional[1];
+  return true;
+}
+
+gc::obs::JsonValue load_json(const std::string& path) {
+  std::ifstream in(path);
+  GC_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return gc::obs::json_parse(ss.str());
+}
+
+// One comparable throughput reading: "serial", "parallel", or
+// "scale:<name>".
+struct Section {
+  std::string key;
+  double slots_per_s = 0.0;
+};
+
+std::vector<Section> collect_sections(const gc::obs::JsonValue& bench) {
+  std::vector<Section> out;
+  for (const char* top : {"serial", "parallel"}) {
+    if (!bench.has(top)) continue;
+    const gc::obs::JsonValue& sec = bench.at(top);
+    if (sec.is_object() && sec.has("slots_per_s"))
+      out.push_back({top, sec.at("slots_per_s").as_number()});
+  }
+  if (bench.has("scale_scenarios")) {
+    for (const gc::obs::JsonValue& row :
+         bench.at("scale_scenarios").as_array()) {
+      if (!row.is_object() || !row.has("name") || !row.has("slots_per_s"))
+        continue;
+      out.push_back({"scale:" + row.at("name").as_string(),
+                     row.at("slots_per_s").as_number()});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  std::string error;
+  if (!parse_args({argv + 1, argv + argc}, &args, &error)) {
+    std::fprintf(error.rfind("usage:", 0) == 0 ? stdout : stderr, "%s\n",
+                 error.c_str());
+    return error.rfind("usage:", 0) == 0 ? 0 : 2;
+  }
+
+  try {
+    const std::vector<Section> base = collect_sections(load_json(args.baseline));
+    const std::vector<Section> cand =
+        collect_sections(load_json(args.candidate));
+
+    int compared = 0;
+    int regressions = 0;
+    for (const Section& b : base) {
+      const Section* c = nullptr;
+      for (const Section& s : cand)
+        if (s.key == b.key) c = &s;
+      if (c == nullptr) {
+        std::printf("%-24s baseline %.3f slots/s, absent in candidate — "
+                    "skipped\n",
+                    b.key.c_str(), b.slots_per_s);
+        continue;
+      }
+      ++compared;
+      // A baseline of 0 slots/s carries no information to regress from.
+      const double change =
+          b.slots_per_s > 0.0
+              ? (c->slots_per_s - b.slots_per_s) / b.slots_per_s
+              : 0.0;
+      const bool regressed = change < -args.tolerance;
+      if (regressed) ++regressions;
+      std::printf("%-24s %.3f -> %.3f slots/s (%+.1f%%)%s\n", b.key.c_str(),
+                  b.slots_per_s, c->slots_per_s, 100.0 * change,
+                  regressed ? "  REGRESSION" : "");
+    }
+    for (const Section& c : cand) {
+      bool in_base = false;
+      for (const Section& b : base)
+        if (b.key == c.key) in_base = true;
+      if (!in_base)
+        std::printf("%-24s new in candidate (%.3f slots/s)\n", c.key.c_str(),
+                    c.slots_per_s);
+    }
+
+    if (compared == 0) {
+      std::fprintf(stderr,
+                   "error: no section present in both files — nothing to "
+                   "compare\n");
+      return 1;
+    }
+    if (regressions > 0) {
+      std::fprintf(stderr,
+                   "error: %d section(s) regressed beyond the %.0f%% "
+                   "tolerance\n",
+                   regressions, 100.0 * args.tolerance);
+      return 1;
+    }
+    std::printf("ok: %d section(s) within %.0f%% of baseline\n", compared,
+                100.0 * args.tolerance);
+    return 0;
+  } catch (const gc::CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -51,10 +51,28 @@ run:
   --trace PATH          write a per-slot JSONL trace (queues, subproblem
                         wall times, decision summary, top-backlog nodes);
                         summarize with tools/trace_summarize
+  --trace-top-k N       worst-backlog nodes listed per trace record
+                        (default 3; 0 = none)
   --report              print the end-of-run observability report (time
                         breakdown per subproblem, counters, timers)
   --quiet               only the summary line
   --help                this text
+
+observability (docs/OBSERVABILITY.md):
+  --strict-bounds       abort on the first violated stability bound (queue
+                        above lambda*V + K_s^max + relay allowance, shifted
+                        battery outside its range, drift-plus-penalty above
+                        the Lemma-1 RHS, or a growing backlog window)
+                        instead of counting it in stability.*
+  --snapshot PATH       write an atomic JSON progress snapshot (plus a
+                        Prometheus-text twin at PATH.prom) during the run;
+                        with --seeds > 1 this is the fleet snapshot and
+                        per-seed snapshots land at PATH.seed<k>
+  --snapshot-every N    snapshot after every N completed slots (default 0 =
+                        only the final snapshot); requires --snapshot
+  --spans PATH          record nested spans (controller step, S1-S4, LP
+                        solves, sweep jobs) and export Chrome trace-event
+                        JSON to PATH at the end of the run
 
 robustness (docs/ROBUSTNESS.md):
   --faults PATH         inject faults from a JSON spec (node outages,
@@ -131,7 +149,8 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       "--mobility", "--V",        "--lambda",           "--slots",
       "--input-seed", "--csv",    "--trace",            "--faults",
       "--checkpoint", "--checkpoint-every", "--resume", "--seeds",
-      "--threads"};
+      "--threads",  "--trace-top-k", "--snapshot",      "--snapshot-every",
+      "--spans"};
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -154,6 +173,10 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     }
     if (flag == "--print-scenario") {
       opt.print_scenario = true;
+      continue;
+    }
+    if (flag == "--strict-bounds") {
+      opt.strict_bounds = true;
       continue;
     }
     bool known = false;
@@ -279,6 +302,20 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     } else if (flag == "--resume") {
       if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.resume_path = v;
+    } else if (flag == "--trace-top-k") {
+      if (!parse_int(v, &iv) || iv < 0)
+        return err(bad(flag, "int >= 0", v));
+      opt.trace_top_k = iv;
+    } else if (flag == "--snapshot") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      opt.snapshot_path = v;
+    } else if (flag == "--snapshot-every") {
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
+      opt.snapshot_every = iv;
+    } else if (flag == "--spans") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      opt.spans_path = v;
     } else if (flag == "--seeds") {
       if (!parse_int(v, &iv) || iv < 1)
         return err(bad(flag, "int >= 1", v));
@@ -302,6 +339,9 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   if (opt.seeds > 1 &&
       (!opt.checkpoint_path.empty() || !opt.resume_path.empty()))
     return err("--seeds > 1 cannot be combined with --checkpoint/--resume");
+  if (opt.snapshot_every > 0 && opt.snapshot_path.empty())
+    return err("--snapshot-every requires --snapshot (it sets the cadence "
+               "of the snapshot file)");
   return ParseResult{opt, ""};
 }
 

@@ -34,9 +34,21 @@ struct Options {
   bool quiet = false;
   std::string csv_path;    // empty = no CSV
   std::string trace_path;  // empty = no JSONL trace
+  // How many worst-backlog nodes each trace record drills into (the
+  // trace's top_backlog array); 0 = none.
+  int trace_top_k = 3;
   // End-of-run observability report: per-subproblem time breakdown plus
   // every registered counter/timer (see src/obs).
   bool report = false;
+  // Theory auditor (docs/OBSERVABILITY.md): abort on the first violated
+  // stability bound instead of counting it.
+  bool strict_bounds = false;
+  // Live telemetry: periodic atomic JSON snapshot (+ .prom twin); 0 =
+  // final-only snapshot when snapshot_path is set.
+  std::string snapshot_path;
+  int snapshot_every = 0;
+  // Span tracing: Chrome trace-event JSON written at the end of the run.
+  std::string spans_path;
 
   // Robustness (docs/ROBUSTNESS.md).
   std::string faults_path;      // JSON fault spec; empty = no fault injection

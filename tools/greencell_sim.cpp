@@ -10,6 +10,7 @@
 #include "core/controller.hpp"
 #include "fault/fault_schedule.hpp"
 #include "obs/report.hpp"
+#include "obs/timer.hpp"
 #include "scenario/spec.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
@@ -86,6 +87,21 @@ std::string seed_suffixed(const std::string& path, int k) {
   return path.empty() ? path : path + ".seed" + std::to_string(k);
 }
 
+// --spans: dump the recorded spans as Chrome trace-event JSON (open in
+// chrome://tracing or Perfetto).
+void export_spans(const gc::cli::Options& opt) {
+  if (opt.spans_path.empty()) return;
+  gc::obs::SpanRecorder& rec = gc::obs::SpanRecorder::instance();
+  rec.export_chrome_trace(opt.spans_path);
+  if (!opt.quiet) {
+    std::printf("spans written to %s", opt.spans_path.c_str());
+    if (rec.dropped() > 0)
+      std::printf(" (ring buffer dropped %lld oldest spans)",
+                  static_cast<long long>(rec.dropped()));
+    std::printf("\n");
+  }
+}
+
 // --seeds N > 1: N replicates over input seeds S..S+N-1, fanned out
 // through the parallel sweep engine; per-seed lines plus an aggregate
 // mean/min/max summary. Per-seed results are bit-identical at any
@@ -101,6 +117,10 @@ int run_replicates(const gc::cli::Options& opt,
     job.sim.input_seed = opt.input_seed + static_cast<std::uint64_t>(k);
     job.sim.validate = opt.validate;
     job.sim.trace_path = seed_suffixed(opt.trace_path, k);
+    job.sim.trace_top_k = opt.trace_top_k;
+    job.sim.strict_bounds = opt.strict_bounds;
+    job.sim.snapshot_path = seed_suffixed(opt.snapshot_path, k);
+    job.sim.snapshot_every = opt.snapshot_every;
     job.sim.scenario_name = opt.scenario_name;
     job.sim.scenario_hash = opt.scenario_hash;
     job.sim.faults = faults;
@@ -116,6 +136,7 @@ int run_replicates(const gc::cli::Options& opt,
 
   gc::sim::SweepOptions sweep_opts;
   sweep_opts.threads = opt.threads;
+  sweep_opts.snapshot_path = opt.snapshot_path;
   gc::sim::SweepRunner runner(sweep_opts);
   const std::vector<gc::sim::Metrics> runs = runner.run(jobs);
 
@@ -156,6 +177,9 @@ int run_replicates(const gc::cli::Options& opt,
     if (!opt.trace_path.empty())
       std::printf("per-seed traces written to %s.seed<k>\n",
                   opt.trace_path.c_str());
+    if (!opt.snapshot_path.empty())
+      std::printf("fleet snapshot at %s (+.prom), per-seed at %s.seed<k>\n",
+                  opt.snapshot_path.c_str(), opt.snapshot_path.c_str());
   }
   if (opt.report) {
     // Worker registries were merged into the global registry by the sweep,
@@ -194,9 +218,15 @@ int run(const gc::cli::Options& opt) {
   sim_opts.trace_path = opt.trace_path;
   sim_opts.scenario_name = opt.scenario_name;
   sim_opts.scenario_hash = opt.scenario_hash;
+  sim_opts.trace_top_k = opt.trace_top_k;
   sim_opts.checkpoint_path = opt.checkpoint_path;
   sim_opts.checkpoint_every = opt.checkpoint_every;
   sim_opts.resume_path = opt.resume_path;
+  sim_opts.strict_bounds = opt.strict_bounds;
+  sim_opts.snapshot_path = opt.snapshot_path;
+  sim_opts.snapshot_every = opt.snapshot_every;
+
+  if (!opt.spans_path.empty()) gc::obs::SpanRecorder::instance().enable();
 
   gc::fault::FaultSchedule faults(model.num_nodes(), opt.input_seed);
   if (!opt.faults_path.empty()) {
@@ -207,7 +237,11 @@ int run(const gc::cli::Options& opt) {
 
   // Replicate sweep: fan the seeds out and aggregate (the FaultSchedule is
   // read-only during runs, so sharing it across jobs is safe).
-  if (opt.seeds > 1) return run_replicates(opt, sim_opts.faults);
+  if (opt.seeds > 1) {
+    const int rc = run_replicates(opt, sim_opts.faults);
+    export_spans(opt);
+    return rc;
+  }
 
   gc::sim::Metrics m;
   if (opt.mobility_mps > 0.0) {
@@ -261,12 +295,16 @@ int run(const gc::cli::Options& opt) {
       std::printf("trace written to %s\n", opt.trace_path.c_str());
     if (!opt.checkpoint_path.empty())
       std::printf("checkpoint written to %s\n", opt.checkpoint_path.c_str());
+    if (!opt.snapshot_path.empty())
+      std::printf("snapshot written to %s (+.prom)\n",
+                  opt.snapshot_path.c_str());
   } else {
     std::printf("avg_cost=%.6g delivered=%.0f delay=%.2f backlog=%.0f\n",
                 m.cost_avg.average(), m.total_delivered_packets,
                 m.average_delay_slots(), final_backlog);
   }
   if (opt.report) print_report(m);
+  export_spans(opt);
   return 0;
 }
 

@@ -4,9 +4,11 @@
 //   $ greencell_sim --slots 200 --trace run.jsonl
 //   $ trace_summarize run.jsonl
 //
-// Sections: horizon, per-subproblem wall-time breakdown (total/mean/p95/max
-// and share of the controller step), queue stability (partial-average probe
-// of Definition 2 over the traced backlog series), energy totals, traffic
+// Sections: horizon, per-subproblem wall-time breakdown (total, mean,
+// p50/p95/p99 quantiles, max, and share of the controller step), queue
+// stability (partial-average probe of Definition 2 over the traced backlog
+// series), the stability auditor's group when the trace carries one
+// (Lyapunov drift, bound margins, violation counts), energy totals, traffic
 // totals, and the nodes that dominated the per-slot top-backlog drill-down.
 #include <algorithm>
 #include <cstdio>
@@ -37,18 +39,26 @@ struct Series {
     for (double x : v) m = std::max(m, x);
     return m;
   }
-  double p95() const {
+  // Exact sample quantile (nearest-rank on the sorted copy), q in [0, 1].
+  double quantile(double q) const {
     if (v.empty()) return 0.0;
     std::vector<double> s = v;
     std::sort(s.begin(), s.end());
-    return s[static_cast<std::size_t>(0.95 * (s.size() - 1))];
+    return s[static_cast<std::size_t>(q * (s.size() - 1))];
+  }
+  double p95() const { return quantile(0.95); }
+  double min() const {
+    double m = v.empty() ? 0.0 : v.front();
+    for (double x : v) m = std::min(m, x);
+    return m;
   }
   double last() const { return v.empty() ? 0.0 : v.back(); }
 };
 
 void time_row(const char* name, const Series& s, double step_total) {
-  std::printf("  %-14s%12.3f%12.4f%12.4f%12.4f%8.1f%%\n", name,
-              s.total() * 1e3, s.mean() * 1e3, s.p95() * 1e3, s.max() * 1e3,
+  std::printf("  %-14s%12.3f%12.4f%12.4f%12.4f%12.4f%12.4f%8.1f%%\n", name,
+              s.total() * 1e3, s.mean() * 1e3, s.quantile(0.50) * 1e3,
+              s.quantile(0.95) * 1e3, s.quantile(0.99) * 1e3, s.max() * 1e3,
               100.0 * s.total() / (step_total > 0.0 ? step_total : 1e-30));
 }
 
@@ -68,6 +78,10 @@ int main(int argc, char** argv) {
   Series s1, s2, s3, s4, step, backlog, h_total, grid, cost, curtailed,
       unserved, admitted, delivered, shortfall, links, fallbacks, degraded,
       faults;
+  // Stability auditor group (present when the producing run had the theory
+  // auditor on; docs/OBSERVABILITY.md).
+  Series lyapunov, drift, dpp, q_margin, z_margin, violations,
+      unstable_windows;
   gc::StabilityTracker backlog_stability;
   // node -> (slots in the top-k drill-down, worst backlog seen there)
   std::map<int, std::pair<int, double>> hot_nodes;
@@ -113,6 +127,16 @@ int main(int argc, char** argv) {
       delivered.add(d.number_or("delivered", 0.0));
       shortfall.add(d.number_or("shortfall", 0.0));
       links.add(d.number_or("links", 0.0));
+      if (rec.has("stability")) {
+        const JsonValue& st = rec.at("stability");
+        lyapunov.add(st.number_or("lyapunov", 0.0));
+        drift.add(st.number_or("drift", 0.0));
+        dpp.add(st.number_or("dpp", 0.0));
+        q_margin.add(st.number_or("worst_q_margin", 0.0));
+        z_margin.add(st.number_or("worst_z_margin_j", 0.0));
+        violations.add(st.number_or("violations", 0.0));
+        unstable_windows.add(st.number_or("window_unstable", 0.0));
+      }
       if (rec.has("robust")) {
         const JsonValue& r = rec.at("robust");
         fallbacks.add(r.number_or("fallbacks", 0.0));
@@ -150,8 +174,9 @@ int main(int argc, char** argv) {
                 scenario_hash.c_str());
 
   std::printf("\n-- subproblem wall time --\n");
-  std::printf("  %-14s%12s%12s%12s%12s%9s\n", "subproblem", "total_ms",
-              "mean_ms", "p95_ms", "max_ms", "share");
+  std::printf("  %-14s%12s%12s%12s%12s%12s%12s%9s\n", "subproblem",
+              "total_ms", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms",
+              "share");
   time_row("S1 scheduling", s1, step.total());
   time_row("S2 admission", s2, step.total());
   time_row("S3 routing", s3, step.total());
@@ -176,6 +201,23 @@ int main(int argc, char** argv) {
               growth < 0.01 * scale
                   ? "stable-looking (flat partial averages)"
                   : "POSSIBLY UNSTABLE (partial averages still growing)");
+
+  if (!lyapunov.v.empty()) {
+    std::printf("\n-- stability auditor --\n");
+    std::printf("  Lyapunov L(Theta): first %.6g, last %.6g, max %.6g\n",
+                lyapunov.v.front(), lyapunov.last(), lyapunov.max());
+    std::printf("  one-slot drift:    mean %.6g, p95 %.6g, max %.6g\n",
+                drift.mean(), drift.quantile(0.95), drift.max());
+    std::printf("  drift+penalty:     mean %.6g, p95 %.6g, max %.6g\n",
+                dpp.mean(), dpp.quantile(0.95), dpp.max());
+    std::printf("  worst queue margin %.1f packets, worst battery margin "
+                "%.1f J (min over run; negative = bound violated)\n",
+                q_margin.min(), z_margin.min());
+    std::printf("  bound violations:  %.0f across %d audited slots, "
+                "%.0f unstable windows\n",
+                violations.total(), static_cast<int>(violations.v.size()),
+                unstable_windows.total());
+  }
 
   std::printf("\n-- energy --\n");
   std::printf("  grid draw:  %.1f kJ total, %.1f J/slot mean\n",
