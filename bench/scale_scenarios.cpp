@@ -7,10 +7,17 @@
 // serial/parallel sweep section is preserved, only the scale_scenarios
 // member is replaced. docs/PERFORMANCE.md explains the fields.
 //
+// --profile-dir DIR additionally captures a hierarchical span profile per
+// scenario (obs/profile.hpp) at DIR/<name>.profile.json (+.collapsed), so
+// the committed artifact decomposes WHERE each network size spends its
+// slot — compare two scenarios' trees with tools/perf_report.
+//
 //   $ bench/scale_scenarios --dir examples/scenarios --slots 20
 //   $ bench/scale_scenarios a.json b.json --out BENCH_sweep.json
+//   $ bench/scale_scenarios --dir examples/scenarios --profile-dir bench/profiles
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -20,6 +27,8 @@
 
 #include "core/controller.hpp"
 #include "obs/json.hpp"
+#include "obs/profile.hpp"
+#include "obs/timer.hpp"
 #include "scenario/spec.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
@@ -34,6 +43,7 @@ struct Args {
   std::string dir;
   int slots = 20;
   std::string out = "BENCH_sweep.json";
+  std::string profile_dir;  // empty = no per-scenario profile capture
 };
 
 bool parse_args(const std::vector<std::string>& argv, Args* out,
@@ -43,7 +53,7 @@ bool parse_args(const std::vector<std::string>& argv, Args* out,
     if (flag == "--help") {
       *error =
           "usage: scale_scenarios [SPEC.json ...] [--dir DIR] [--slots N]\n"
-          "                       [--out PATH]";
+          "                       [--out PATH] [--profile-dir DIR]";
       return false;
     }
     if (flag.rfind("--", 0) != 0) {
@@ -61,6 +71,8 @@ bool parse_args(const std::vector<std::string>& argv, Args* out,
       out->slots = std::atoi(v.c_str());
     else if (flag == "--out")
       out->out = v;
+    else if (flag == "--profile-dir")
+      out->profile_dir = v;
     else {
       *error = "unknown flag " + flag;
       return false;
@@ -143,7 +155,20 @@ struct Row {
   double wall_s = 0.0, slots_per_s = 0.0;
 };
 
-Row run_one(const std::string& path, int slots) {
+int count_allowed_links(const gc::core::NetworkModel& model) {
+  int links = 0;
+  for (int i = 0; i < model.num_nodes(); ++i)
+    for (int j = 0; j < model.num_nodes(); ++j)
+      if (i != j && model.link_allowed(i, j)) ++links;
+  return links;
+}
+
+// When profile_dir is non-empty the run is wrapped in a SpanRecorder
+// capture and the attribution tree lands at
+// profile_dir/<name>.profile.json (+.collapsed) — one artifact per
+// scenario, comparable across network sizes with tools/perf_report.
+Row run_one(const std::string& path, int slots,
+            const std::string& profile_dir) {
   const gc::scenario::ScenarioSpec spec =
       gc::scenario::load_scenario_file(path);
   const gc::core::NetworkModel model = spec.config.build();
@@ -152,6 +177,11 @@ Row run_one(const std::string& path, int slots) {
   gc::sim::SimOptions sim_opts;
   sim_opts.scenario_name = spec.name;
   sim_opts.scenario_hash = gc::scenario::scenario_hash(spec);
+  auto& rec = gc::obs::SpanRecorder::instance();
+  if (!profile_dir.empty()) {
+    rec.enable();
+    rec.drain();  // start each scenario's capture from an empty ring
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const gc::sim::Metrics m =
       gc::sim::run_simulation(model, controller, slots, sim_opts);
@@ -165,6 +195,24 @@ Row run_one(const std::string& path, int slots) {
   row.slots = m.slots;
   row.wall_s = std::chrono::duration<double>(t1 - t0).count();
   row.slots_per_s = row.wall_s > 0.0 ? m.slots / row.wall_s : 0.0;
+  if (!profile_dir.empty()) {
+    const std::int64_t dropped = rec.dropped();
+    gc::obs::Profile p = gc::obs::build_profile(rec.drain());
+    p.meta.scenario = spec.name;
+    p.meta.nodes = row.nodes;
+    p.meta.links = count_allowed_links(model);
+    p.meta.sessions = row.sessions;
+    p.meta.slots = row.slots;
+    p.meta.wall_s = row.wall_s;
+    p.meta.slots_per_s = row.slots_per_s;
+    p.meta.spans_dropped = dropped;
+    const std::string base =
+        (fs::path(profile_dir) / (spec.name + ".profile.json")).string();
+    gc::obs::write_text_atomic(base, p.to_json(), "profile");
+    gc::obs::write_text_atomic(base + ".collapsed", p.to_collapsed(),
+                               "collapsed profile");
+    std::printf("  profile written to %s\n", base.c_str());
+  }
   return row;
 }
 
@@ -179,10 +227,11 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!args.profile_dir.empty()) fs::create_directories(args.profile_dir);
     std::vector<Row> rows;
     for (const std::string& f : args.files) {
       std::printf("running %s (%d slots)...\n", f.c_str(), args.slots);
-      rows.push_back(run_one(f, args.slots));
+      rows.push_back(run_one(f, args.slots, args.profile_dir));
       const Row& r = rows.back();
       std::printf("  %s: %d nodes (%d BS + %d users), %d sessions, "
                   "%.3f s wall, %.2f slots/s\n",

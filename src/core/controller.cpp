@@ -40,7 +40,16 @@ ControllerMetrics& metrics() {
 
 LyapunovController::LyapunovController(const NetworkModel& model, double V,
                                        ControllerOptions options)
-    : model_(&model), options_(options), state_(model, V) {}
+    : model_(&model), options_(options), state_(model, V) {
+  // Label each workspace with its subproblem so SolveStats consumers (the
+  // --lp-log stream, tests) can split the LP workload by solve class.
+  lp_ws_s1_.set_stats_context("s1");
+  lp_ws_s3_.set_stats_context("s3");
+  lp_ws_s4_.set_stats_context("s4");
+  lp_ws_s1_.set_stats_sink(options_.lp_stats);
+  lp_ws_s3_.set_stats_sink(options_.lp_stats);
+  lp_ws_s4_.set_stats_sink(options_.lp_stats);
+}
 
 SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   GC_CHECK(static_cast<int>(inputs.bandwidth_hz.size()) ==
@@ -52,7 +61,10 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   ControllerMetrics& m = metrics();
   SlotDecision decision;
   obs::ScopedTimer step_timer(m.step, &decision.timing.step_s);
-  obs::Span step_span("controller.step", state_.slot());
+  // Span dims annotate problem sizes for the profiler (obs/profile.hpp):
+  // the step carries the topology size, each subproblem its own decision
+  // count (links scheduled, routes, energy demands).
+  obs::Span step_span("controller.step", state_.slot(), model_->num_nodes());
 
   // S2 — source selection + admission control.
   {
@@ -97,6 +109,7 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
           greedy_schedule(state_, inputs, options_.fill_in, energy_price);
     }
     assign_powers(*model_, inputs, decision.schedule);
+    span.set_dim(static_cast<std::int64_t>(decision.schedule.size()));
   }
 
   // S3 — routing over the realized capacities (ladder: Lp -> Greedy).
@@ -128,6 +141,7 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
     }
     decision.routes = std::move(routing.routes);
     decision.demand_shortfall = std::move(routing.demand_shortfall);
+    span.set_dim(static_cast<std::int64_t>(decision.routes.size()));
   }
 
   // S4 — energy management for the demand the schedule implies (ladder:
@@ -137,6 +151,7 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
     obs::Span span("controller.s4_energy", state_.slot());
     std::vector<double> demands =
         compute_energy_demands(*model_, decision.schedule);
+    span.set_dim(static_cast<std::int64_t>(demands.size()));
     if (inputs.any_node_down())
       for (std::size_t i = 0; i < demands.size(); ++i)
         if (inputs.node_is_down(static_cast<int>(i))) demands[i] = 0.0;

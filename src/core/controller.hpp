@@ -42,6 +42,11 @@ struct ControllerOptions {
   // (iterations and, if max_seconds > 0, wall-clock). The defaults are the
   // solver's own generous limits; long unattended runs tighten them.
   lp::Options lp;
+  // Per-solve LP introspection sink (e.g. lp::JsonlSolveLog), attached to
+  // the controller's three workspaces with contexts "s1"/"s3"/"s4".
+  // Observation only — never changes decisions; nullptr = off. Must
+  // outlive the controller and be thread-safe when controllers share it.
+  lp::SolveStatsSink* lp_stats = nullptr;
   // Fallback ladder (docs/ROBUSTNESS.md): when an LP-based subproblem
   // solver fails (Infeasible / IterationLimit / TimeLimit / NumericalError,
   // surfaced as gc::CheckError), retry the slot's subproblem with the

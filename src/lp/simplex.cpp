@@ -31,6 +31,25 @@ struct SimplexMetrics {
       obs::registry().counter("lp.numerical_errors");
   obs::Histogram& solve_seconds =
       obs::registry().histogram("lp.solve_seconds");
+  // Introspection split (SolveStats; docs/PERFORMANCE.md "Profiling
+  // workflow"): phase-1 vs phase-2 work, degeneracy, warm-start accounting,
+  // numeric repairs, and the posed problem's dimensions.
+  obs::Counter& phase1_iterations =
+      obs::registry().counter("lp.phase1_iterations");
+  obs::Counter& phase2_iterations =
+      obs::registry().counter("lp.phase2_iterations");
+  obs::Counter& degenerate_pivots =
+      obs::registry().counter("lp.degenerate_pivots");
+  obs::Counter& warmstart_attempted =
+      obs::registry().counter("lp.warmstart_attempted");
+  obs::Counter& warmstart_accepted =
+      obs::registry().counter("lp.warmstart_accepted");
+  obs::Counter& warmstart_vars_reused =
+      obs::registry().counter("lp.warmstart_vars_reused");
+  obs::Counter& numeric_repairs = obs::registry().counter("lp.numeric_repairs");
+  obs::Histogram& rows = obs::registry().histogram("lp.rows");
+  obs::Histogram& cols = obs::registry().histogram("lp.cols");
+  obs::Histogram& nonzeros = obs::registry().histogram("lp.nonzeros");
 };
 
 SimplexMetrics& lp_metrics() {
@@ -76,6 +95,10 @@ class SimplexEngine {
 
   Solution run();
 
+  // Per-solve introspection collected while running (see SolveStats).
+  // Dimensions, wall time and status are stamped by solve().
+  const SolveStats& stats() const { return stats_; }
+
   // Saves the structural variables' final states into the workspace (for
   // the next solve's warm start) and consumes the one-shot hint. Lives
   // here because SimplexEngine is the Workspace's only friend.
@@ -83,6 +106,14 @@ class SimplexEngine {
     ws.prev_struct_state_.assign(ws.state_.begin(),
                                  ws.state_.begin() + nstruct);
     ws.warm_map_.clear();
+  }
+
+  // Stores the finished solve's stats in the workspace and notifies its
+  // sink, if any (also a friend-only door into Workspace internals).
+  static void publish_stats(Workspace& ws, const SolveStats& stats) {
+    ws.last_stats_ = stats;
+    if (ws.stats_sink_ != nullptr)
+      ws.stats_sink_->on_solve(stats, ws.stats_context_);
   }
 
  private:
@@ -116,6 +147,7 @@ class SimplexEngine {
   std::vector<double>& xb_;  // value of basis_[i]
   std::vector<double>& dscratch_;
   int first_artificial_ = 0;
+  SolveStats stats_;
   // Wall-clock watchdog (Options::max_seconds); invalid when unlimited.
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_;
@@ -175,13 +207,21 @@ void SimplexEngine::build() {
                  "warm-start map covers " << ws_.warm_map_.size()
                                           << " variables, model has "
                                           << nstruct_);
+    stats_.warm_attempted = true;
     const int nprev = static_cast<int>(ws_.prev_struct_state_.size());
     for (int j = 0; j < nstruct_; ++j) {
       const int o = ws_.warm_map_[j];
       if (o < 0 || o >= nprev) continue;
+      // A mapped variable that ended the previous solve at a bound rests
+      // there again (AtLower coincides with the cold default but is still a
+      // carried-over state); one that was basic has no bound to carry.
       if (ws_.prev_struct_state_[o] == VarState::AtUpper &&
-          std::isfinite(hi_[j]))
+          std::isfinite(hi_[j])) {
         state_[j] = VarState::AtUpper;
+        ++stats_.warm_vars_reused;
+      } else if (ws_.prev_struct_state_[o] == VarState::AtLower) {
+        ++stats_.warm_vars_reused;
+      }
     }
   }
 
@@ -238,6 +278,7 @@ double SimplexEngine::current_cost() const {
 
 void SimplexEngine::recompute_basic_values() {
   lp_metrics().refactorizations.add();
+  ++stats_.refactorizations;
   // x_B = (B^-1 b) - sum_{nonbasic j} (B^-1 A_j) * xval_j; both factors live
   // in the updated tableau.
   for (int i = 0; i < m_; ++i) {
@@ -369,6 +410,7 @@ Status SimplexEngine::iterate(int* iter_budget) {
       // Entering hits its own opposite bound first: bound flip, no pivot.
       if (!std::isfinite(span)) return Status::Unbounded;
       lp_metrics().bound_flips.add();
+      ++stats_.bound_flips;
       state_[e] = state_[e] == VarState::AtLower ? VarState::AtUpper
                                                  : VarState::AtLower;
       for (int i = 0; i < m_; ++i) {
@@ -387,6 +429,10 @@ Status SimplexEngine::iterate(int* iter_budget) {
       const int leaving = basis_[leave_row];
       state_[leaving] = leave_at_upper ? VarState::AtUpper : VarState::AtLower;
       lp_metrics().pivots.add();
+      ++stats_.pivots;
+      // A zero-length step is the degeneracy that stalls dense simplex on
+      // big scheduling LPs — worth its own count.
+      if (t <= kTie) ++stats_.degenerate_pivots;
       pivot(leave_row, e);
       basis_[leave_row] = e;
       state_[e] = VarState::Basic;
@@ -404,6 +450,7 @@ Status SimplexEngine::iterate(int* iter_budget) {
       stall = 0;
     } else if (!bland && ++stall >= opt_.stall_limit) {
       bland = true;
+      stats_.bland = true;
       lp_metrics().bland_switches.add();
     }
   }
@@ -427,8 +474,11 @@ Solution SimplexEngine::run() {
   const double infeas = current_cost();
   sol.infeasibility = infeas;
   sol.iterations = opt_.max_iterations - budget;
-  if (!std::isfinite(infeas) || values_corrupt())
+  stats_.phase1_iterations = sol.iterations;
+  if (!std::isfinite(infeas) || values_corrupt()) {
     st = Status::NumericalError;
+    ++stats_.numeric_repairs;
+  }
   if (st == Status::IterationLimit || st == Status::TimeLimit ||
       st == Status::NumericalError) {
     sol.status = st;
@@ -451,7 +501,11 @@ Solution SimplexEngine::run() {
   st = iterate(&budget);
   recompute_basic_values();
   sol.iterations = opt_.max_iterations - budget;
-  if (values_corrupt()) st = Status::NumericalError;
+  stats_.phase2_iterations = sol.iterations - stats_.phase1_iterations;
+  if (values_corrupt()) {
+    st = Status::NumericalError;
+    ++stats_.numeric_repairs;
+  }
   sol.status = st;
 
   sol.x.assign(nstruct_, 0.0);
@@ -459,11 +513,15 @@ Solution SimplexEngine::run() {
     if (state_[j] != VarState::Basic) sol.x[j] = nonbasic_value(j);
   for (int i = 0; i < m_; ++i)
     if (basis_[i] < nstruct_) sol.x[basis_[i]] = xb_[i];
-  // Clamp tiny bound violations left by floating-point drift.
+  // Clamp tiny bound violations left by floating-point drift. Clamps that
+  // move a value beyond drift noise count as numeric repairs (SolveStats).
+  constexpr double kDriftNoise = 1e-9;
   for (int j = 0; j < nstruct_; ++j) {
+    const double before = sol.x[j];
     sol.x[j] = std::max(sol.x[j], model_.lower(j));
     if (std::isfinite(model_.upper(j)))
       sol.x[j] = std::min(sol.x[j], model_.upper(j));
+    if (std::abs(sol.x[j] - before) > kDriftNoise) ++stats_.numeric_repairs;
   }
   sol.objective = model_.objective_value(sol.x);
   return sol;
@@ -473,7 +531,10 @@ Solution solve(const Model& model, const Options& options,
                Workspace& workspace) {
   SimplexMetrics& m = lp_metrics();
   obs::ScopedTimer timer(m.solve_seconds);
-  obs::Span span("lp.solve", model.num_variables());
+  // Span dim = structural columns, so the profiler can attribute wall time
+  // to LP size classes (obs/profile.hpp).
+  obs::Span span("lp.solve", -1, model.num_variables());
+  obs::StopWatch wall;
   SimplexEngine s(model, options, workspace);
   Solution sol = s.run();
   // Record the structural variables' final states for the next solve's
@@ -483,6 +544,36 @@ Solution solve(const Model& model, const Options& options,
   m.iterations.add(sol.iterations);
   if (sol.status == Status::TimeLimit) m.time_limits.add();
   if (sol.status == Status::NumericalError) m.numerical_errors.add();
+
+  // Per-solve introspection (always collected; only the registry
+  // instruments below compile out under GC_OBS_DISABLE).
+  SolveStats stats = s.stats();
+  stats.rows = model.num_rows();
+  stats.cols = model.num_variables();
+  int nnz = 0;
+  for (int r = 0; r < stats.rows; ++r)
+    nnz += static_cast<int>(model.row_entries(r).size());
+  stats.nonzeros = nnz;
+  stats.wall_s = wall.elapsed_seconds();
+  stats.status = sol.status;
+  // "Accepted" = the hint survived to the engine and mapped at least one
+  // variable onto a carried-over bound state.
+  const bool warm_accepted = stats.warm_attempted && stats.warm_vars_reused > 0;
+
+  m.phase1_iterations.add(stats.phase1_iterations);
+  m.phase2_iterations.add(stats.phase2_iterations);
+  m.degenerate_pivots.add(stats.degenerate_pivots);
+  if (stats.warm_attempted) m.warmstart_attempted.add();
+  if (warm_accepted) m.warmstart_accepted.add();
+  // Only warm solves contribute, so events() counts attempts, not solves.
+  if (stats.warm_attempted)
+    m.warmstart_vars_reused.add(stats.warm_vars_reused);
+  m.numeric_repairs.add(stats.numeric_repairs);
+  m.rows.observe(stats.rows);
+  m.cols.observe(stats.cols);
+  m.nonzeros.observe(stats.nonzeros);
+
+  SimplexEngine::publish_stats(workspace, stats);
   return sol;
 }
 

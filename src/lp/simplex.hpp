@@ -66,6 +66,56 @@ struct Solution {
   double infeasibility = 0.0;
 };
 
+// Per-solve introspection record, filled by every solve (workspace or not)
+// and kept in Workspace::last_stats(). Collection is a handful of integer
+// increments inside loops that already do O(rows*cols) arithmetic, so it is
+// always on — only the lp.* registry instruments are compiled out under
+// GC_OBS_DISABLE. Purely observational: nothing here feeds back into the
+// solve, so results are bit-identical with or without a sink attached.
+struct SolveStats {
+  // Problem dimensions as the caller posed them (structural variables;
+  // slacks/artificials excluded).
+  int rows = 0;
+  int cols = 0;
+  int nonzeros = 0;  // coefficient entries across all rows
+
+  // Work split by phase (phase I drives artificials out, phase II optimizes
+  // the caller's objective). iterations = pivots + bound flips.
+  int phase1_iterations = 0;
+  int phase2_iterations = 0;
+  int pivots = 0;
+  // Pivots that moved the entering variable by (numerically) zero — the
+  // degeneracy that makes dense simplex stall on big scheduling LPs.
+  int degenerate_pivots = 0;
+  int bound_flips = 0;
+  int refactorizations = 0;  // periodic basic-value recomputations
+  bool bland = false;        // the stall guard switched to Bland's rule
+
+  // Warm start (see Workspace): attempted = a hint was pending when the
+  // solve began; reused = how many structural variables actually rested at
+  // a bound state carried over from the previous solve.
+  bool warm_attempted = false;
+  int warm_vars_reused = 0;
+
+  // Numeric-repair events: end-of-solve bound clamps that moved a value by
+  // more than drift noise, plus NaN/inf detections (each also surfaces as
+  // Status::NumericalError).
+  int numeric_repairs = 0;
+
+  double wall_s = 0.0;
+  Status status = Status::IterationLimit;
+};
+
+// Receiver for per-solve statistics (e.g. lp::JsonlSolveLog). `context` is
+// the call-site label the owning Workspace carries ("s1", "s3", "s4", or ""
+// for unlabeled workspaces). Implementations must be safe to share across
+// threads if the workspace owners run concurrently.
+class SolveStatsSink {
+ public:
+  virtual ~SolveStatsSink() = default;
+  virtual void on_solve(const SolveStats& stats, const char* context) = 0;
+};
+
 // Where a variable rests between pivots. Exposed (rather than kept private
 // to the solver) because the Workspace records the structural variables'
 // final states for warm starts.
@@ -107,6 +157,22 @@ class Workspace {
     prev_struct_state_.clear();
   }
 
+  // Introspection (docs/PERFORMANCE.md "Profiling workflow"): the most
+  // recent solve's statistics, refreshed by every solve through this
+  // workspace.
+  const SolveStats& last_stats() const { return last_stats_; }
+
+  // Labels this workspace's solves for sinks and logs (one workspace per
+  // LP-backed subproblem is the intended shape, so the label doubles as
+  // the solve class: "s1", "s3", "s4"). Must outlive the workspace; use
+  // string literals.
+  void set_stats_context(const char* context) { stats_context_ = context; }
+  const char* stats_context() const { return stats_context_; }
+
+  // Streams every solve's SolveStats to `sink` (nullptr detaches). The
+  // sink observes only; solver results are unaffected.
+  void set_stats_sink(SolveStatsSink* sink) { stats_sink_ = sink; }
+
  private:
   friend class SimplexEngine;
   std::vector<double> tab_, lo_, hi_, cost_, xb_, dscratch_;
@@ -116,6 +182,10 @@ class Workspace {
   // one-shot correspondence hint.
   std::vector<VarState> prev_struct_state_;
   std::vector<int> warm_map_;
+  // Introspection state (observation only).
+  SolveStats last_stats_;
+  const char* stats_context_ = "";
+  SolveStatsSink* stats_sink_ = nullptr;
 };
 
 Solution solve(const Model& model, const Options& options = {});

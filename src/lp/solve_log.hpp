@@ -1,0 +1,45 @@
+// JSONL stream of per-solve simplex statistics (--lp-log FILE).
+//
+// JsonlSolveLog is a SolveStatsSink that appends one JSON object per solve
+// — context label, problem dimensions, phase split, pivot/degeneracy/warm
+// accounting, status and wall time — so a run's LP workload can be replayed
+// through jq / pandas without re-running the simulation:
+//
+//   {"ctx":"s1","rows":24,"cols":112,"nonzeros":448,"phase1_iters":31,...}
+//
+// Writes are serialized by an internal mutex, so one log may back several
+// workspaces (the controller's s1/s3/s4 trio) or several sweep workers at
+// once; line order across threads is then wall-clock interleaving, which is
+// why every line carries its context. Purely observational: attaching a log
+// never changes solver results.
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "lp/simplex.hpp"
+
+namespace gc::lp {
+
+class JsonlSolveLog : public SolveStatsSink {
+ public:
+  // Opens `path` for truncating write; GC_CHECKs on failure so a typoed
+  // directory fails at startup, not after the run.
+  explicit JsonlSolveLog(const std::string& path);
+
+  // Flushes and closes. (Destruction must not race on_solve; detach the
+  // log from every workspace first.)
+  ~JsonlSolveLog() override;
+
+  void on_solve(const SolveStats& stats, const char* context) override;
+
+  std::int64_t lines_written() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::int64_t lines_ = 0;
+};
+
+}  // namespace gc::lp

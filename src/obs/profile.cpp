@@ -1,0 +1,292 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace gc::obs {
+
+namespace {
+
+// Containment slack for floating-point start/duration arithmetic. The
+// steady clock itself orders ctor/dtor reads correctly; only the
+// start + dur rounding needs the slack.
+constexpr double kEps = 1e-9;
+
+void observe_dim(ProfileNode* n, std::int64_t dim) {
+  if (dim < 0) return;
+  if (n->dim_count == 0) {
+    n->dim_min = n->dim_max = dim;
+  } else {
+    n->dim_min = std::min(n->dim_min, dim);
+    n->dim_max = std::max(n->dim_max, dim);
+  }
+  ++n->dim_count;
+  n->dim_sum += static_cast<double>(dim);
+}
+
+// total - children, clamped at zero (rounding can leave -1e-12s).
+void finalize_self(ProfileNode* n) {
+  double child_total = 0.0;
+  for (auto& [name, child] : n->children) {
+    (void)name;
+    finalize_self(&child);
+    child_total += child.total_s;
+  }
+  n->self_s = std::max(0.0, n->total_s - child_total);
+}
+
+}  // namespace
+
+void ProfileNode::merge_from(const ProfileNode& other) {
+  count += other.count;
+  total_s += other.total_s;
+  self_s += other.self_s;
+  if (other.dim_count > 0) {
+    if (dim_count == 0) {
+      dim_min = other.dim_min;
+      dim_max = other.dim_max;
+    } else {
+      dim_min = std::min(dim_min, other.dim_min);
+      dim_max = std::max(dim_max, other.dim_max);
+    }
+    dim_count += other.dim_count;
+    dim_sum += other.dim_sum;
+  }
+  for (const auto& [name, child] : other.children) {
+    ProfileNode& mine = children[name];
+    if (mine.name.empty()) mine.name = name;
+    mine.merge_from(child);
+  }
+}
+
+void Profile::merge_from(const Profile& other) {
+  root.merge_from(other.root);
+  orphans += other.orphans;
+  if (meta.scenario.empty()) meta.scenario = other.meta.scenario;
+  if (meta.nodes == 0) meta.nodes = other.meta.nodes;
+  if (meta.links == 0) meta.links = other.meta.links;
+  if (meta.sessions == 0) meta.sessions = other.meta.sessions;
+  meta.slots += other.meta.slots;
+  meta.wall_s += other.meta.wall_s;
+  meta.slots_per_s =
+      meta.wall_s > 0.0 ? static_cast<double>(meta.slots) / meta.wall_s : 0.0;
+  meta.spans_dropped += other.meta.spans_dropped;
+}
+
+Profile build_profile(const std::vector<SpanEvent>& spans) {
+  Profile p;
+  p.root.name = "all";
+
+  // Per-lane streams, each ordered (start asc, duration desc) so a parent
+  // precedes its children even when a zero-length child shares its start.
+  std::map<std::uint32_t, std::vector<const SpanEvent*>> lanes;
+  for (const SpanEvent& e : spans) lanes[e.tid].push_back(&e);
+
+  for (auto& [tid, lane] : lanes) {
+    (void)tid;
+    std::stable_sort(lane.begin(), lane.end(),
+                     [](const SpanEvent* a, const SpanEvent* b) {
+                       if (a->start_s != b->start_s)
+                         return a->start_s < b->start_s;
+                       return a->dur_s > b->dur_s;
+                     });
+    // Open-span stack: (end time, aggregation node). std::map children give
+    // stable node addresses across later insertions.
+    std::vector<std::pair<double, ProfileNode*>> stack;
+    for (const SpanEvent* e : lane) {
+      while (!stack.empty() && stack.back().first <= e->start_s + kEps)
+        stack.pop_back();
+      const double end_s = e->start_s + e->dur_s;
+      ProfileNode* parent = &p.root;
+      if (!stack.empty()) {
+        if (end_s <= stack.back().first + kEps) {
+          parent = stack.back().second;
+        } else {
+          // Straddles the enclosing span: its real parent was evicted from
+          // the ring. Re-root and note the damage.
+          ++p.orphans;
+          stack.clear();
+        }
+      }
+      ProfileNode& n = parent->children[e->name];
+      if (n.name.empty()) n.name = e->name;
+      ++n.count;
+      n.total_s += e->dur_s;
+      observe_dim(&n, e->dim);
+      stack.emplace_back(end_s, &n);
+    }
+  }
+
+  for (const auto& [name, child] : p.root.children) {
+    (void)name;
+    p.root.total_s += child.total_s;
+    p.root.count += child.count;
+  }
+  finalize_self(&p.root);
+  p.root.self_s = 0.0;  // the root is synthetic; all its time is children's
+  return p;
+}
+
+std::map<std::int64_t, std::vector<SpanEvent>> partition_spans_by_job(
+    const std::vector<SpanEvent>& spans) {
+  // Job intervals per lane. Workers run jobs serially, so intervals on one
+  // lane never overlap and binary search by start time resolves membership.
+  struct JobInterval {
+    double start_s, end_s;
+    std::int64_t job;
+  };
+  std::map<std::uint32_t, std::vector<JobInterval>> jobs_by_lane;
+  for (const SpanEvent& e : spans)
+    if (std::strcmp(e.name, "sweep.job") == 0)
+      jobs_by_lane[e.tid].push_back(
+          {e.start_s, e.start_s + e.dur_s, e.id});
+  for (auto& [tid, v] : jobs_by_lane) {
+    (void)tid;
+    std::sort(v.begin(), v.end(),
+              [](const JobInterval& a, const JobInterval& b) {
+                return a.start_s < b.start_s;
+              });
+  }
+
+  std::map<std::int64_t, std::vector<SpanEvent>> out;
+  for (const SpanEvent& e : spans) {
+    std::int64_t job = -1;
+    auto it = jobs_by_lane.find(e.tid);
+    if (it != jobs_by_lane.end()) {
+      const std::vector<JobInterval>& v = it->second;
+      // Last interval starting at or before e (with slack for the job
+      // span's own entry, whose start equals the interval start).
+      auto up = std::upper_bound(
+          v.begin(), v.end(), e.start_s + kEps,
+          [](double t, const JobInterval& j) { return t < j.start_s; });
+      if (up != v.begin()) {
+        const JobInterval& j = *(up - 1);
+        if (e.start_s + e.dur_s <= j.end_s + kEps) job = j.job;
+      }
+    }
+    out[job].push_back(e);
+  }
+  // Drop the catch-all bucket if nothing landed outside a job.
+  auto none = out.find(-1);
+  if (none != out.end() && none->second.empty()) out.erase(none);
+  return out;
+}
+
+namespace {
+
+void append_num(std::string* body, const char* fmt, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  *body += buf;
+}
+
+void append_node_json(const ProfileNode& n, std::string* body) {
+  *body += "{\"name\":\"" + json_escape(n.name) + "\",\"count\":";
+  append_num(body, "%.0f", static_cast<double>(n.count));
+  *body += ",\"total_s\":";
+  append_num(body, "%.9f", n.total_s);
+  *body += ",\"self_s\":";
+  append_num(body, "%.9f", n.self_s);
+  if (n.dim_count > 0) {
+    *body += ",\"dim_count\":";
+    append_num(body, "%.0f", static_cast<double>(n.dim_count));
+    *body += ",\"dim_mean\":";
+    append_num(body, "%.3f", n.dim_sum / static_cast<double>(n.dim_count));
+    *body += ",\"dim_min\":";
+    append_num(body, "%.0f", static_cast<double>(n.dim_min));
+    *body += ",\"dim_max\":";
+    append_num(body, "%.0f", static_cast<double>(n.dim_max));
+  }
+  if (!n.children.empty()) {
+    *body += ",\"children\":[";
+    bool first = true;
+    for (const auto& [name, child] : n.children) {
+      (void)name;
+      if (!first) *body += ',';
+      first = false;
+      *body += '\n';
+      append_node_json(child, body);
+    }
+    *body += ']';
+  }
+  *body += '}';
+}
+
+void append_collapsed(const ProfileNode& n, const std::string& prefix,
+                      std::string* body) {
+  const std::string path =
+      prefix.empty() ? n.name : prefix + ";" + n.name;
+  // Flamegraph value = self time in integer microseconds; sub-microsecond
+  // residue is noise at the scales this repo profiles.
+  const long long us = std::llround(n.self_s * 1e6);
+  if (us > 0) {
+    *body += path;
+    *body += ' ';
+    *body += std::to_string(us);
+    *body += '\n';
+  }
+  for (const auto& [name, child] : n.children) {
+    (void)name;
+    append_collapsed(child, path, body);
+  }
+}
+
+}  // namespace
+
+std::string Profile::to_json() const {
+  std::string body;
+  body.reserve(4096);
+  body += "{\"schema\":\"gc.profile.v1\",\"scenario\":\"" +
+          json_escape(meta.scenario) + "\",\"nodes\":";
+  append_num(&body, "%.0f", static_cast<double>(meta.nodes));
+  body += ",\"links\":";
+  append_num(&body, "%.0f", static_cast<double>(meta.links));
+  body += ",\"sessions\":";
+  append_num(&body, "%.0f", static_cast<double>(meta.sessions));
+  body += ",\"slots\":";
+  append_num(&body, "%.0f", static_cast<double>(meta.slots));
+  body += ",\"wall_s\":";
+  append_num(&body, "%.6f", meta.wall_s);
+  body += ",\"slots_per_s\":";
+  append_num(&body, "%.6f", meta.slots_per_s);
+  body += ",\"spans_dropped\":";
+  append_num(&body, "%.0f", static_cast<double>(meta.spans_dropped));
+  body += ",\"orphans\":";
+  append_num(&body, "%.0f", static_cast<double>(orphans));
+  body += ",\"root\":\n";
+  append_node_json(root, &body);
+  body += "}\n";
+  return body;
+}
+
+std::string Profile::to_collapsed() const {
+  std::string body;
+  body.reserve(4096);
+  for (const auto& [name, child] : root.children) {
+    (void)name;
+    append_collapsed(child, root.name, &body);
+  }
+  return body;
+}
+
+void write_text_atomic(const std::string& path, const std::string& body,
+                       const char* what) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    GC_CHECK_MSG(out.good(), "cannot open " << what << " file " << tmp);
+    out << body;
+    out.flush();
+    GC_CHECK_MSG(out.good(), what << " write failed on " << tmp);
+  }
+  GC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot move " << what << " into place at " << path);
+}
+
+}  // namespace gc::obs

@@ -1,0 +1,102 @@
+// Deterministic hierarchical profiler over the Span stream (--profile FILE).
+//
+// build_profile() folds a drained SpanRecorder ring into an attribution
+// tree: spans nest by containment on each thread lane (the steady clock
+// guarantees a child's interval lies inside its parent's), and same-named
+// siblings aggregate into one node. The result answers "where do the
+// seconds of a slot go" — sim.slot → controller.step → s1/s3/s4 →
+// lp.solve — with per-node call counts, total and self wall time, and
+// problem-size statistics from SpanEvent::dim (LP columns, scheduled
+// links, ...), so slots/s cliffs correlate with dimensions.
+//
+// Everything here is deterministic given the span stream: children are kept
+// sorted by name, merges are order-independent sums, and the exporters
+// format with fixed precision — two runs that recorded identical spans
+// produce byte-identical artifacts.
+//
+// Exports:
+//  * to_json()      — one "gc.profile.v1" object (tools/perf_report input);
+//  * to_collapsed() — collapsed-stack text ("a;b;c <self µs>" per line),
+//                     the format flamegraph.pl / speedscope / inferno eat.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/timer.hpp"
+
+namespace gc::obs {
+
+// One aggregation node: every span named `name` observed at this position
+// in the tree. `self_s` (total minus children, set by build/finalize) is
+// the flamegraph value. Dim statistics cover the spans that carried a
+// problem-size annotation (dim >= 0).
+struct ProfileNode {
+  std::string name;
+  std::int64_t count = 0;
+  double total_s = 0.0;
+  double self_s = 0.0;
+  std::int64_t dim_count = 0;
+  double dim_sum = 0.0;
+  std::int64_t dim_min = 0;
+  std::int64_t dim_max = 0;
+  std::map<std::string, ProfileNode> children;  // sorted — determinism
+
+  // Folds `other` into this node (counts and times add, dim ranges widen,
+  // children merge recursively by name).
+  void merge_from(const ProfileNode& other);
+};
+
+// Run-level context stamped by the capturing tool so an artifact is
+// self-describing (perf_report compares slots_per_s and normalizes the
+// tree per slot).
+struct ProfileMeta {
+  std::string scenario;
+  int nodes = 0;
+  int links = 0;
+  int sessions = 0;
+  int slots = 0;
+  double wall_s = 0.0;
+  double slots_per_s = 0.0;
+  std::int64_t spans_dropped = 0;  // ring overflow during capture
+};
+
+struct Profile {
+  ProfileMeta meta;
+  ProfileNode root;  // name "all"; total_s = sum of top-level spans
+  // Spans whose parent was evicted from the ring (or otherwise broke
+  // containment): they re-root at "all", and this counts them so a
+  // truncated capture is visible in the artifact.
+  std::int64_t orphans = 0;
+
+  // Merges another profile of the same shape (a sweep sibling): tree and
+  // orphans add; meta accumulates slots/wall and recomputes slots_per_s;
+  // descriptive fields keep this profile's values when set.
+  void merge_from(const Profile& other);
+
+  std::string to_json() const;
+  std::string to_collapsed() const;
+};
+
+// Builds the attribution tree from drained spans (SpanRecorder::drain
+// order — sorted by start time — is fine; any order works). meta is left
+// default: the capturing tool stamps it.
+Profile build_profile(const std::vector<SpanEvent>& spans);
+
+// Splits a drained ring by enclosing `sweep.job` span: every span maps to
+// the job whose interval contains it on the same thread lane (the job's
+// own span included); spans outside any job land under key -1. Keys are
+// the job spans' id payloads (the sweep's job index), so per-seed profile
+// and span files come out deterministic regardless of which worker ran
+// which job.
+std::map<std::int64_t, std::vector<SpanEvent>> partition_spans_by_job(
+    const std::vector<SpanEvent>& spans);
+
+// Atomic text-file write (tmp + rename), shared by the profile exporters
+// and tools; `what` labels CheckError messages.
+void write_text_atomic(const std::string& path, const std::string& body,
+                       const char* what);
+
+}  // namespace gc::obs

@@ -96,6 +96,10 @@ struct SpanEvent {
   double dur_s = 0.0;
   std::uint32_t tid = 0;  // small dense per-thread index, Chrome lane
   std::int64_t id = -1;   // caller payload (sweep job index, slot, ...)
+  // Problem-size annotation (LP columns, scheduled links, nodes, ...);
+  // -1 = none. The profiler (obs/profile.hpp) aggregates it per tree node
+  // so slots/s cliffs can be correlated with problem dimensions.
+  std::int64_t dim = -1;
 };
 
 // Process-wide bounded span store: a mutex-protected ring buffer that keeps
@@ -116,7 +120,7 @@ class SpanRecorder {
   }
 
   void record(const char* name, double start_s, double dur_s,
-              std::int64_t id);
+              std::int64_t id, std::int64_t dim = -1);
 
   // Seconds since the recorder epoch on the steady clock; 0 before the
   // first enable().
@@ -135,6 +139,12 @@ class SpanRecorder {
   // The calling thread's dense lane index (assigned on first use).
   static std::uint32_t thread_lane();
 
+  // Total spans the ring has dropped since the process started (unlike
+  // dropped(), never reset by drain()). Mirrored into the `obs.spans_dropped`
+  // registry counter of whichever thread recorded the overflowing span, so
+  // truncated profiles are detectable from snapshots and reports.
+  std::int64_t dropped_total() const;
+
  private:
   SpanRecorder() = default;
 
@@ -148,16 +158,27 @@ class SpanRecorder {
   std::size_t next_ = 0;       // ring write cursor
   std::size_t size_ = 0;       // live entries (<= ring_.size())
   std::int64_t dropped_ = 0;
+  std::int64_t dropped_total_ = 0;  // never reset (see dropped_total())
 };
+
+// Writes `spans` as Chrome trace-event JSON atomically (tmp + rename) —
+// the same format SpanRecorder::export_chrome_trace emits, usable on any
+// span list (a drained ring, or one sweep job's partition from
+// obs::partition_spans_by_job).
+void write_chrome_trace(const std::string& path,
+                        const std::vector<SpanEvent>& spans);
 
 // RAII span: records [construction, destruction) into the SpanRecorder
 // when recording is enabled. `name` must outlive the recorder (use string
-// literals). `id` disambiguates instances (slot index, sweep job index).
+// literals). `id` disambiguates instances (slot index, sweep job index);
+// `dim` annotates the problem size (LP columns, scheduled links, nodes) —
+// set it at construction when known, or later via set_dim for sizes that
+// only materialize inside the scope (a schedule's link count, say).
 class Span {
  public:
-  explicit Span(const char* name, std::int64_t id = -1)
+  explicit Span(const char* name, std::int64_t id = -1, std::int64_t dim = -1)
 #ifndef GC_OBS_DISABLE
-      : name_(name), id_(id) {
+      : name_(name), id_(id), dim_(dim) {
     if (SpanRecorder::instance().enabled()) {
       live_ = true;
       start_s_ = SpanRecorder::instance().now_s();
@@ -167,15 +188,25 @@ class Span {
   {
     (void)name;
     (void)id;
+    (void)dim;
   }
 #endif
+
+  // Updates the recorded problem-size annotation (recorded at destruction).
+  void set_dim(std::int64_t dim) {
+#ifndef GC_OBS_DISABLE
+    dim_ = dim;
+#else
+    (void)dim;
+#endif
+  }
 
   ~Span() {
 #ifndef GC_OBS_DISABLE
     if (live_) {
       SpanRecorder& r = SpanRecorder::instance();
       const double end_s = r.now_s();
-      r.record(name_, start_s_, end_s - start_s_, id_);
+      r.record(name_, start_s_, end_s - start_s_, id_, dim_);
     }
 #endif
   }
@@ -187,6 +218,7 @@ class Span {
 #ifndef GC_OBS_DISABLE
   const char* name_;
   std::int64_t id_;
+  std::int64_t dim_ = -1;
   bool live_ = false;
   double start_s_ = 0.0;
 #endif

@@ -224,7 +224,7 @@ Metrics run_loop(const core::NetworkModel& model,
   };
 
   for (int t = start_slot; t < slots; ++t) {
-    obs::Span slot_span("sim.slot", t);
+    obs::Span slot_span("sim.slot", t, model.num_nodes());
     if (mobility && t > 0)
       mobility->advance(model.slot_seconds(), *topology);
     core::SlotInputs inputs = model.sample_inputs(t, input_rng);

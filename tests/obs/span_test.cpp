@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -111,6 +112,88 @@ TEST(Span, ExportsParseableChromeTrace) {
   // Export does not drain: the ring still holds both spans.
   EXPECT_EQ(SpanRecorder::instance().drain().size(), 2u);
   std::remove(path.c_str());
+}
+
+TEST(Span, ExportsDimAnnotationInTraceArgs) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  RecorderReset reset;
+  SpanRecorder::instance().enable(16);
+  SpanRecorder::instance().record("span_test.dim", 1.0, 0.5, 7, 480);
+  SpanRecorder::instance().record("span_test.dim_only", 2.0, 0.5, -1, 12);
+  const std::string path = testing::TempDir() + "gc_span_dim.json";
+  SpanRecorder::instance().export_chrome_trace(path);
+
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const JsonValue v = json_parse(ss.str());
+  const JsonArray& events = v.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].at("args").at("id").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(events[0].at("args").at("dim").as_number(), 480.0);
+  // A dim without an id still earns an args object — with no id key.
+  EXPECT_FALSE(events[1].at("args").has("id"));
+  EXPECT_DOUBLE_EQ(events[1].at("args").at("dim").as_number(), 12.0);
+  std::remove(path.c_str());
+}
+
+TEST(Span, SpanCarriesDimSetInsideScope) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  RecorderReset reset;
+  SpanRecorder::instance().enable(8);
+  {
+    Span s("span_test.set_dim", 3);
+    s.set_dim(99);  // the size materialized mid-scope
+  }
+  const auto spans = SpanRecorder::instance().drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].dim, 99);
+}
+
+// Ring overflow is triple-accounted: dropped() (reset by drain),
+// dropped_total() (monotonic), and the recording thread's
+// `obs.spans_dropped` registry counter. The counter is checked from a
+// fresh thread with a private registry installed — the test main thread's
+// cached instrument reference cannot be re-pointed.
+TEST(Span, DropsAreMirroredIntoRegistryCounter) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  RecorderReset reset;
+  SpanRecorder::instance().enable(4);
+  const std::int64_t total_before = SpanRecorder::instance().dropped_total();
+  Registry private_reg;
+  std::thread worker([&] {
+    ThreadRegistryScope scope(&private_reg);
+    for (int i = 0; i < 10; ++i)
+      SpanRecorder::instance().record("span_test.overflow", 1.0 * i, 0.5, i);
+  });
+  worker.join();
+  EXPECT_EQ(SpanRecorder::instance().dropped(), 6);
+  EXPECT_EQ(SpanRecorder::instance().dropped_total() - total_before, 6);
+  EXPECT_EQ(private_reg.counter("obs.spans_dropped").total(), 6.0);
+  SpanRecorder::instance().drain();
+  EXPECT_EQ(SpanRecorder::instance().dropped(), 0);  // dropped() resets...
+  EXPECT_EQ(SpanRecorder::instance().dropped_total() - total_before,
+            6);  // ...the running total does not
+}
+
+TEST(Span, EnablePreRegistersDropCounterAtZero) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  RecorderReset reset;
+  Registry private_reg;
+  std::thread worker([&] {
+    ThreadRegistryScope scope(&private_reg);
+    SpanRecorder::instance().enable(8);
+  });
+  worker.join();
+  // A clean run's snapshot shows the counter at zero rather than omitting
+  // it — absence and truncation must not look alike.
+  bool present = false;
+  for (const auto& [name, c] : private_reg.counters())
+    if (name == "obs.spans_dropped") {
+      present = true;
+      EXPECT_EQ(c->total(), 0.0);
+    }
+  EXPECT_TRUE(present);
 }
 
 TEST(Span, LiveSpanMeasuresElapsedTime) {

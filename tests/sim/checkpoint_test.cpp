@@ -11,8 +11,10 @@
 #include <string>
 
 #include "core/controller.hpp"
+#include "obs/registry.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "util/check.hpp"
 
 #include "metrics_testutil.hpp"
@@ -146,6 +148,63 @@ TEST(Checkpoint, PeriodicCheckpointsResumeFromTheLastOne) {
   opts.resume_path = ckpt;
   const Metrics resumed = run_simulation(model, ctrl, horizon, opts);
   expect_metrics_bit_identical(resumed, ref);
+  std::remove(ckpt.c_str());
+}
+
+// Solver introspection survives a crash: the S1 warm-start chain restarts
+// cold at every slot, so the lp.warmstart_* counter totals of a killed +
+// resumed run must equal the uninterrupted run's — the interruption falls
+// on a slot boundary and no cross-slot solver state is (or may be) lost.
+// Each leg runs through a single-threaded SweepRunner so its counters land
+// in a private registry (worker threads resolve instruments fresh; the
+// test's main thread could not be re-pointed after its first LP solve).
+TEST(Checkpoint, WarmStartCountersReplayAcrossResume) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  const int horizon = 60, kill_at = 25;
+  const std::string ckpt = tmp_path("warm_counters.ckpt");
+
+  auto make_job = [](int slots) {
+    SimJob job;
+    job.scenario = ScenarioConfig::tiny();
+    job.V = 3.0;
+    job.slots = slots;
+    return job;
+  };
+  auto sweep_one = [](const SimJob& job, obs::Registry* reg) {
+    SweepOptions opt;
+    opt.threads = 1;
+    opt.merge_into = reg;
+    SweepRunner(opt).run({job});
+  };
+
+  obs::Registry ref_reg;
+  sweep_one(make_job(horizon), &ref_reg);
+
+  obs::Registry resumed_reg;  // accumulates both legs
+  SimJob first = make_job(kill_at);
+  first.sim.checkpoint_path = ckpt;
+  sweep_one(first, &resumed_reg);
+  SimJob second = make_job(horizon);
+  second.sim.resume_path = ckpt;
+  sweep_one(second, &resumed_reg);
+
+  // The warm trio is typically all-zero here (the SF relaxation's packing
+  // structure solves integrally in one pass on stock scenarios), but the
+  // equality must hold regardless — a resume that replayed warm state
+  // differently would break it the day a scenario does go multi-pass. The
+  // other introspection counters are hot on every slot and pin the replay
+  // non-vacuously.
+  for (const char* name :
+       {"lp.solves", "lp.iterations", "lp.phase1_iterations",
+        "lp.phase2_iterations", "lp.degenerate_pivots", "lp.numeric_repairs",
+        "lp.warmstart_attempted", "lp.warmstart_accepted",
+        "lp.warmstart_vars_reused"}) {
+    EXPECT_EQ(ref_reg.counter(name).total(),
+              resumed_reg.counter(name).total())
+        << name;
+  }
+  EXPECT_GT(ref_reg.counter("lp.solves").total(), 0.0);
+  EXPECT_GT(ref_reg.counter("lp.phase1_iterations").total(), 0.0);
   std::remove(ckpt.c_str());
 }
 

@@ -179,6 +179,42 @@ TEST(CliOptions, ParsesObservabilityFlags) {
   EXPECT_EQ(parse({"--trace-top-k", "0"}).options->trace_top_k, 0);
 }
 
+TEST(CliOptions, ParsesProfileAndLpLog) {
+  const auto r = parse({"--profile", "prof.json", "--lp-log", "lp.jsonl"});
+  ASSERT_TRUE(r.options) << r.error;
+  EXPECT_EQ(r.options->profile_path, "prof.json");
+  EXPECT_EQ(r.options->lp_log_path, "lp.jsonl");
+  const auto d = parse({});
+  ASSERT_TRUE(d.options);
+  EXPECT_TRUE(d.options->profile_path.empty());
+  EXPECT_TRUE(d.options->lp_log_path.empty());
+  EXPECT_FALSE(parse({"--profile", ""}).options);
+  EXPECT_FALSE(parse({"--lp-log", ""}).options);
+}
+
+// Two outputs sharing a path would silently clobber each other; the parse
+// rejects every colliding pair up front, naming both flags.
+TEST(CliOptions, RejectsCollidingOutputPaths) {
+  const auto a = parse({"--profile", "out.json", "--spans", "out.json"});
+  EXPECT_FALSE(a.options);
+  EXPECT_NE(a.error.find("--profile"), std::string::npos) << a.error;
+  EXPECT_NE(a.error.find("--spans"), std::string::npos) << a.error;
+  EXPECT_NE(a.error.find("out.json"), std::string::npos) << a.error;
+  EXPECT_FALSE(parse({"--csv", "x", "--trace", "x"}).options);
+  EXPECT_FALSE(parse({"--lp-log", "y", "--snapshot", "y"}).options);
+  EXPECT_FALSE(parse({"--checkpoint", "z", "--profile", "z"}).options);
+  // Distinct paths for everything is the normal case.
+  EXPECT_TRUE(parse({"--profile", "a.json", "--spans", "b.json", "--csv",
+                     "c.csv"})
+                  .options);
+}
+
+TEST(CliOptions, UsageMentionsProfileAndLpLog) {
+  const std::string u = usage();
+  EXPECT_NE(u.find("--profile"), std::string::npos);
+  EXPECT_NE(u.find("--lp-log"), std::string::npos);
+}
+
 // A cadence without a snapshot file has nothing to pace.
 TEST(CliOptions, SnapshotEveryRequiresSnapshotPath) {
   const auto r = parse({"--snapshot-every", "50"});
@@ -261,6 +297,8 @@ TEST(CliOptions, EveryFlagFailureNamesFlagAndDomain) {
       {"--snapshot-every", "0", "int >= 1"},
       {"--snapshot-every", "2.5", "int >= 1"},
       {"--spans", "", "non-empty file path"},
+      {"--profile", "", "non-empty file path"},
+      {"--lp-log", "", "non-empty file path"},
   };
   for (const auto& c : cases) {
     const auto r = parse({c.flag, c.bad});

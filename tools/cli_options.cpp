@@ -1,7 +1,9 @@
 #include "cli_options.hpp"
 
 #include <cstdlib>
+#include <iterator>
 #include <sstream>
+#include <utility>
 
 #include "energy/tariff.hpp"
 #include "scenario/spec.hpp"
@@ -72,7 +74,22 @@ observability (docs/OBSERVABILITY.md):
                         only the final snapshot); requires --snapshot
   --spans PATH          record nested spans (controller step, S1-S4, LP
                         solves, sweep jobs) and export Chrome trace-event
-                        JSON to PATH at the end of the run
+                        JSON to PATH at the end of the run; with --seeds > 1
+                        the combined ring lands at PATH and each replicate's
+                        slice at PATH.seed<k>
+  --profile PATH        aggregate the span stream into a deterministic
+                        attribution tree (slot -> S1-S4 -> lp.solve, with
+                        call counts, self/total time and problem-size
+                        stats): gc.profile.v1 JSON at PATH, collapsed-stack
+                        text for flamegraph tools at PATH.collapsed; with
+                        --seeds > 1 per-seed profiles land at PATH.seed<k>
+                        and PATH holds the deterministic merge. Compare two
+                        profiles with tools/perf_report
+  --lp-log PATH         stream one JSON line per simplex solve (context
+                        s1/s3/s4, rows/cols/nonzeros, phase-1/2 iterations,
+                        pivots, degenerate pivots, warm-start reuse,
+                        numeric repairs, status, wall time); with
+                        --seeds > 1 each replicate writes PATH.seed<k>
 
 robustness (docs/ROBUSTNESS.md):
   --faults PATH         inject faults from a JSON spec (node outages,
@@ -150,7 +167,7 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       "--input-seed", "--csv",    "--trace",            "--faults",
       "--checkpoint", "--checkpoint-every", "--resume", "--seeds",
       "--threads",  "--trace-top-k", "--snapshot",      "--snapshot-every",
-      "--spans"};
+      "--spans",    "--profile",  "--lp-log"};
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -316,6 +333,12 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     } else if (flag == "--spans") {
       if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.spans_path = v;
+    } else if (flag == "--profile") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      opt.profile_path = v;
+    } else if (flag == "--lp-log") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      opt.lp_log_path = v;
     } else if (flag == "--seeds") {
       if (!parse_int(v, &iv) || iv < 1)
         return err(bad(flag, "int >= 1", v));
@@ -342,6 +365,29 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   if (opt.snapshot_every > 0 && opt.snapshot_path.empty())
     return err("--snapshot-every requires --snapshot (it sets the cadence "
                "of the snapshot file)");
+  // Output paths must be pairwise distinct, checked up front: two flags
+  // aimed at one file would silently clobber each other (and under
+  // --seeds > 1 the shared ring's per-seed slices would interleave).
+  {
+    const std::pair<const char*, const std::string*> outputs[] = {
+        {"--csv", &opt.csv_path},
+        {"--trace", &opt.trace_path},
+        {"--snapshot", &opt.snapshot_path},
+        {"--spans", &opt.spans_path},
+        {"--profile", &opt.profile_path},
+        {"--lp-log", &opt.lp_log_path},
+        {"--checkpoint", &opt.checkpoint_path},
+    };
+    for (std::size_t a = 0; a < std::size(outputs); ++a) {
+      if (outputs[a].second->empty()) continue;
+      for (std::size_t b = a + 1; b < std::size(outputs); ++b) {
+        if (*outputs[a].second == *outputs[b].second)
+          return err(std::string(outputs[a].first) + " and " +
+                     outputs[b].first + " both write to \"" +
+                     *outputs[a].second + "\"; give each output its own path");
+      }
+    }
+  }
   return ParseResult{opt, ""};
 }
 

@@ -49,6 +49,13 @@ struct Options {
   int snapshot_every = 0;
   // Span tracing: Chrome trace-event JSON written at the end of the run.
   std::string spans_path;
+  // Hierarchical profile (docs/PERFORMANCE.md "Profiling workflow"):
+  // gc.profile.v1 JSON at PATH plus collapsed-stack text at
+  // PATH.collapsed, built from the same span stream.
+  std::string profile_path;
+  // Per-LP-solve JSONL stream (lp::JsonlSolveLog): one line per simplex
+  // solve with context, dimensions, phase split and warm-start accounting.
+  std::string lp_log_path;
 
   // Robustness (docs/ROBUSTNESS.md).
   std::string faults_path;      // JSON fault spec; empty = no fault injection

@@ -5,10 +5,14 @@
 //   $ greencell_sim --slots 200 --trace run.jsonl --report
 //   $ greencell_sim --multihop 0 --renewables 0 --quiet   # legacy baseline
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "cli_options.hpp"
 #include "core/controller.hpp"
 #include "fault/fault_schedule.hpp"
+#include "lp/solve_log.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
 #include "scenario/spec.hpp"
@@ -87,18 +91,125 @@ std::string seed_suffixed(const std::string& path, int k) {
   return path.empty() ? path : path + ".seed" + std::to_string(k);
 }
 
-// --spans: dump the recorded spans as Chrome trace-event JSON (open in
-// chrome://tracing or Perfetto).
-void export_spans(const gc::cli::Options& opt) {
-  if (opt.spans_path.empty()) return;
+// Ordered directed links the architecture allows — the profile's topology
+// size next to num_nodes (how wide the S1/S3 subproblems can get).
+int count_allowed_links(const gc::core::NetworkModel& model) {
+  int links = 0;
+  for (int i = 0; i < model.num_nodes(); ++i)
+    for (int j = 0; j < model.num_nodes(); ++j)
+      if (i != j && model.link_allowed(i, j)) ++links;
+  return links;
+}
+
+gc::obs::ProfileMeta make_profile_meta(const gc::cli::Options& opt,
+                                       const gc::core::NetworkModel& model,
+                                       int slots, double wall_s,
+                                       long long dropped) {
+  gc::obs::ProfileMeta meta;
+  meta.scenario = opt.scenario_name;
+  meta.nodes = model.num_nodes();
+  meta.links = count_allowed_links(model);
+  meta.sessions = model.num_sessions();
+  meta.slots = slots;
+  meta.wall_s = wall_s;
+  meta.slots_per_s = wall_s > 0.0 ? slots / wall_s : 0.0;
+  meta.spans_dropped = dropped;
+  return meta;
+}
+
+void write_profile_files(const std::string& path, const gc::obs::Profile& p) {
+  gc::obs::write_text_atomic(path, p.to_json(), "profile");
+  gc::obs::write_text_atomic(path + ".collapsed", p.to_collapsed(),
+                             "collapsed profile");
+}
+
+// The wall time of one sweep job = its sweep.job span (recorded around the
+// whole run_job call on the worker thread).
+double job_wall_s(const std::vector<gc::obs::SpanEvent>& events) {
+  for (const gc::obs::SpanEvent& e : events)
+    if (std::strcmp(e.name, "sweep.job") == 0) return e.dur_s;
+  return 0.0;
+}
+
+// --spans / --profile for a single run: drain the ring once, export the
+// Chrome trace and/or the attribution tree from the same event list.
+void export_single_run_obs(const gc::cli::Options& opt,
+                           const gc::core::NetworkModel& model,
+                           const gc::sim::Metrics& m, double wall_s) {
+  if (opt.spans_path.empty() && opt.profile_path.empty()) return;
   gc::obs::SpanRecorder& rec = gc::obs::SpanRecorder::instance();
-  rec.export_chrome_trace(opt.spans_path);
-  if (!opt.quiet) {
-    std::printf("spans written to %s", opt.spans_path.c_str());
-    if (rec.dropped() > 0)
-      std::printf(" (ring buffer dropped %lld oldest spans)",
-                  static_cast<long long>(rec.dropped()));
-    std::printf("\n");
+  const long long dropped = static_cast<long long>(rec.dropped());
+  const std::vector<gc::obs::SpanEvent> events = rec.drain();
+  if (!opt.spans_path.empty()) {
+    gc::obs::write_chrome_trace(opt.spans_path, events);
+    if (!opt.quiet) {
+      std::printf("spans written to %s", opt.spans_path.c_str());
+      if (dropped > 0)
+        std::printf(" (ring buffer dropped %lld oldest spans)", dropped);
+      std::printf("\n");
+    }
+  }
+  if (!opt.profile_path.empty()) {
+    gc::obs::Profile p = gc::obs::build_profile(events);
+    p.meta = make_profile_meta(opt, model, m.slots, wall_s, dropped);
+    write_profile_files(opt.profile_path, p);
+    if (!opt.quiet)
+      std::printf("profile written to %s (+.collapsed)\n",
+                  opt.profile_path.c_str());
+  }
+}
+
+// --spans / --profile for a sweep: one drain, partitioned by enclosing
+// sweep.job span. The combined artifacts land at the given paths, each
+// replicate's slice at PATH.seed<k> (the snapshot convention); the merged
+// profile is a deterministic fold in seed order.
+void export_sweep_obs(const gc::cli::Options& opt,
+                      const gc::core::NetworkModel& model,
+                      const std::vector<gc::sim::Metrics>& runs) {
+  if (opt.spans_path.empty() && opt.profile_path.empty()) return;
+  gc::obs::SpanRecorder& rec = gc::obs::SpanRecorder::instance();
+  const long long dropped = static_cast<long long>(rec.dropped());
+  const std::vector<gc::obs::SpanEvent> events = rec.drain();
+  const std::map<std::int64_t, std::vector<gc::obs::SpanEvent>> by_job =
+      gc::obs::partition_spans_by_job(events);
+
+  if (!opt.spans_path.empty()) {
+    gc::obs::write_chrome_trace(opt.spans_path, events);
+    for (const auto& [job, slice] : by_job) {
+      if (job < 0) continue;  // spans outside any job: combined file only
+      gc::obs::write_chrome_trace(
+          seed_suffixed(opt.spans_path, static_cast<int>(job)), slice);
+    }
+    if (!opt.quiet) {
+      std::printf("spans written to %s, per-seed at %s.seed<k>",
+                  opt.spans_path.c_str(), opt.spans_path.c_str());
+      if (dropped > 0)
+        std::printf(" (ring buffer dropped %lld oldest spans)", dropped);
+      std::printf("\n");
+    }
+  }
+
+  if (!opt.profile_path.empty()) {
+    gc::obs::Profile merged;
+    for (int k = 0; k < opt.seeds; ++k) {
+      const auto it = by_job.find(k);
+      if (it == by_job.end()) continue;  // ring drops can evict whole jobs
+      gc::obs::Profile p = gc::obs::build_profile(it->second);
+      const int slots =
+          k < static_cast<int>(runs.size()) ? runs[k].slots : 0;
+      // Per-seed drop attribution is unknowable (one shared ring), so the
+      // merged profile carries the total and the slices carry zero.
+      p.meta =
+          make_profile_meta(opt, model, slots, job_wall_s(it->second), 0);
+      write_profile_files(seed_suffixed(opt.profile_path, k), p);
+      merged.merge_from(p);
+    }
+    merged.meta.spans_dropped = dropped;
+    write_profile_files(opt.profile_path, merged);
+    if (!opt.quiet)
+      std::printf(
+          "profile written to %s (+.collapsed), per-seed at %s.seed<k>\n",
+          opt.profile_path.c_str(), opt.profile_path.c_str());
   }
 }
 
@@ -107,7 +218,11 @@ void export_spans(const gc::cli::Options& opt) {
 // mean/min/max summary. Per-seed results are bit-identical at any
 // --threads value (sim/sweep.hpp).
 int run_replicates(const gc::cli::Options& opt,
-                   const gc::fault::FaultSchedule* faults) {
+                   const gc::fault::FaultSchedule* faults,
+                   const gc::core::NetworkModel& model) {
+  // Per-seed LP solve logs: each job gets its own sink and file (one
+  // shared file would interleave replicates), kept alive past the sweep.
+  std::vector<std::unique_ptr<gc::lp::JsonlSolveLog>> lp_logs;
   std::vector<gc::sim::SimJob> jobs;
   for (int k = 0; k < opt.seeds; ++k) {
     gc::sim::SimJob job;
@@ -124,6 +239,13 @@ int run_replicates(const gc::cli::Options& opt,
     job.sim.scenario_name = opt.scenario_name;
     job.sim.scenario_hash = opt.scenario_hash;
     job.sim.faults = faults;
+    if (!opt.lp_log_path.empty()) {
+      lp_logs.push_back(std::make_unique<gc::lp::JsonlSolveLog>(
+          seed_suffixed(opt.lp_log_path, k)));
+      gc::core::ControllerOptions copts = opt.scenario.controller_options();
+      copts.lp_stats = lp_logs.back().get();
+      job.controller = copts;
+    }
     if (opt.mobility_mps > 0.0) {
       gc::sim::MobilityConfig mob;
       mob.speed_mps_lo = 0.0;
@@ -180,7 +302,11 @@ int run_replicates(const gc::cli::Options& opt,
     if (!opt.snapshot_path.empty())
       std::printf("fleet snapshot at %s (+.prom), per-seed at %s.seed<k>\n",
                   opt.snapshot_path.c_str(), opt.snapshot_path.c_str());
+    if (!opt.lp_log_path.empty())
+      std::printf("per-seed LP solve logs written to %s.seed<k>\n",
+                  opt.lp_log_path.c_str());
   }
+  export_sweep_obs(opt, model, runs);
   if (opt.report) {
     // Worker registries were merged into the global registry by the sweep,
     // so the report covers all replicates; per-run timing is summed.
@@ -210,8 +336,16 @@ int run(const gc::cli::Options& opt) {
   }
 
   gc::core::NetworkModel model = opt.scenario.build();
-  gc::core::LyapunovController controller(model, opt.V,
-                                          opt.scenario.controller_options());
+  gc::core::ControllerOptions controller_opts =
+      opt.scenario.controller_options();
+  // --lp-log (single run; replicate sweeps attach one per seed inside
+  // run_replicates): stream every simplex solve's SolveStats as JSONL.
+  std::unique_ptr<gc::lp::JsonlSolveLog> lp_log;
+  if (!opt.lp_log_path.empty() && opt.seeds == 1) {
+    lp_log = std::make_unique<gc::lp::JsonlSolveLog>(opt.lp_log_path);
+    controller_opts.lp_stats = lp_log.get();
+  }
+  gc::core::LyapunovController controller(model, opt.V, controller_opts);
   gc::sim::SimOptions sim_opts;
   sim_opts.input_seed = opt.input_seed;
   sim_opts.validate = opt.validate;
@@ -226,7 +360,9 @@ int run(const gc::cli::Options& opt) {
   sim_opts.snapshot_path = opt.snapshot_path;
   sim_opts.snapshot_every = opt.snapshot_every;
 
-  if (!opt.spans_path.empty()) gc::obs::SpanRecorder::instance().enable();
+  // Both the Chrome trace and the profile feed off the same span ring.
+  if (!opt.spans_path.empty() || !opt.profile_path.empty())
+    gc::obs::SpanRecorder::instance().enable();
 
   gc::fault::FaultSchedule faults(model.num_nodes(), opt.input_seed);
   if (!opt.faults_path.empty()) {
@@ -237,13 +373,10 @@ int run(const gc::cli::Options& opt) {
 
   // Replicate sweep: fan the seeds out and aggregate (the FaultSchedule is
   // read-only during runs, so sharing it across jobs is safe).
-  if (opt.seeds > 1) {
-    const int rc = run_replicates(opt, sim_opts.faults);
-    export_spans(opt);
-    return rc;
-  }
+  if (opt.seeds > 1) return run_replicates(opt, sim_opts.faults, model);
 
   gc::sim::Metrics m;
+  const gc::obs::StopWatch run_watch;
   if (opt.mobility_mps > 0.0) {
     gc::sim::MobilityConfig mob;
     mob.speed_mps_lo = 0.0;
@@ -254,6 +387,7 @@ int run(const gc::cli::Options& opt) {
   } else {
     m = gc::sim::run_simulation(model, controller, opt.slots, sim_opts);
   }
+  const double run_wall_s = run_watch.elapsed_seconds();
 
   if (!opt.csv_path.empty()) write_csv(opt.csv_path, m);
 
@@ -298,13 +432,17 @@ int run(const gc::cli::Options& opt) {
     if (!opt.snapshot_path.empty())
       std::printf("snapshot written to %s (+.prom)\n",
                   opt.snapshot_path.c_str());
+    if (lp_log)
+      std::printf("LP solve log written to %s (%lld solves)\n",
+                  opt.lp_log_path.c_str(),
+                  static_cast<long long>(lp_log->lines_written()));
   } else {
     std::printf("avg_cost=%.6g delivered=%.0f delay=%.2f backlog=%.0f\n",
                 m.cost_avg.average(), m.total_delivered_packets,
                 m.average_delay_slots(), final_backlog);
   }
   if (opt.report) print_report(m);
-  export_spans(opt);
+  export_single_run_obs(opt, model, m, run_wall_s);
   return 0;
 }
 
