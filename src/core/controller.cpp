@@ -58,6 +58,10 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   GC_CHECK(static_cast<int>(inputs.grid_connected.size()) ==
            model_->num_nodes());
 
+  // Announce the slot before any solve so every SolveStats record the
+  // sinks see this step carries the right slot stamp.
+  if (options_.lp_stats != nullptr) options_.lp_stats->begin_slot(state_.slot());
+
   ControllerMetrics& m = metrics();
   SlotDecision decision;
   obs::ScopedTimer step_timer(m.step, &decision.timing.step_s);

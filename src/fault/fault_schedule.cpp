@@ -45,6 +45,7 @@ const char* to_string(FaultEvent::Kind k) {
     case FaultEvent::Kind::PriceSpike: return "price_spike";
     case FaultEvent::Kind::BatteryFade: return "battery_fade";
     case FaultEvent::Kind::LinkFade: return "link_fade";
+    case FaultEvent::Kind::ProcessKill: return "process_kill";
   }
   return "?";
 }
@@ -86,6 +87,10 @@ void FaultSchedule::add(const FaultEvent& event) {
       GC_CHECK_MSG(in_range(event.node) && in_range(event.peer) &&
                        event.node != event.peer,
                    "link_fade needs valid distinct node and peer");
+      break;
+    case FaultEvent::Kind::ProcessKill:
+      GC_CHECK_MSG(event.start >= 0,
+                   "process_kill is deterministic: needs start >= 0");
       break;
   }
   events_.push_back(event);
@@ -129,6 +134,21 @@ SlotFaults FaultSchedule::at(int t) const {
   };
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const FaultEvent& e = events_[i];
+    if (e.kind == FaultEvent::Kind::ProcessKill) {
+      if (e.start != t) continue;
+      // Rank this kill by (start, insertion order) among all kills so the
+      // run loop can skip exactly the ones already survived. Keep the MAX
+      // rank firing at t: two kills at the same slot must fire on two
+      // consecutive attempts, not collapse into one.
+      int rank = 0;
+      for (std::size_t j = 0; j < events_.size(); ++j) {
+        const FaultEvent& o = events_[j];
+        if (o.kind != FaultEvent::Kind::ProcessKill || j == i) continue;
+        if (o.start < e.start || (o.start == e.start && j < i)) ++rank;
+      }
+      f.kill_ordinal = std::max(f.kill_ordinal, rank);
+      continue;  // never counts as an active physics event
+    }
     if (e.kind == FaultEvent::Kind::BatteryFade) {
       const double frac = fade_fraction(e, t);
       if (frac >= 1.0) continue;
@@ -163,6 +183,7 @@ SlotFaults FaultSchedule::at(int t) const {
             1;
         break;
       case FaultEvent::Kind::BatteryFade:
+      case FaultEvent::Kind::ProcessKill:
         break;  // handled above
     }
   }
@@ -178,6 +199,7 @@ FaultEvent::Kind kind_from_string(const std::string& s) {
   if (s == "price_spike") return FaultEvent::Kind::PriceSpike;
   if (s == "battery_fade") return FaultEvent::Kind::BatteryFade;
   if (s == "link_fade") return FaultEvent::Kind::LinkFade;
+  if (s == "process_kill") return FaultEvent::Kind::ProcessKill;
   GC_CHECK_MSG(false, "unknown fault kind \"" << s << "\"");
   return FaultEvent::Kind::NodeOutage;  // unreachable
 }

@@ -22,6 +22,13 @@
 //                        keep eq. (13)); deterministic only.
 //  * LinkFade          — directed link (node -> peer) is in a deep fade and
 //                        carries nothing for the window.
+//  * ProcessKill       — the simulator process itself dies (SIGKILL) at the
+//                        start of slot `start`: a first-class injectable
+//                        crash for the kill-chaos harness. Deterministic
+//                        only, never perturbs the slot's physics — it is
+//                        excluded from active_events and apply_slot_faults
+//                        so a killed+resumed run's metrics and traces match
+//                        an uninterrupted one's bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +52,7 @@ struct FaultEvent {
     PriceSpike,
     BatteryFade,
     LinkFade,
+    ProcessKill,
   };
   Kind kind = Kind::NodeOutage;
   int node = -1;  // target node; -1 = all nodes (blackout / grid outage)
@@ -69,7 +77,14 @@ struct SlotFaults {
   // empty when no fade event exists.
   std::vector<double> battery_capacity_fraction;
   // How many events were active this slot (one event may cover many nodes).
+  // ProcessKill events never count here.
   int active_events = 0;
+  // Highest rank (by (start, insertion order), 0-based) among ProcessKill
+  // events firing at this slot, or -1 when none do. The run loop raises
+  // SIGKILL iff kill_ordinal >= the number of kills already survived, so
+  // each restart skips exactly the kills that already fired — including a
+  // second kill scheduled at the very same slot.
+  int kill_ordinal = -1;
 
   bool any() const { return active_events > 0; }
 };

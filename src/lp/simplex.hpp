@@ -114,6 +114,13 @@ class SolveStatsSink {
  public:
   virtual ~SolveStatsSink() = default;
   virtual void on_solve(const SolveStats& stats, const char* context) = 0;
+  // The controller announces the slot it is about to solve for, so sinks
+  // can stamp records with it (JsonlSolveLog's "slot" field) and resume
+  // logic can truncate a crashed run's log back to a slot boundary.
+  virtual void begin_slot(int /*slot*/) {}
+  // Durability point: flush buffered lines to stable storage. Called at
+  // every checkpoint boundary so log tails survive a SIGKILL.
+  virtual void flush() {}
 };
 
 // Where a variable rests between pivots. Exposed (rather than kept private

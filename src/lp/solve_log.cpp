@@ -3,11 +3,12 @@
 #include <cstdio>
 
 #include "util/check.hpp"
+#include "util/fsio.hpp"
 
 namespace gc::lp {
 
-JsonlSolveLog::JsonlSolveLog(const std::string& path)
-    : out_(path, std::ios::trunc) {
+JsonlSolveLog::JsonlSolveLog(const std::string& path, bool append)
+    : path_(path), out_(path, append ? std::ios::app : std::ios::trunc) {
   GC_CHECK_MSG(out_.good(), "cannot open LP solve log " << path);
 }
 
@@ -20,22 +21,33 @@ void JsonlSolveLog::on_solve(const SolveStats& stats, const char* context) {
   // One self-contained line per solve; keys stay flat so `jq -c` and
   // column-oriented readers need no schema.
   char buf[512];
+  std::lock_guard<std::mutex> lock(mutex_);
   std::snprintf(
       buf, sizeof buf,
-      "{\"ctx\":\"%s\",\"rows\":%d,\"cols\":%d,\"nonzeros\":%d,"
+      "{\"ctx\":\"%s\",\"slot\":%d,\"rows\":%d,\"cols\":%d,\"nonzeros\":%d,"
       "\"phase1_iters\":%d,\"phase2_iters\":%d,\"pivots\":%d,"
       "\"degenerate_pivots\":%d,\"bound_flips\":%d,\"refactorizations\":%d,"
       "\"bland\":%s,\"warm_attempted\":%s,\"warm_vars_reused\":%d,"
       "\"numeric_repairs\":%d,\"status\":\"%s\",\"wall_s\":%.9f}",
-      context != nullptr ? context : "", stats.rows, stats.cols,
+      context != nullptr ? context : "", slot_, stats.rows, stats.cols,
       stats.nonzeros, stats.phase1_iterations, stats.phase2_iterations,
       stats.pivots, stats.degenerate_pivots, stats.bound_flips,
       stats.refactorizations, stats.bland ? "true" : "false",
       stats.warm_attempted ? "true" : "false", stats.warm_vars_reused,
       stats.numeric_repairs, to_string(stats.status), stats.wall_s);
-  std::lock_guard<std::mutex> lock(mutex_);
   out_ << buf << '\n';
   ++lines_;
+}
+
+void JsonlSolveLog::begin_slot(int slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot_ = slot;
+}
+
+void JsonlSolveLog::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+  util::fsync_file(path_);
 }
 
 std::int64_t JsonlSolveLog::lines_written() const {

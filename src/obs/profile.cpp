@@ -8,6 +8,7 @@
 
 #include "obs/json.hpp"
 #include "util/check.hpp"
+#include "util/fsio.hpp"
 
 namespace gc::obs {
 
@@ -285,8 +286,10 @@ void write_text_atomic(const std::string& path, const std::string& body,
     out.flush();
     GC_CHECK_MSG(out.good(), what << " write failed on " << tmp);
   }
+  util::fsync_file(tmp);
   GC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
                "cannot move " << what << " into place at " << path);
+  util::fsync_parent_dir(path);
 }
 
 }  // namespace gc::obs

@@ -8,6 +8,7 @@
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 #include "util/check.hpp"
+#include "util/fsio.hpp"
 
 namespace gc::obs {
 
@@ -40,6 +41,8 @@ void append_field(std::string& s, const char* key, double v,
 
 // Writes `body` to `path` atomically: readers polling the path only ever
 // see a complete previous or complete new file, never a partial write.
+// The tmp file is fsync'd before the rename so a post-crash `path` never
+// names an entry whose blocks didn't reach disk (util/fsio.hpp).
 void atomic_write(const std::string& path, const std::string& body) {
   const std::string tmp = path + ".tmp";
   {
@@ -49,8 +52,10 @@ void atomic_write(const std::string& path, const std::string& body) {
     out.flush();
     GC_CHECK_MSG(out.good(), "snapshot write failed on " << tmp);
   }
+  util::fsync_file(tmp);
   GC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
                "cannot move snapshot into place at " << path);
+  util::fsync_parent_dir(path);
 }
 
 // Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted names

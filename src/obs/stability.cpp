@@ -173,4 +173,48 @@ SlotVerdict StabilityAuditor::observe(const SlotAudit& slot) {
   return v;
 }
 
+AuditorState StabilityAuditor::state_snapshot() const {
+  AuditorState s;
+  s.slots = slots_;
+  s.cost_sum = cost_sum_;
+  s.prev_lyapunov = prev_lyapunov_;
+  s.have_prev_lyapunov = have_prev_lyapunov_;
+  s.total_q_violations = total_q_violations_;
+  s.total_z_violations = total_z_violations_;
+  s.total_drift_violations = total_drift_violations_;
+  s.unstable_windows = unstable_windows_;
+  s.run_worst_q_margin = run_worst_q_margin_;
+  s.run_worst_z_margin = run_worst_z_margin_;
+  s.window_fill = window_fill_;
+  s.closed_windows = closed_windows_;
+  s.window_backlog_sum = window_backlog_sum_;
+  s.window_cost_sum = window_cost_sum_;
+  s.prev_window_backlog_mean = prev_window_backlog_mean_;
+  s.prev_window_cost_mean = prev_window_cost_mean_;
+  s.have_prev_window = have_prev_window_;
+  s.window_cost_delta = window_cost_delta_;
+  return s;
+}
+
+void StabilityAuditor::restore(const AuditorState& s) {
+  slots_ = s.slots;
+  cost_sum_ = s.cost_sum;
+  prev_lyapunov_ = s.prev_lyapunov;
+  have_prev_lyapunov_ = s.have_prev_lyapunov;
+  total_q_violations_ = s.total_q_violations;
+  total_z_violations_ = s.total_z_violations;
+  total_drift_violations_ = s.total_drift_violations;
+  unstable_windows_ = s.unstable_windows;
+  run_worst_q_margin_ = s.run_worst_q_margin;
+  run_worst_z_margin_ = s.run_worst_z_margin;
+  window_fill_ = s.window_fill;
+  closed_windows_ = s.closed_windows;
+  window_backlog_sum_ = s.window_backlog_sum;
+  window_cost_sum_ = s.window_cost_sum;
+  prev_window_backlog_mean_ = s.prev_window_backlog_mean;
+  prev_window_cost_mean_ = s.prev_window_cost_mean;
+  have_prev_window_ = s.have_prev_window;
+  window_cost_delta_ = s.window_cost_delta;
+}
+
 }  // namespace gc::obs

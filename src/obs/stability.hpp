@@ -105,12 +105,44 @@ struct SlotVerdict {
   }
 };
 
+// The auditor's serializable scalar state: everything observe() accumulates
+// across slots, so a checkpointed run can resume mid-stream and report the
+// same run-level totals and window verdicts as an uninterrupted one
+// (sim/checkpoint.hpp carries this in format v3). The AuditConfig itself is
+// rebuilt from the scenario, not serialized.
+struct AuditorState {
+  std::int64_t slots = 0;
+  double cost_sum = 0.0;
+  double prev_lyapunov = 0.0;
+  bool have_prev_lyapunov = false;
+  std::int64_t total_q_violations = 0;
+  std::int64_t total_z_violations = 0;
+  std::int64_t total_drift_violations = 0;
+  std::int64_t unstable_windows = 0;
+  double run_worst_q_margin = std::numeric_limits<double>::infinity();
+  double run_worst_z_margin = std::numeric_limits<double>::infinity();
+  int window_fill = 0;
+  std::int64_t closed_windows = 0;
+  double window_backlog_sum = 0.0;
+  double window_cost_sum = 0.0;
+  double prev_window_backlog_mean = 0.0;
+  double prev_window_cost_mean = 0.0;
+  bool have_prev_window = false;
+  double window_cost_delta = 0.0;
+};
+
 // Per-run auditor. Not thread-safe; one instance per simulation (parallel
 // sweep jobs each build their own, and their stability.* counters land in
 // the worker-private registry like every other instrument).
 class StabilityAuditor {
  public:
   explicit StabilityAuditor(AuditConfig config);
+
+  // Checkpoint support: the full accumulated state, and its restoration.
+  // restore() assumes the config matches the one the snapshot was taken
+  // under (the checkpoint's scenario-hash binding guarantees it).
+  AuditorState state_snapshot() const;
+  void restore(const AuditorState& s);
 
   const AuditConfig& config() const { return config_; }
 

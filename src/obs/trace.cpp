@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/check.hpp"
+#include "util/fsio.hpp"
 
 namespace gc::obs {
 
@@ -26,9 +27,15 @@ void append_field(std::string& s, const char* key, double v, bool first = false)
 
 }  // namespace
 
-TraceSink::TraceSink(const std::string& path)
-    : path_(path), out_(path, std::ios::trunc) {
+TraceSink::TraceSink(const std::string& path, bool append)
+    : path_(path), out_(path, append ? std::ios::app : std::ios::trunc) {
   GC_CHECK_MSG(out_.good(), "cannot open trace file " << path);
+}
+
+void TraceSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+  util::fsync_file(path_);
 }
 
 void TraceSink::write_header(const std::string& scenario_name,

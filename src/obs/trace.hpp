@@ -65,8 +65,10 @@ struct TraceRecord {
 
 class TraceSink {
  public:
-  // Opens (truncates) `path`; throws gc::CheckError if it cannot.
-  explicit TraceSink(const std::string& path);
+  // Opens (truncates) `path` — or, with append = true, continues an
+  // existing trace that resume-side truncation (util/fsio) already cut
+  // back to the checkpointed slot. Throws gc::CheckError if it cannot.
+  explicit TraceSink(const std::string& path, bool append = false);
 
   // Writes the one-line header record identifying the run's scenario:
   //   {"scenario":{"name":"...","hash":"0x..."}}
@@ -89,6 +91,10 @@ class TraceSink {
     return records_;
   }
   const std::string& path() const { return path_; }
+
+  // Durability point: flushes the stream and fsyncs the file so every
+  // complete line survives a SIGKILL. Called at checkpoint boundaries.
+  void flush();
 
  private:
   std::string path_;

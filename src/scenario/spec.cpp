@@ -564,7 +564,13 @@ class Writer {
   bool first_ = true;
 };
 
-std::string serialize(const ScenarioSpec& spec, bool include_name) {
+// structural_only drops the workload-shaping fields that hot-reload may
+// swap at a slot boundary: the traffic section keeps only "sessions" (the
+// per-user queue arity) and the tariff section vanishes. Everything else —
+// topology, radio, energy, architecture, algorithm — fixes state-vector
+// dimensions or decision structure and stays in.
+std::string serialize(const ScenarioSpec& spec, bool include_name,
+                      bool structural_only = false) {
   const ScenarioConfig& c = spec.config;
   Writer w;
   if (include_name) w.field("name", spec.name);
@@ -612,21 +618,25 @@ std::string serialize(const ScenarioSpec& spec, bool include_name) {
   w.close();
 
   w.open("traffic");
-  w.field("kind", kTrafficKinds[static_cast<int>(c.traffic.kind)]);
-  w.field("sessions", c.num_sessions);
-  w.field("rate_bps", c.session_rate_bps);
-  w.field("admit_factor", c.admit_factor);
-  w.field("slots_per_day", c.traffic.slots_per_day);
-  w.field("amplitude", c.traffic.amplitude);
-  w.field("peak_phase", c.traffic.peak_phase);
-  w.field("on_mult", c.traffic.on_mult);
-  w.field("off_mult", c.traffic.off_mult);
-  w.field("p_on_off", c.traffic.p_on_off);
-  w.field("p_off_on", c.traffic.p_off_on);
-  w.field("block_slots", c.traffic.block_slots);
-  w.field("start_slot", c.traffic.start_slot);
-  w.field("duration_slots", c.traffic.duration_slots);
-  w.field("spike_multiplier", c.traffic.spike_multiplier);
+  if (structural_only) {
+    w.field("sessions", c.num_sessions);
+  } else {
+    w.field("kind", kTrafficKinds[static_cast<int>(c.traffic.kind)]);
+    w.field("sessions", c.num_sessions);
+    w.field("rate_bps", c.session_rate_bps);
+    w.field("admit_factor", c.admit_factor);
+    w.field("slots_per_day", c.traffic.slots_per_day);
+    w.field("amplitude", c.traffic.amplitude);
+    w.field("peak_phase", c.traffic.peak_phase);
+    w.field("on_mult", c.traffic.on_mult);
+    w.field("off_mult", c.traffic.off_mult);
+    w.field("p_on_off", c.traffic.p_on_off);
+    w.field("p_off_on", c.traffic.p_off_on);
+    w.field("block_slots", c.traffic.block_slots);
+    w.field("start_slot", c.traffic.start_slot);
+    w.field("duration_slots", c.traffic.duration_slots);
+    w.field("spike_multiplier", c.traffic.spike_multiplier);
+  }
   w.close();
 
   w.open("renewables");
@@ -641,14 +651,17 @@ std::string serialize(const ScenarioSpec& spec, bool include_name) {
 
   // The resolved form of every tariff is its multiplier trace (or flat):
   // time_of_use inputs expand here, so equal configs serialize equally.
-  w.open("tariff");
-  if (c.tariff_multipliers.empty()) {
-    w.field("kind", std::string("flat"));
-  } else {
-    w.field("kind", std::string("trace"));
-    w.field("multipliers", c.tariff_multipliers);
+  // Tariffs never shape state, so structural mode drops the section.
+  if (!structural_only) {
+    w.open("tariff");
+    if (c.tariff_multipliers.empty()) {
+      w.field("kind", std::string("flat"));
+    } else {
+      w.field("kind", std::string("trace"));
+      w.field("multipliers", c.tariff_multipliers);
+    }
+    w.close();
   }
-  w.close();
 
   w.open("energy");
   w.open("bs");
@@ -727,14 +740,106 @@ std::string to_json(const ScenarioSpec& spec) {
   return serialize(spec, /*include_name=*/true);
 }
 
-std::uint64_t scenario_hash(const ScenarioSpec& spec) {
-  const std::string canonical = serialize(spec, /*include_name=*/false);
+namespace {
+
+std::uint64_t fnv1a64(const std::string& text) {
   std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64 offset basis
-  for (unsigned char c : canonical) {
+  for (unsigned char c : text) {
     h ^= c;
     h *= 1099511628211ull;  // FNV-1a 64 prime
   }
   return h;
+}
+
+// One canonical-JSON line, decomposed for the structural diff walker.
+struct CanonicalLine {
+  std::string key;   // "" for pure close lines
+  std::string body;  // the full trimmed line (comparison unit)
+  bool opens = false;
+  bool closes = false;
+};
+
+CanonicalLine split_line(const std::string& raw) {
+  CanonicalLine out;
+  std::size_t b = 0, e = raw.size();
+  while (b < e && raw[b] == ' ') ++b;
+  while (e > b && (raw[e - 1] == ' ' || raw[e - 1] == ',')) --e;
+  out.body = raw.substr(b, e - b);
+  if (out.body.size() >= 2 && out.body.front() == '"') {
+    const std::size_t endq = out.body.find('"', 1);
+    if (endq != std::string::npos) out.key = out.body.substr(1, endq - 1);
+  }
+  out.opens = !out.body.empty() && out.body.back() == '{';
+  out.closes = !out.body.empty() && out.body.front() == '}';
+  return out;
+}
+
+std::vector<CanonicalLine> split_lines(const std::string& text) {
+  std::vector<CanonicalLine> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    if (nl > pos) out.push_back(split_line(text.substr(pos, nl - pos)));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+std::string joined_path(const std::vector<std::string>& stack,
+                        const std::string& leaf) {
+  std::string out;
+  for (const auto& s : stack) {
+    if (!out.empty()) out += '.';
+    out += s;
+  }
+  if (!leaf.empty()) {
+    if (!out.empty()) out += '.';
+    out += leaf;
+  }
+  return out.empty() ? "scenario" : out;
+}
+
+}  // namespace
+
+std::uint64_t scenario_hash(const ScenarioSpec& spec) {
+  return fnv1a64(serialize(spec, /*include_name=*/false));
+}
+
+std::uint64_t scenario_structural_hash(const ScenarioSpec& spec) {
+  return fnv1a64(serialize(spec, /*include_name=*/false,
+                           /*structural_only=*/true));
+}
+
+std::string first_structural_difference(const ScenarioSpec& a,
+                                        const ScenarioSpec& b) {
+  const std::vector<CanonicalLine> la =
+      split_lines(serialize(a, false, /*structural_only=*/true));
+  const std::vector<CanonicalLine> lb =
+      split_lines(serialize(b, false, /*structural_only=*/true));
+  // Both streams come from the same serializer, so keys appear in the same
+  // fixed order and any difference is a differing value (or, for arrays of
+  // different length via future fields, a differing body) at the same
+  // position. Walk in lockstep, tracking the object path.
+  std::vector<std::string> stack;
+  const std::size_t n = std::min(la.size(), lb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CanonicalLine& x = la[i];
+    if (x.body != lb[i].body) {
+      const std::string key = !x.key.empty() ? x.key : lb[i].key;
+      return joined_path(stack, key);
+    }
+    if (x.opens) {
+      stack.push_back(x.key);
+    } else if (x.closes && !stack.empty()) {
+      stack.pop_back();
+    }
+  }
+  if (la.size() != lb.size()) {
+    const CanonicalLine& extra = la.size() > lb.size() ? la[n] : lb[n];
+    return joined_path(stack, extra.key);
+  }
+  return "";
 }
 
 std::string hash_hex(std::uint64_t hash) {

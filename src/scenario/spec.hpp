@@ -52,6 +52,23 @@ std::string to_json(const ScenarioSpec& spec);
 // configuration.
 std::uint64_t scenario_hash(const ScenarioSpec& spec);
 
+// FNV-1a 64-bit over the *structural* subset of the canonical config-only
+// JSON: everything that shapes the run's state vectors and queue layout.
+// Workload knobs that may be swapped at a slot boundary without changing
+// any state dimension are excluded — the traffic section contributes only
+// its "sessions" arity and the tariff section is dropped entirely
+// (docs/ROBUSTNESS.md lists the full swappable-vs-refused matrix). Two
+// specs with equal structural hashes can hot-reload into each other
+// mid-run (--reload-scenario) and resume each other's checkpoints.
+std::uint64_t scenario_structural_hash(const ScenarioSpec& spec);
+
+// Names the first structural field where `a` and `b` differ as a dotted
+// path ("traffic.sessions", "energy.bs.battery.capacity_j", ...), or ""
+// when the specs are structurally identical. Used to build the precise
+// refusal message when a hot-reload would change the run's structure.
+std::string first_structural_difference(const ScenarioSpec& a,
+                                        const ScenarioSpec& b);
+
 // "0x" + 16 lowercase hex digits; the format used in trace headers and
 // human-facing messages.
 std::string hash_hex(std::uint64_t hash);

@@ -2,21 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
+#include <fstream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "core/psi.hpp"
 #include "core/validate.hpp"
 #include "fault/fault_schedule.hpp"
+#include "lp/simplex.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/supervisor.hpp"
+#include "util/fsio.hpp"
 
 namespace gc::sim {
 
 namespace {
+
+// Run-lifecycle robustness observability (docs/ROBUSTNESS.md): resume
+// events, corrupt-generation fallbacks, resume-side sink truncation, and
+// graceful shutdowns. The supervisor's parent-side restart counters live
+// in sim/supervisor.cpp under the same robust.* group.
+struct RobustMetrics {
+  obs::Counter& resumes = obs::registry().counter("robust.resumes");
+  obs::Counter& fallbacks =
+      obs::registry().counter("robust.checkpoint_fallbacks");
+  obs::Counter& truncated =
+      obs::registry().counter("robust.sink_truncated_records");
+  obs::Counter& shutdowns =
+      obs::registry().counter("robust.graceful_shutdowns");
+  obs::Gauge& resumed_slot = obs::registry().gauge("robust.resumed_slot");
+};
+
+RobustMetrics& robust_metrics() {
+  static thread_local RobustMetrics m;
+  return m;
+}
 
 void record(Metrics& m, const core::NetworkModel& model,
             const core::NetworkState& state, const core::SlotInputs& inputs,
@@ -124,46 +150,11 @@ Metrics run_loop(const core::NetworkModel& model,
   GC_CHECK(slots >= 0);
   Metrics m;
   Rng input_rng(options.input_seed);
-  int start_slot = 0;
-  if (!options.resume_path.empty()) {
-    const Checkpoint checkpoint = load_checkpoint(options.resume_path);
-    GC_CHECK_MSG(
-        checkpoint.scenario_hash == options.scenario_hash,
-        "checkpoint " << options.resume_path << " was written for scenario "
-                      << "hash 0x" << std::hex << checkpoint.scenario_hash
-                      << " but this run is scenario hash 0x"
-                      << options.scenario_hash << std::dec
-                      << "; resuming under a different scenario spec is "
-                         "refused (rebuild the checkpoint or match specs)");
-    restore_checkpoint(checkpoint, input_rng, controller, m, mobility,
-                       topology);
-    start_slot = checkpoint.next_slot;
-    GC_CHECK_MSG(start_slot <= slots,
-                 "checkpoint at slot " << start_slot
-                                       << " is beyond the horizon " << slots);
-  }
-  // Graceful degradation (docs/ROBUSTNESS.md): in validate mode every
-  // anomaly must abort loudly; otherwise the state layer repairs NaN /
-  // negative values with counters so long unattended runs survive them.
-  controller.mutable_state().set_sanitize(!options.validate);
-  std::unique_ptr<obs::TraceSink> trace;
-  if (!options.trace_path.empty()) {
-    trace = std::make_unique<obs::TraceSink>(options.trace_path);
-    trace->write_header(options.scenario_name, options.scenario_hash);
-  }
-  const bool have_faults =
-      options.faults != nullptr && !options.faults->empty();
-  const auto checkpoint_now = [&](int next_slot) {
-    Checkpoint c =
-        make_checkpoint(next_slot, input_rng, controller, m, mobility,
-                        topology);
-    c.scenario_hash = options.scenario_hash;
-    save_checkpoint(c, options.checkpoint_path);
-  };
 
   // Theory auditor (docs/OBSERVABILITY.md): strict_bounds forces the audit
   // on even in GC_OBS_DISABLE builds (the verdict is what aborts the run;
-  // only the stability.* instruments are compiled out there).
+  // only the stability.* instruments are compiled out there). Built before
+  // the resume below so checkpoint v3 can reinstate its accumulators.
   const bool audit_on = options.audit || options.strict_bounds;
   const double lambda = controller.options().allocator.lambda;
   std::unique_ptr<obs::StabilityAuditor> auditor;
@@ -176,6 +167,121 @@ Metrics run_loop(const core::NetworkModel& model,
                    static_cast<std::size_t>(model.num_sessions()));
     audit_z.resize(static_cast<std::size_t>(model.num_nodes()));
   }
+
+  int start_slot = 0;
+  if (!options.resume_path.empty()) {
+    // Resolve what to resume from. With rotation, resume_path is the
+    // rotation base and the newest *valid* generation wins — corrupt or
+    // truncated tails fall back to older generations. resume_auto (the
+    // supervised-restart mode) tolerates a wholly absent checkpoint: the
+    // crash may have landed before the first checkpoint was written.
+    std::optional<Checkpoint> loaded;
+    std::string source = options.resume_path;
+    if (options.checkpoint_rotate > 0) {
+      std::optional<ResumeSelection> sel =
+          load_newest_valid(options.resume_path);
+      if (sel.has_value()) {
+        if (sel->skipped_corrupt > 0)
+          robust_metrics().fallbacks.add(sel->skipped_corrupt);
+        source = sel->source.file;
+        loaded = std::move(sel->checkpoint);
+      } else {
+        GC_CHECK_MSG(options.resume_auto,
+                     "no checkpoint generations found at "
+                         << options.resume_path);
+      }
+    } else if (options.resume_auto &&
+               !std::ifstream(options.resume_path).good()) {
+      // Missing file under auto-resume = fresh start; a present-but-
+      // corrupt single checkpoint still throws below (there is no older
+      // generation to fall back to without rotation).
+    } else {
+      loaded = load_checkpoint(options.resume_path);
+    }
+    if (loaded.has_value()) {
+      const Checkpoint& checkpoint = *loaded;
+      if (options.allow_swapped_scenario) {
+        // Hot-reload resume: the workload fields may have been swapped;
+        // only the structural identity must survive.
+        GC_CHECK_MSG(
+            checkpoint.scenario_structural_hash ==
+                options.scenario_structural_hash,
+            "checkpoint " << source << " has structural scenario hash 0x"
+                          << std::hex << checkpoint.scenario_structural_hash
+                          << " but this run's scenario is structurally 0x"
+                          << options.scenario_structural_hash << std::dec
+                          << "; only traffic/tariff fields may be swapped "
+                             "at a resume boundary");
+      } else {
+        GC_CHECK_MSG(
+            checkpoint.scenario_hash == options.scenario_hash,
+            "checkpoint " << source << " was written for scenario "
+                          << "hash 0x" << std::hex << checkpoint.scenario_hash
+                          << " but this run is scenario hash 0x"
+                          << options.scenario_hash << std::dec
+                          << "; resuming under a different scenario spec is "
+                             "refused (rebuild the checkpoint or match "
+                             "specs)");
+      }
+      restore_checkpoint(checkpoint, input_rng, controller, m, mobility,
+                         topology, auditor.get());
+      start_slot = checkpoint.next_slot;
+      GC_CHECK_MSG(start_slot <= slots,
+                   "checkpoint at slot "
+                       << start_slot << " is beyond the horizon " << slots);
+      robust_metrics().resumes.add();
+      robust_metrics().resumed_slot.set(start_slot);
+    }
+  }
+  // Graceful degradation (docs/ROBUSTNESS.md): in validate mode every
+  // anomaly must abort loudly; otherwise the state layer repairs NaN /
+  // negative values with counters so long unattended runs survive them.
+  controller.mutable_state().set_sanitize(!options.validate);
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!options.trace_path.empty()) {
+    bool append = false;
+    if (options.sink_resume && start_slot > 0) {
+      // Cut the crashed run's trace back to the checkpointed slot (plus
+      // any torn tail) so appending from here reproduces an uninterrupted
+      // run's file byte for byte.
+      const util::JsonlTruncation cut =
+          util::truncate_jsonl_to_slot(options.trace_path, "t", start_slot);
+      if (cut.existed) {
+        append = cut.kept_lines > 0;
+        robust_metrics().truncated.add(cut.dropped_lines +
+                                       (cut.dropped_torn_tail ? 1 : 0));
+      }
+    }
+    trace = std::make_unique<obs::TraceSink>(options.trace_path, append);
+    if (!append)
+      trace->write_header(options.scenario_name, options.scenario_hash);
+  }
+  const bool have_faults =
+      options.faults != nullptr && !options.faults->empty();
+
+  std::unique_ptr<CheckpointRotator> rotator;
+  if (!options.checkpoint_path.empty() && options.checkpoint_rotate > 0)
+    rotator = std::make_unique<CheckpointRotator>(options.checkpoint_path,
+                                                  options.checkpoint_rotate);
+  const auto flush_sinks = [&] {
+    if (trace) trace->flush();
+    if (options.lp_sink != nullptr) options.lp_sink->flush();
+  };
+  const auto checkpoint_now = [&](int next_slot) {
+    // Flush sinks first: after the checkpoint lands, every record up to
+    // its slot must already be durable, or a crash right after the write
+    // would leave a checkpoint ahead of its sinks.
+    flush_sinks();
+    Checkpoint c = make_checkpoint(next_slot, input_rng, controller, m,
+                                   mobility, topology, auditor.get());
+    c.scenario_hash = options.scenario_hash;
+    c.scenario_structural_hash = options.scenario_structural_hash;
+    if (rotator) {
+      rotator->write(c);
+    } else {
+      save_checkpoint(c, options.checkpoint_path);
+    }
+  };
 
   // Live telemetry. Wall-clock rate covers only this process's slots (a
   // resumed run does not claim the checkpointed portion's speed); the grid
@@ -224,6 +330,20 @@ Metrics run_loop(const core::NetworkModel& model,
   };
 
   for (int t = start_slot; t < slots; ++t) {
+    if (shutdown_requested()) {
+      // Signal-safe graceful stop (docs/ROBUSTNESS.md): the handler only
+      // set a flag; everything stateful happens here, at a slot boundary.
+      // The final checkpoint + flushed sinks make a later resume replay
+      // the remaining slots byte-identically.
+      if (!options.checkpoint_path.empty())
+        checkpoint_now(t);
+      else
+        flush_sinks();
+      if (snapshots) write_snapshot(t);
+      robust_metrics().shutdowns.add();
+      if (options.interrupted != nullptr) *options.interrupted = true;
+      return m;
+    }
     obs::Span slot_span("sim.slot", t, model.num_nodes());
     if (mobility && t > 0)
       mobility->advance(model.slot_seconds(), *topology);
@@ -231,6 +351,12 @@ Metrics run_loop(const core::NetworkModel& model,
     int fault_events = 0;
     if (have_faults) {
       const fault::SlotFaults faults = options.faults->at(t);
+      // Kill-chaos injection: die exactly like a crash would — no flush,
+      // no checkpoint, no unwinding. Skipped ordinals are kills already
+      // survived by earlier attempts of a supervised run.
+      if (faults.kill_ordinal >= 0 &&
+          faults.kill_ordinal >= options.process_kill_skip)
+        std::raise(SIGKILL);
       fault_events = faults.active_events;
       fault::apply_slot_faults(faults, inputs, controller.mutable_state());
     }

@@ -16,6 +16,10 @@ namespace gc::fault {
 class FaultSchedule;
 }
 
+namespace gc::lp {
+class SolveStatsSink;
+}
+
 namespace gc::sim {
 
 struct Metrics {
@@ -89,6 +93,41 @@ struct SimOptions {
   int checkpoint_every = 0;
   std::string resume_path;
 
+  // Rotating checkpoints (sim::CheckpointRotator, docs/ROBUSTNESS.md):
+  // > 0 keeps the newest N durable generations PATH.gen<K> plus a manifest
+  // instead of overwriting one file; 0 = legacy single-file behavior. With
+  // rotation, resume_path is treated as the rotation base and resolves to
+  // the newest generation that loads cleanly (corrupt tails fall back to
+  // older generations, counted in robust.checkpoint_fallbacks).
+  int checkpoint_rotate = 0;
+
+  // Tolerate a missing checkpoint on resume: when resume_path names
+  // nothing on disk (or an empty rotation set), start from slot 0 instead
+  // of failing. This is what a supervised first attempt needs — the crash
+  // may land before the first checkpoint was ever written.
+  bool resume_auto = false;
+
+  // On resume, truncate the trace file (and let the CLI truncate the
+  // lp-log) back to the checkpoint's slot and append instead of
+  // truncating from scratch, so a killed+resumed run's JSONL outputs are
+  // byte-identical to an uninterrupted run's.
+  bool sink_resume = false;
+
+  // Kill-chaos injection (fault::FaultEvent::Kind::ProcessKill): the
+  // number of already-survived kills to skip. The run loop raises SIGKILL
+  // at slot t iff the slot's kill ordinal >= this. Supervised restarts
+  // pass their crash count here so each scheduled kill fires exactly once.
+  int process_kill_skip = 0;
+
+  // LP solve-stats sink shared with the controller (lp::JsonlSolveLog).
+  // Not owned; may be null. run_loop only flushes it at checkpoint
+  // boundaries — wiring it into the controller stays the CLI's job.
+  lp::SolveStatsSink* lp_sink = nullptr;
+
+  // Set to true (when non-null) if the run stopped early at a graceful
+  // shutdown request instead of completing all slots.
+  bool* interrupted = nullptr;
+
   // Scenario identity (src/scenario). The name and hash are attached to
   // the trace header and stamped into checkpoints; resuming a checkpoint
   // whose hash differs from the run's is refused loudly (a resume under a
@@ -97,6 +136,13 @@ struct SimOptions {
   // checkpoints that were also written without a scenario.
   std::string scenario_name;
   std::uint64_t scenario_hash = 0;
+
+  // Structural subset of the scenario hash (scenario_structural_hash).
+  // Stamped into checkpoints; when allow_swapped_scenario is set (a
+  // --reload-scenario run), resume only requires the *structural* hashes
+  // to match — the workload fields (traffic shape, tariff) may differ.
+  std::uint64_t scenario_structural_hash = 0;
+  bool allow_swapped_scenario = false;
 
   // Lyapunov theory auditor (src/obs/stability.hpp, docs/OBSERVABILITY.md):
   // per-slot bound checks, drift diagnostics, and the windowed convergence

@@ -1,0 +1,109 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+namespace gc::util {
+
+namespace {
+
+bool fsync_fd_of(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool fsync_file(const std::string& path) {
+  return fsync_fd_of(path, O_WRONLY);
+}
+
+bool fsync_parent_dir(const std::string& path) {
+  std::filesystem::path p(path);
+  std::filesystem::path dir = p.parent_path();
+  if (dir.empty()) dir = ".";
+  return fsync_fd_of(dir.string(), O_RDONLY);
+}
+
+JsonlTruncation truncate_jsonl_to_slot(const std::string& path,
+                                       const std::string& key, int cut_slot) {
+  JsonlTruncation result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return result;
+  result.existed = true;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  const std::string needle = "\"" + key + "\":";
+  std::size_t cut_at = data.size();
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Torn final line: a crash mid-write left no terminator. Cut it.
+      result.dropped_torn_tail = true;
+      cut_at = pos;
+      break;
+    }
+    const std::string_view line(data.data() + pos, nl - pos);
+    const std::size_t k = line.find(needle);
+    if (k != std::string_view::npos) {
+      std::size_t v = k + needle.size();
+      while (v < line.size() && line[v] == ' ') ++v;
+      bool parsed = false;
+      long slot = 0;
+      if (v < line.size() &&
+          (std::isdigit(static_cast<unsigned char>(line[v])) ||
+           line[v] == '-')) {
+        char* end = nullptr;
+        const std::string num(line.substr(v));
+        slot = std::strtol(num.c_str(), &end, 10);
+        parsed = end != num.c_str();
+      }
+      if (!parsed || slot >= cut_slot) {
+        // Either the record belongs to a slot the checkpoint never saw, or
+        // the line is damaged where its slot should be — cut from here.
+        cut_at = pos;
+        if (parsed) {
+          // Count the remaining complete lines as dropped records.
+          std::size_t q = pos;
+          while (q < data.size()) {
+            const std::size_t qnl = data.find('\n', q);
+            if (qnl == std::string::npos) {
+              result.dropped_torn_tail = true;
+              break;
+            }
+            ++result.dropped_lines;
+            q = qnl + 1;
+          }
+        } else {
+          result.dropped_torn_tail = true;
+        }
+        break;
+      }
+    }
+    ++result.kept_lines;
+    pos = nl + 1;
+  }
+  if (cut_at < data.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, cut_at, ec);
+    if (ec) {  // fall back to rewriting the kept prefix
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(data.data(), static_cast<std::streamsize>(cut_at));
+    }
+  }
+  return result;
+}
+
+}  // namespace gc::util

@@ -1,0 +1,49 @@
+// Filesystem durability helpers (docs/ROBUSTNESS.md "Operating long runs").
+//
+// Atomic tmp+rename writes protect readers from torn files, but they do not
+// make the data *durable*: after a power loss the rename may survive while
+// the file's blocks are still unwritten. Checkpoints and the output sinks
+// therefore fsync file data before renaming (fsync_file) and, best-effort,
+// the containing directory after the rename (fsync_parent_dir) so the
+// directory entry itself reaches disk.
+//
+// truncate_jsonl_to_slot is the resume side of the same story: a crashed
+// run's JSONL sink (trace, LP solve log) may hold records past the last
+// durable checkpoint plus a torn final line. Cutting the file back to the
+// checkpointed slot before appending makes the killed+resumed run's output
+// identical to an uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gc::util {
+
+// fflush-equivalent durability for a file already written through a
+// buffered stream: opens `path` and fsyncs its data to stable storage.
+// Returns false (without throwing) when the file cannot be opened or the
+// sync fails — callers treat durability as best-effort on filesystems that
+// refuse fsync, but never skip the attempt.
+bool fsync_file(const std::string& path);
+
+// Fsyncs the directory containing `path` so a freshly renamed entry is
+// durable. Best-effort: returns false on failure.
+bool fsync_parent_dir(const std::string& path);
+
+// Result of cutting a JSONL file back to a slot boundary.
+struct JsonlTruncation {
+  bool existed = false;        // false: nothing to do (fresh file)
+  std::int64_t kept_lines = 0;     // complete lines before the cut
+  std::int64_t dropped_lines = 0;  // complete lines at/after the cut slot
+  bool dropped_torn_tail = false;  // a final unterminated line was cut
+};
+
+// Truncates `path` so it ends just before the first complete line whose
+// `"key":<int>` value is >= cut_slot. Lines without the key (e.g. the trace
+// header) are kept. A torn final line (no trailing newline) or a line whose
+// key cannot be parsed is treated as the start of the damaged tail and cut
+// with everything after it. Missing file = no-op ({existed: false}).
+JsonlTruncation truncate_jsonl_to_slot(const std::string& path,
+                                       const std::string& key, int cut_slot);
+
+}  // namespace gc::util

@@ -1,0 +1,316 @@
+// Kill-chaos harness (docs/ROBUSTNESS.md "Operating long runs"): a
+// supervised run SIGKILLed at scheduled slots must auto-resume from its
+// rotating checkpoints and converge to a final state bit-identical to an
+// uninterrupted run's — metrics, stability-audit accumulators, and the
+// JSONL trace (modulo wall-clock timing). The kills happen in forked
+// children (sim::RunSupervisor), exactly like production crashes.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <signal.h>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "fault/fault_schedule.hpp"
+#include "lp/simplex.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "sim/supervisor.hpp"
+
+#include "metrics_testutil.hpp"
+
+namespace gc::sim {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return testing::TempDir() + "gc_chaos_test_" + name;
+}
+
+void remove_rotation(const std::string& base) {
+  for (const auto& g : list_generations(base)) std::remove(g.file.c_str());
+  std::remove((base + ".manifest").c_str());
+}
+
+// Strips the per-record wall-clock object ("time_s":{...}) — the only
+// nondeterministic part of a trace line.
+std::string strip_time(const std::string& line) {
+  const std::size_t begin = line.find("\"time_s\":{");
+  if (begin == std::string::npos) return line;
+  const std::size_t end = line.find('}', begin);
+  return line.substr(0, begin) + line.substr(end + 1);
+}
+
+std::vector<std::string> read_stripped_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(strip_time(line));
+  return lines;
+}
+
+void expect_audit_bit_identical(const Checkpoint& got,
+                                const Checkpoint& want) {
+  ASSERT_EQ(got.has_audit, want.has_audit);
+  if (!got.has_audit) return;
+  EXPECT_EQ(got.audit.slots, want.audit.slots);
+  EXPECT_EQ(bits(got.audit.cost_sum), bits(want.audit.cost_sum));
+  EXPECT_EQ(bits(got.audit.prev_lyapunov), bits(want.audit.prev_lyapunov));
+  EXPECT_EQ(got.audit.total_q_violations, want.audit.total_q_violations);
+  EXPECT_EQ(got.audit.total_z_violations, want.audit.total_z_violations);
+  EXPECT_EQ(got.audit.total_drift_violations,
+            want.audit.total_drift_violations);
+  EXPECT_EQ(got.audit.unstable_windows, want.audit.unstable_windows);
+  EXPECT_EQ(bits(got.audit.run_worst_q_margin),
+            bits(want.audit.run_worst_q_margin));
+  EXPECT_EQ(bits(got.audit.run_worst_z_margin),
+            bits(want.audit.run_worst_z_margin));
+  EXPECT_EQ(got.audit.window_fill, want.audit.window_fill);
+  EXPECT_EQ(got.audit.closed_windows, want.audit.closed_windows);
+  EXPECT_EQ(bits(got.audit.window_backlog_sum),
+            bits(want.audit.window_backlog_sum));
+  EXPECT_EQ(bits(got.audit.window_cost_delta),
+            bits(want.audit.window_cost_delta));
+}
+
+// The referee: schedule kills (including a double kill at one slot), run
+// under the supervisor, and require bit-identical convergence. Everything
+// the parent checks comes out of the final checkpoint — the attempts ran
+// in forked children, so the files ARE the shared state.
+TEST(ChaosResume, SupervisedKillChaosConvergesBitIdentically) {
+  const auto cfg = ScenarioConfig::tiny();
+  const int horizon = 70;
+  const std::string clean_ckpt = tmp_path("clean.ckpt");
+  const std::string base = tmp_path("chaos.ckpt");
+  const std::string clean_trace = tmp_path("clean_trace.jsonl");
+  const std::string chaos_trace = tmp_path("chaos_trace.jsonl");
+  remove_rotation(base);
+  std::remove(chaos_trace.c_str());
+
+  // Uninterrupted reference run, final checkpoint + trace kept.
+  {
+    const auto model = cfg.build();
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    SimOptions opts;
+    opts.checkpoint_path = clean_ckpt;
+    opts.trace_path = clean_trace;
+    run_simulation(model, ctrl, horizon, opts);
+  }
+
+  // Three kills: a double at slot 13 (fires on two consecutive attempts —
+  // the MAX-ordinal rule) and one at slot 29.
+  fault::FaultSchedule faults(cfg.build().num_nodes(), 7);
+  for (const int slot : {13, 13, 29}) {
+    fault::FaultEvent e;
+    e.kind = fault::FaultEvent::Kind::ProcessKill;
+    e.start = slot;
+    faults.add(e);
+  }
+
+  SupervisorOptions sup_opts;
+  sup_opts.max_restarts = 5;
+  sup_opts.backoff_ms = 1;  // keep the test fast
+  sup_opts.quiet = true;
+  RunSupervisor supervisor(sup_opts);
+  const SupervisorOutcome outcome =
+      supervisor.run([&](int crash_restarts) {
+        const auto model = cfg.build();
+        core::LyapunovController ctrl(model, 3.0,
+                                      cfg.controller_options());
+        SimOptions opts;
+        opts.checkpoint_path = base;
+        opts.checkpoint_every = 5;
+        opts.checkpoint_rotate = 2;
+        opts.resume_path = base;
+        opts.resume_auto = true;
+        opts.sink_resume = true;
+        opts.trace_path = chaos_trace;
+        opts.process_kill_skip = crash_restarts;
+        opts.faults = &faults;
+        run_simulation(model, ctrl, horizon, opts);
+        return 0;
+      });
+
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_EQ(outcome.crash_restarts, 3);
+  EXPECT_FALSE(outcome.gave_up);
+
+  const auto sel = load_newest_valid(base);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->checkpoint.next_slot, horizon);
+  const Checkpoint clean = load_checkpoint(clean_ckpt);
+  expect_metrics_bit_identical(sel->checkpoint.metrics, clean.metrics);
+  expect_audit_bit_identical(sel->checkpoint, clean);
+  EXPECT_EQ(bits(sel->checkpoint.last_grid_j), bits(clean.last_grid_j));
+
+  // The resumed trace must be byte-identical modulo wall-clock.
+  const auto clean_lines = read_stripped_lines(clean_trace);
+  const auto chaos_lines = read_stripped_lines(chaos_trace);
+  ASSERT_EQ(chaos_lines.size(), clean_lines.size());
+  ASSERT_EQ(clean_lines.size(), static_cast<std::size_t>(horizon + 1));
+  for (std::size_t i = 0; i < clean_lines.size(); ++i)
+    EXPECT_EQ(chaos_lines[i], clean_lines[i]) << "line " << i;
+
+  std::remove(clean_ckpt.c_str());
+  std::remove(clean_trace.c_str());
+  std::remove(chaos_trace.c_str());
+  remove_rotation(base);
+}
+
+// A sink that requests graceful shutdown when the controller announces a
+// given slot — the in-process stand-in for SIGTERM arriving mid-run.
+class ShutdownAtSlot : public lp::SolveStatsSink {
+ public:
+  explicit ShutdownAtSlot(int slot) : slot_(slot) {}
+  void on_solve(const lp::SolveStats&, const char*) override {}
+  void begin_slot(int slot) override {
+    if (slot == slot_) request_shutdown();
+  }
+
+ private:
+  int slot_;
+};
+
+TEST(ChaosResume, GracefulShutdownThenResumeIsBitIdentical) {
+  const auto cfg = ScenarioConfig::tiny();
+  const int horizon = 50, stop_at = 21;
+  const std::string ckpt = tmp_path("graceful.ckpt");
+  clear_shutdown_request();
+
+  const auto ref_model = cfg.build();
+  core::LyapunovController ref_ctrl(ref_model, 3.0,
+                                    cfg.controller_options());
+  const Metrics ref = run_simulation(ref_model, ref_ctrl, horizon, {});
+
+  bool interrupted = false;
+  {
+    const auto model = cfg.build();
+    core::ControllerOptions copts = cfg.controller_options();
+    ShutdownAtSlot sink(stop_at);
+    copts.lp_stats = &sink;
+    core::LyapunovController ctrl(model, 3.0, copts);
+    SimOptions opts;
+    opts.checkpoint_path = ckpt;
+    opts.interrupted = &interrupted;
+    const Metrics partial = run_simulation(model, ctrl, horizon, opts);
+    // The flag is polled at the NEXT slot boundary, so the run covers
+    // [0, stop_at] inclusive before checkpointing.
+    EXPECT_EQ(partial.slots, stop_at + 1);
+  }
+  EXPECT_TRUE(interrupted);
+  clear_shutdown_request();
+  EXPECT_EQ(load_checkpoint(ckpt).next_slot, stop_at + 1);
+
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  opts.resume_path = ckpt;
+  const Metrics resumed = run_simulation(model, ctrl, horizon, opts);
+  expect_metrics_bit_identical(resumed, ref);
+  std::remove(ckpt.c_str());
+}
+
+// Nonzero child exits are deterministic failures — the supervisor must
+// pass them through instead of burning restarts on them.
+TEST(ChaosResume, SupervisorPassesThroughDeterministicFailures) {
+  SupervisorOptions opts;
+  opts.max_restarts = 5;
+  opts.backoff_ms = 1;
+  opts.quiet = true;
+  const SupervisorOutcome outcome =
+      RunSupervisor(opts).run([](int) { return 3; });
+  EXPECT_EQ(outcome.exit_code, 3);
+  EXPECT_EQ(outcome.crash_restarts, 0);
+  EXPECT_FALSE(outcome.gave_up);
+}
+
+TEST(ChaosResume, SupervisorGivesUpAfterMaxRestarts) {
+  SupervisorOptions opts;
+  opts.max_restarts = 2;
+  opts.backoff_ms = 1;
+  opts.quiet = true;
+  const SupervisorOutcome outcome = RunSupervisor(opts).run([](int) {
+    std::raise(SIGKILL);
+    return 0;  // unreachable
+  });
+  EXPECT_TRUE(outcome.gave_up);
+  EXPECT_EQ(outcome.crash_restarts, 2);
+  EXPECT_EQ(outcome.exit_code, 128 + SIGKILL);
+}
+
+// A crash-looping child recovers once the fault stops firing: the attempt
+// counter the callback receives is what breaks the loop (exactly how
+// process_kill_skip consumes scheduled kills).
+TEST(ChaosResume, SupervisorRestartCounterReachesChild) {
+  SupervisorOptions opts;
+  opts.max_restarts = 5;
+  opts.backoff_ms = 1;
+  opts.quiet = true;
+  const SupervisorOutcome outcome =
+      RunSupervisor(opts).run([](int crash_restarts) {
+        if (crash_restarts < 2) std::raise(SIGKILL);
+        return 0;
+      });
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_EQ(outcome.crash_restarts, 2);
+  EXPECT_FALSE(outcome.gave_up);
+}
+
+// SIGHUP = hot-reload: graceful child stop, then an uncounted restart.
+TEST(ChaosResume, SighupTriggersReloadRestart) {
+  SupervisorOptions opts;
+  opts.max_restarts = 1;
+  opts.backoff_ms = 1;
+  opts.quiet = true;
+  // Cross-attempt state must live on disk: each attempt is a fresh fork of
+  // the parent, so in-memory flags reset (exactly like a real restart).
+  const std::string marker = tmp_path("reload.marker");
+  std::remove(marker.c_str());
+  const SupervisorOutcome outcome =
+      RunSupervisor(opts).run([&](int) {
+        install_shutdown_signals();
+        if (!std::ifstream(marker).good()) {
+          std::ofstream(marker) << "1";
+          kill(getppid(), SIGHUP);
+          // The parent's SIGHUP handler forwards SIGTERM to us; exit
+          // gracefully once it lands, like a real run's slot-boundary poll.
+          while (!shutdown_requested()) usleep(1000);
+          return 0;
+        }
+        return 0;
+      });
+  std::remove(marker.c_str());
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_EQ(outcome.reloads, 1);
+  EXPECT_EQ(outcome.crash_restarts, 0);
+}
+
+// Two kills at one slot rank by insertion order; process_kill_skip
+// consumes them one attempt at a time (the MAX-ordinal rule).
+TEST(ChaosResume, KillOrdinalRanksDuplicateSlots) {
+  fault::FaultSchedule faults(2, 7);
+  for (const int slot : {5, 5, 9}) {
+    fault::FaultEvent e;
+    e.kind = fault::FaultEvent::Kind::ProcessKill;
+    e.start = slot;
+    faults.add(e);
+  }
+  EXPECT_EQ(faults.at(4).kill_ordinal, -1);
+  EXPECT_EQ(faults.at(5).kill_ordinal, 1);  // two events -> ranks 0 and 1
+  EXPECT_EQ(faults.at(9).kill_ordinal, 2);
+  // A kill never perturbs the physics.
+  EXPECT_EQ(faults.at(5).active_events, 0);
+  // Deterministic start required: a windowless kill is refused.
+  fault::FaultEvent bad;
+  bad.kind = fault::FaultEvent::Kind::ProcessKill;
+  bad.start = -1;
+  EXPECT_THROW(faults.add(bad), CheckError);
+}
+
+}  // namespace
+}  // namespace gc::sim

@@ -242,6 +242,192 @@ TEST(Checkpoint, LoadRejectsMissingFileBadMagicAndTruncation) {
   std::remove(torn.c_str());
 }
 
+// Satellite: corruption fuzz. Every truncation point and every single-byte
+// flip of a valid v3 checkpoint must surface as a typed CheckpointError
+// (which is-a CheckError) — never a crash, hang, or silent half-load. The
+// v3 header (magic, version, payload size, CRC-32 over the payload) leaves
+// no byte uncovered.
+TEST(Checkpoint, FuzzTruncationAndByteFlipsAlwaysThrowTyped) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  const Metrics m = run_simulation(model, ctrl, 8, {});
+  Rng rng(7);
+  const std::string good = tmp_path("fuzz_base.ckpt");
+  save_checkpoint(make_checkpoint(8, rng, ctrl, m, nullptr, nullptr), good);
+  std::ifstream in(good, std::ios::binary);
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(data.size(), 24u);
+
+  const std::string victim = tmp_path("fuzz_victim.ckpt");
+  const auto write_victim = [&](const std::string& bytes) {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Truncation sweep: every prefix (stepping 7 to keep the test fast, plus
+  // the always-interesting header boundaries) must be rejected.
+  std::vector<std::size_t> cuts = {0, 1, 7, 8, 12, 20, 23, 24,
+                                   data.size() - 1};
+  for (std::size_t cut = 25; cut + 7 < data.size(); cut += 7)
+    cuts.push_back(cut);
+  for (const std::size_t cut : cuts) {
+    write_victim(data.substr(0, cut));
+    EXPECT_THROW(load_checkpoint(victim), CheckpointError) << "cut=" << cut;
+  }
+
+  // Byte-flip sweep: the header is covered field-by-field, the payload by
+  // the CRC; a flip anywhere must be caught.
+  for (std::size_t pos = 0; pos < data.size();
+       pos += (pos < 28 ? 1 : 11)) {
+    std::string flipped = data;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x40);
+    write_victim(flipped);
+    EXPECT_THROW(load_checkpoint(victim), CheckpointError) << "pos=" << pos;
+  }
+
+  // Trailing garbage after a valid image is corruption too (a torn rename
+  // can concatenate files).
+  write_victim(data + "extra");
+  EXPECT_THROW(load_checkpoint(victim), CheckpointError);
+
+  std::remove(good.c_str());
+  std::remove(victim.c_str());
+}
+
+// Rotation (sim::CheckpointRotator): keeps the newest N generations plus a
+// manifest; load_newest_valid picks the newest loadable one.
+TEST(Checkpoint, RotatorKeepsNewestGenerationsAndManifest) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  const Metrics m = run_simulation(model, ctrl, 5, {});
+  Rng rng(7);
+  const std::string base = tmp_path("rotate.ckpt");
+  for (const auto& g : list_generations(base)) std::remove(g.file.c_str());
+  std::remove((base + ".manifest").c_str());
+
+  CheckpointRotator rotator(base, /*keep=*/2);
+  for (int slot = 1; slot <= 4; ++slot) {
+    Checkpoint c = make_checkpoint(slot, rng, ctrl, m, nullptr, nullptr);
+    rotator.write(c);
+  }
+  const std::vector<GenerationInfo> gens = list_generations(base);
+  ASSERT_EQ(gens.size(), 2u);  // pruned down to the newest two
+  EXPECT_EQ(gens[0].generation, 3);
+  EXPECT_EQ(gens[0].slot, 3);
+  EXPECT_EQ(gens[1].generation, 4);
+  EXPECT_EQ(gens[1].slot, 4);
+  // Pruned generation files are actually gone.
+  EXPECT_FALSE(std::ifstream(base + ".gen1").good());
+  EXPECT_FALSE(std::ifstream(base + ".gen2").good());
+
+  const auto sel = load_newest_valid(base);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->checkpoint.next_slot, 4);
+  EXPECT_EQ(sel->skipped_corrupt, 0);
+
+  // A new rotator over the same base continues the numbering rather than
+  // colliding with surviving generations.
+  CheckpointRotator reopened(base, 2);
+  Checkpoint c = make_checkpoint(9, rng, ctrl, m, nullptr, nullptr);
+  reopened.write(c);
+  const auto after = list_generations(base);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[1].generation, 5);
+  EXPECT_EQ(after[1].slot, 9);
+
+  for (const auto& g : list_generations(base)) std::remove(g.file.c_str());
+  std::remove((base + ".manifest").c_str());
+}
+
+TEST(Checkpoint, LoadNewestValidFallsBackPastCorruptGenerations) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  const Metrics m = run_simulation(model, ctrl, 5, {});
+  Rng rng(7);
+  const std::string base = tmp_path("fallback.ckpt");
+  for (const auto& g : list_generations(base)) std::remove(g.file.c_str());
+  std::remove((base + ".manifest").c_str());
+
+  CheckpointRotator rotator(base, 3);
+  for (int slot = 1; slot <= 3; ++slot) {
+    Checkpoint c = make_checkpoint(slot, rng, ctrl, m, nullptr, nullptr);
+    rotator.write(c);
+  }
+  // Corrupt the newest generation; the selection must fall back to gen2
+  // and report the skip.
+  {
+    std::ofstream out(base + ".gen3",
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  const auto sel = load_newest_valid(base);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->checkpoint.next_slot, 2);
+  EXPECT_EQ(sel->source.generation, 2);
+  EXPECT_EQ(sel->skipped_corrupt, 1);
+
+  // A stale manifest is advisory: delete it and selection still works off
+  // the directory scan.
+  std::remove((base + ".manifest").c_str());
+  const auto scanned = load_newest_valid(base);
+  ASSERT_TRUE(scanned.has_value());
+  EXPECT_EQ(scanned->checkpoint.next_slot, 2);
+
+  // All generations corrupt -> a typed error naming the base.
+  for (const auto& g : list_generations(base)) {
+    std::ofstream out(g.file, std::ios::binary | std::ios::trunc);
+    out << "junk";
+  }
+  EXPECT_THROW(load_newest_valid(base), CheckpointError);
+
+  for (const auto& g : list_generations(base)) std::remove(g.file.c_str());
+
+  // No generations at all -> nullopt (the caller decides whether a fresh
+  // start is acceptable).
+  EXPECT_FALSE(load_newest_valid(tmp_path("nothing.ckpt")).has_value());
+}
+
+// Rotated periodic checkpoints resume bit-identically through run_loop,
+// exactly like the single-file path.
+TEST(Checkpoint, RotatedResumeIsBitIdentical) {
+  const auto cfg = ScenarioConfig::tiny();
+  const int horizon = 60, kill_at = 27;
+  const std::string base = tmp_path("rotated_resume.ckpt");
+  for (const auto& g : list_generations(base)) std::remove(g.file.c_str());
+  std::remove((base + ".manifest").c_str());
+
+  const auto ref_model = cfg.build();
+  core::LyapunovController ref_ctrl(ref_model, 3.0,
+                                    cfg.controller_options());
+  const Metrics ref = run_simulation(ref_model, ref_ctrl, horizon, {});
+
+  {
+    const auto model = cfg.build();
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    SimOptions opts;
+    opts.checkpoint_path = base;
+    opts.checkpoint_every = 10;
+    opts.checkpoint_rotate = 2;
+    run_simulation(model, ctrl, kill_at, opts);
+  }
+
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  opts.resume_path = base;
+  opts.checkpoint_rotate = 2;
+  const Metrics resumed = run_simulation(model, ctrl, horizon, opts);
+  expect_metrics_bit_identical(resumed, ref);
+
+  for (const auto& g : list_generations(base)) std::remove(g.file.c_str());
+  std::remove((base + ".manifest").c_str());
+}
+
 TEST(Checkpoint, ResumeBeyondHorizonIsRejected) {
   const auto cfg = ScenarioConfig::tiny();
   const std::string ckpt = tmp_path("beyond.ckpt");

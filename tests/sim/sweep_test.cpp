@@ -15,6 +15,7 @@
 #include "metrics_testutil.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "sim/checkpoint.hpp"
 #include "util/check.hpp"
 
 namespace gc::sim {
@@ -43,6 +44,13 @@ std::vector<Metrics> run_with_threads(const std::vector<SimJob>& jobs,
   opt.threads = threads;
   opt.merge_into = merge_into;
   return SweepRunner(opt).run(jobs);
+}
+
+// Drop any rotation state a previous (possibly failed) test run left at
+// `base`, so generation numbering and manifests start clean.
+void remove_rotation(const std::string& base) {
+  for (const auto& g : list_generations(base)) std::remove(g.file.c_str());
+  std::remove((base + ".manifest").c_str());
 }
 
 // The tentpole guarantee: the same (scenario, seed) grid run at 1 and N
@@ -209,6 +217,157 @@ TEST(Sweep, JobSnapshotPathCollidingWithFleetRejected) {
   obs::Registry sink;
   opt.merge_into = &sink;
   EXPECT_THROW(SweepRunner(opt).run(jobs), CheckError);
+}
+
+// Satellite: resume-under-sweep. One seed's worker stops partway through
+// the grid (its rotating checkpoints surviving on disk); relaunching the
+// whole grid with resume_auto converges to the uninterrupted sweep —
+// per-seed Metrics bit-identical, and, because the stop landed exactly on
+// a checkpoint boundary (run_loop always writes a final checkpoint), no
+// slot is ever computed twice, so the merged registry and the fleet
+// snapshot carry exactly the uninterrupted totals.
+TEST(Sweep, ResumedSweepMatchesUninterruptedRegistryAndFleetSnapshot) {
+  const int horizon = 12;
+  const auto ref_jobs = grid_jobs(horizon);
+  obs::Registry ref_reg;
+  const auto ref = run_with_threads(ref_jobs, 2, &ref_reg);
+
+  std::vector<std::string> bases;
+  auto leg1 = ref_jobs;
+  for (std::size_t i = 0; i < leg1.size(); ++i) {
+    bases.push_back(::testing::TempDir() + "gc_sweep_resume_" +
+                    std::to_string(i) + ".ckpt");
+    remove_rotation(bases[i]);
+    leg1[i].sim.checkpoint_path = bases[i];
+    leg1[i].sim.checkpoint_every = 4;
+    leg1[i].sim.checkpoint_rotate = 2;
+  }
+  // Job 1's worker is lost after slot 8; the rest of the fleet finishes.
+  leg1[1].slots = 8;
+
+  obs::Registry resumed_reg;
+  SweepOptions o1;
+  o1.threads = 2;
+  o1.merge_into = &resumed_reg;
+  SweepRunner(o1).run(leg1);
+
+  // Relaunch the whole grid at the full horizon. Finished seeds resume at
+  // their final checkpoint and re-run zero slots; the interrupted one
+  // continues from slot 8.
+  auto leg2 = ref_jobs;
+  for (std::size_t i = 0; i < leg2.size(); ++i) {
+    leg2[i].sim.checkpoint_path = bases[i];
+    leg2[i].sim.checkpoint_every = 4;
+    leg2[i].sim.checkpoint_rotate = 2;
+    leg2[i].sim.resume_path = bases[i];
+    leg2[i].sim.resume_auto = true;
+  }
+  const std::string fleet_path =
+      ::testing::TempDir() + "gc_sweep_resume_fleet.json";
+  SweepOptions o2;
+  o2.threads = 2;
+  o2.merge_into = &resumed_reg;
+  o2.snapshot_path = fleet_path;
+  const auto resumed = SweepRunner(o2).run(leg2);
+
+  ASSERT_EQ(resumed.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    expect_metrics_bit_identical(ref[i], resumed[i]);
+
+  if (obs::kCompiledIn) {
+    // Both legs merged into resumed_reg; with no replayed slots the
+    // integral totals must equal the uninterrupted sweep's exactly.
+    for (const char* name : {"ctrl.slots", "lp.solves", "lp.iterations"}) {
+      EXPECT_EQ(ref_reg.counter(name).total(),
+                resumed_reg.counter(name).total())
+          << name;
+      EXPECT_EQ(ref_reg.counter(name).events(),
+                resumed_reg.counter(name).events())
+          << name;
+    }
+    // Every job in leg 2 resumed (finished ones included), none fell back.
+    EXPECT_EQ(resumed_reg.counter("robust.resumes").total(),
+              static_cast<double>(ref_jobs.size()));
+    EXPECT_EQ(resumed_reg.counter("robust.checkpoint_fallbacks").total(), 0);
+
+    // The fleet snapshot is written from the merged registry, so its
+    // counters equal the uninterrupted sweep's too.
+    std::ifstream in(fleet_path);
+    ASSERT_TRUE(in.good()) << fleet_path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const obs::JsonValue v = obs::json_parse(ss.str());
+    EXPECT_DOUBLE_EQ(v.at("fleet").at("jobs_done").as_number(),
+                     static_cast<double>(ref_jobs.size()));
+    const obs::JsonValue& counters = v.at("registry").at("counters");
+    for (const char* name : {"ctrl.slots", "lp.solves"}) {
+      ASSERT_TRUE(counters.has(name)) << name;
+      EXPECT_DOUBLE_EQ(counters.at(name).at("total").as_number(),
+                       ref_reg.counter(name).total())
+          << name;
+    }
+  }
+
+  for (const auto& base : bases) remove_rotation(base);
+  std::remove(fleet_path.c_str());
+  std::remove((fleet_path + ".prom").c_str());
+}
+
+// The interrupted seed's NEWEST generation is corrupted on disk. The sweep
+// resume falls back to the older generation and deterministically replays
+// the lost tail; jobs whose bases hold no checkpoint at all start fresh
+// under resume_auto. Either way every seed converges bit-identically.
+TEST(Sweep, SweepResumeFallsBackPastCorruptNewestGeneration) {
+  const int horizon = 12;
+  const auto ref_jobs = grid_jobs(horizon);
+  obs::Registry ref_reg;
+  const auto ref = run_with_threads(ref_jobs, 1, &ref_reg);
+
+  std::vector<std::string> bases;
+  for (std::size_t i = 0; i < ref_jobs.size(); ++i) {
+    bases.push_back(::testing::TempDir() + "gc_sweep_fallback_" +
+                    std::to_string(i) + ".ckpt");
+    remove_rotation(bases[i]);
+  }
+
+  // Only job 1 ran before the crash: checkpoints at slots 4 and 8.
+  SimJob partial = ref_jobs[1];
+  partial.slots = 8;
+  partial.sim.checkpoint_path = bases[1];
+  partial.sim.checkpoint_every = 4;
+  partial.sim.checkpoint_rotate = 2;
+  obs::Registry resumed_reg;
+  run_with_threads({partial}, 1, &resumed_reg);
+
+  const auto gens = list_generations(bases[1]);
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens.back().slot, 8);
+  {
+    // Truncate the newest generation mid-header: unambiguously corrupt.
+    std::ofstream torn(gens.back().file,
+                       std::ios::binary | std::ios::trunc);
+    torn << "GCCKPT01\x03";
+  }
+
+  auto leg2 = ref_jobs;
+  for (std::size_t i = 0; i < leg2.size(); ++i) {
+    leg2[i].sim.checkpoint_path = bases[i];
+    leg2[i].sim.checkpoint_every = 4;
+    leg2[i].sim.checkpoint_rotate = 2;
+    leg2[i].sim.resume_path = bases[i];
+    leg2[i].sim.resume_auto = true;
+  }
+  const auto resumed = run_with_threads(leg2, 2, &resumed_reg);
+
+  ASSERT_EQ(resumed.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    expect_metrics_bit_identical(ref[i], resumed[i]);
+  if (obs::kCompiledIn) {
+    // Exactly one generation was skipped as corrupt, by job 1's resume.
+    EXPECT_EQ(resumed_reg.counter("robust.checkpoint_fallbacks").total(), 1);
+    EXPECT_EQ(resumed_reg.counter("robust.resumes").total(), 1);
+  }
+  for (const auto& base : bases) remove_rotation(base);
 }
 
 TEST(Sweep, PropagatesFirstFailureAfterFinishing) {

@@ -247,15 +247,114 @@ TEST(CliOptions, ParsesSweepFlags) {
   EXPECT_FALSE(parse({"--threads", "-1"}).options);
 }
 
-// A replicate sweep runs every seed from slot 0; resuming or checkpointing
-// a single run inside it is undefined, so the combination is rejected.
-TEST(CliOptions, RejectsSeedsWithCheckpointOrResume) {
+// A replicate sweep checkpoints per seed (BASE.seed<k>), but an explicit
+// --resume names one run's state — that combination stays rejected.
+TEST(CliOptions, SeedsComposeWithCheckpointButNotResume) {
   const auto a = parse({"--seeds", "4", "--checkpoint", "run.ckpt"});
-  EXPECT_FALSE(a.options);
-  EXPECT_NE(a.error.find("--seeds"), std::string::npos);
-  EXPECT_FALSE(parse({"--seeds", "4", "--resume", "old.ckpt"}).options);
-  // One seed with a checkpoint is the normal single-run flow.
+  EXPECT_TRUE(a.options) << a.error;
+  const auto b = parse({"--seeds", "4", "--resume", "old.ckpt"});
+  EXPECT_FALSE(b.options);
+  EXPECT_NE(b.error.find("--seeds"), std::string::npos);
+  EXPECT_NE(b.error.find("--resume"), std::string::npos);
   EXPECT_TRUE(parse({"--seeds", "1", "--checkpoint", "run.ckpt"}).options);
+  // Supervised sweep: per-seed rotation under one supervisor.
+  EXPECT_TRUE(parse({"--seeds", "4", "--checkpoint", "run.ckpt",
+                     "--checkpoint-rotate", "2", "--supervise"})
+                  .options);
+}
+
+// Crash-safe service mode flags (docs/ROBUSTNESS.md "Operating long
+// runs"): each dependency violation is rejected naming both flags.
+TEST(CliOptions, ParsesServiceModeFlags) {
+  const auto r = parse({"--checkpoint", "run.ckpt", "--checkpoint-rotate",
+                        "3", "--supervise", "--max-restarts", "7",
+                        "--restart-backoff-ms", "250"});
+  ASSERT_TRUE(r.options) << r.error;
+  EXPECT_EQ(r.options->checkpoint_rotate, 3);
+  EXPECT_TRUE(r.options->supervise);
+  EXPECT_EQ(r.options->max_restarts, 7);
+  EXPECT_EQ(r.options->restart_backoff_ms, 250);
+  const auto d = parse({});
+  ASSERT_TRUE(d.options);
+  EXPECT_EQ(d.options->checkpoint_rotate, 0);
+  EXPECT_FALSE(d.options->supervise);
+  EXPECT_EQ(d.options->max_restarts, 5);
+  EXPECT_EQ(d.options->restart_backoff_ms, 500);
+  EXPECT_TRUE(d.options->reload_scenario_path.empty());
+}
+
+TEST(CliOptions, CheckpointCadenceFlagsRequireCheckpoint) {
+  // A zero cadence/rotation is meaningless — the former "0 = final only"
+  // spelling is simply omitting the flag.
+  const auto a = parse({"--checkpoint", "c", "--checkpoint-every", "0"});
+  EXPECT_FALSE(a.options);
+  EXPECT_NE(a.error.find("--checkpoint-every"), std::string::npos);
+  EXPECT_NE(a.error.find("int >= 1"), std::string::npos) << a.error;
+  EXPECT_FALSE(
+      parse({"--checkpoint", "c", "--checkpoint-rotate", "0"}).options);
+  const auto b = parse({"--checkpoint-every", "10"});
+  EXPECT_FALSE(b.options);
+  EXPECT_NE(b.error.find("--checkpoint-every"), std::string::npos);
+  EXPECT_NE(b.error.find("--checkpoint"), std::string::npos) << b.error;
+  const auto c = parse({"--checkpoint-rotate", "3"});
+  EXPECT_FALSE(c.options);
+  EXPECT_NE(c.error.find("--checkpoint-rotate"), std::string::npos);
+  EXPECT_NE(c.error.find("--checkpoint"), std::string::npos) << c.error;
+}
+
+TEST(CliOptions, SuperviseRequiresCheckpointAndRejectsResume) {
+  const auto a = parse({"--supervise"});
+  EXPECT_FALSE(a.options);
+  EXPECT_NE(a.error.find("--supervise"), std::string::npos);
+  EXPECT_NE(a.error.find("--checkpoint"), std::string::npos) << a.error;
+  const auto b =
+      parse({"--supervise", "--checkpoint", "c", "--resume", "old"});
+  EXPECT_FALSE(b.options);
+  EXPECT_NE(b.error.find("--supervise"), std::string::npos);
+  EXPECT_NE(b.error.find("--resume"), std::string::npos) << b.error;
+  EXPECT_TRUE(parse({"--supervise", "--checkpoint", "c"}).options);
+}
+
+TEST(CliOptions, ReloadScenarioRequiresScenarioAndSupervise) {
+  const std::string path = write_temp("reload_base.json", "{}");
+  const auto a = parse({"--reload-scenario", "live.json"});
+  EXPECT_FALSE(a.options);
+  EXPECT_NE(a.error.find("--reload-scenario"), std::string::npos);
+  EXPECT_NE(a.error.find("--scenario"), std::string::npos) << a.error;
+  const auto b = parse({"--scenario", path, "--reload-scenario", "l.json"});
+  EXPECT_FALSE(b.options);
+  EXPECT_NE(b.error.find("--supervise"), std::string::npos) << b.error;
+  const auto c =
+      parse({"--scenario", path, "--reload-scenario", "l.json",
+             "--supervise", "--checkpoint", "ck", "--seeds", "4"});
+  EXPECT_FALSE(c.options);
+  EXPECT_NE(c.error.find("--seeds"), std::string::npos) << c.error;
+  const auto ok = parse({"--scenario", path, "--reload-scenario", "l.json",
+                         "--supervise", "--checkpoint", "ck"});
+  EXPECT_TRUE(ok.options) << ok.error;
+  EXPECT_EQ(ok.options->reload_scenario_path, "l.json");
+  std::remove(path.c_str());
+}
+
+TEST(CliOptions, ScenarioFileCarriesStructuralHash) {
+  const std::string path = write_temp(
+      "structural.json",
+      R"({"name":"s","traffic":{"kind":"diurnal","amplitude":0.5}})");
+  const auto r = parse({"--scenario", path});
+  ASSERT_TRUE(r.options) << r.error;
+  EXPECT_NE(r.options->scenario_structural_hash, 0u);
+  // Structural != full: the structural hash ignores the traffic shape.
+  EXPECT_NE(r.options->scenario_structural_hash, r.options->scenario_hash);
+  std::remove(path.c_str());
+}
+
+TEST(CliOptions, UsageMentionsServiceModeFlags) {
+  const std::string u = usage();
+  for (const char* flag :
+       {"--checkpoint-rotate", "--supervise", "--max-restarts",
+        "--restart-backoff-ms", "--reload-scenario"})
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
+  EXPECT_NE(u.find("Operating long runs"), std::string::npos);
 }
 
 // Satellite 2: every value flag's parse failure names the offending flag
@@ -286,7 +385,11 @@ TEST(CliOptions, EveryFlagFailureNamesFlagAndDomain) {
       {"--trace", "", "non-empty file path"},
       {"--faults", "", "non-empty file path"},
       {"--checkpoint", "", "non-empty file path"},
-      {"--checkpoint-every", "x", "int >= 0"},
+      {"--checkpoint-every", "x", "int >= 1"},
+      {"--checkpoint-rotate", "0", "int >= 1"},
+      {"--max-restarts", "-1", "int >= 0"},
+      {"--restart-backoff-ms", "x", "int >= 0"},
+      {"--reload-scenario", "", "non-empty file path"},
       {"--resume", "", "non-empty file path"},
       {"--seeds", "0", "int >= 1"},
       {"--threads", "-1", "int >= 0"},

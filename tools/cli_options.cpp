@@ -96,19 +96,45 @@ robustness (docs/ROBUSTNESS.md):
                         renewable blackouts, grid outages, price spikes,
                         battery fade, link deep fades)
   --checkpoint PATH     write resumable checkpoints to PATH (a final one is
-                        always written at the end of the run)
+                        always written at the end of the run); with
+                        --seeds > 1 each replicate checkpoints to
+                        PATH.seed<k>
   --checkpoint-every N  also checkpoint after every N completed slots
-                        (default 0 = only the final checkpoint)
+                        (N >= 1; requires --checkpoint)
+  --checkpoint-rotate N keep the newest N durable checkpoint generations
+                        PATH.gen<K> plus a manifest instead of overwriting
+                        one file; resume picks the newest generation that
+                        loads cleanly (N >= 1; requires --checkpoint)
   --resume PATH         restore a checkpoint and continue; the combined
                         series is bit-identical to an uninterrupted run
+
+crash-safe service mode (docs/ROBUSTNESS.md "Operating long runs"):
+  --supervise           fork the run into a supervised child: if it dies
+                        abnormally (SIGKILL, SIGSEGV, OOM) it is restarted
+                        from the newest valid checkpoint with exponential
+                        backoff; SIGTERM/SIGINT stop it gracefully (final
+                        checkpoint + flushed sinks); SIGHUP hot-reloads the
+                        --reload-scenario file. Requires --checkpoint; not
+                        combinable with --resume (supervision auto-resumes
+                        from the checkpoint path)
+  --max-restarts N      crash restarts before the supervisor gives up
+                        (default 5)
+  --restart-backoff-ms N  first restart backoff in ms, doubling per
+                        consecutive crash (default 500)
+  --reload-scenario PATH  re-read this scenario spec on every supervised
+                        (re)start; only structurally-identical swaps
+                        (traffic shape, tariff) are accepted — a changed
+                        topology/energy/algorithm field is refused naming
+                        the first differing field. Requires --scenario and
+                        --supervise
 
 parallel sweep (docs/PERFORMANCE.md):
   --seeds N             run N replicates (input seeds S, S+1, ...) through
                         the parallel sweep engine and print per-seed lines
                         plus a mean/min/max summary; per-seed results are
                         bit-identical at any thread count. --trace/--csv
-                        paths get a ".seed<k>" suffix per replicate; not
-                        combinable with --checkpoint/--resume
+                        and --checkpoint paths get a ".seed<k>" suffix per
+                        replicate; not combinable with --resume
   --threads N           sweep worker threads (default 0 = all hardware
                         threads)
 )";
@@ -167,7 +193,8 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       "--input-seed", "--csv",    "--trace",            "--faults",
       "--checkpoint", "--checkpoint-every", "--resume", "--seeds",
       "--threads",  "--trace-top-k", "--snapshot",      "--snapshot-every",
-      "--spans",    "--profile",  "--lp-log"};
+      "--spans",    "--profile",  "--lp-log",           "--checkpoint-rotate",
+      "--max-restarts", "--restart-backoff-ms", "--reload-scenario"};
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -196,6 +223,10 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       opt.strict_bounds = true;
       continue;
     }
+    if (flag == "--supervise") {
+      opt.supervise = true;
+      continue;
+    }
     bool known = false;
     for (const char* f : kValueFlags)
       if (flag == f) known = true;
@@ -214,6 +245,8 @@ ParseResult parse_args(const std::vector<std::string>& args) {
         opt.scenario = spec.config;
         opt.scenario_name = spec.name;
         opt.scenario_hash = scenario::scenario_hash(spec);
+        opt.scenario_structural_hash =
+            scenario::scenario_structural_hash(spec);
       } catch (const CheckError& e) {
         return err(e.what());
       }
@@ -313,9 +346,24 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.checkpoint_path = v;
     } else if (flag == "--checkpoint-every") {
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
+      opt.checkpoint_every = iv;
+    } else if (flag == "--checkpoint-rotate") {
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
+      opt.checkpoint_rotate = iv;
+    } else if (flag == "--max-restarts") {
       if (!parse_int(v, &iv) || iv < 0)
         return err(bad(flag, "int >= 0", v));
-      opt.checkpoint_every = iv;
+      opt.max_restarts = iv;
+    } else if (flag == "--restart-backoff-ms") {
+      if (!parse_int(v, &iv) || iv < 0)
+        return err(bad(flag, "int >= 0", v));
+      opt.restart_backoff_ms = iv;
+    } else if (flag == "--reload-scenario") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      opt.reload_scenario_path = v;
     } else if (flag == "--resume") {
       if (v.empty()) return err(bad(flag, "a non-empty file path", v));
       opt.resume_path = v;
@@ -359,9 +407,32 @@ ParseResult parse_args(const std::vector<std::string>& args) {
                ": the scenario file defines these; edit the JSON instead "
                "(docs/SCENARIOS.md)");
   }
-  if (opt.seeds > 1 &&
-      (!opt.checkpoint_path.empty() || !opt.resume_path.empty()))
-    return err("--seeds > 1 cannot be combined with --checkpoint/--resume");
+  if (opt.seeds > 1 && !opt.resume_path.empty())
+    return err("--seeds > 1 cannot be combined with --resume (per-seed "
+               "resume state is derived from the --checkpoint base under "
+               "--supervise)");
+  if (opt.checkpoint_every > 0 && opt.checkpoint_path.empty())
+    return err("--checkpoint-every requires --checkpoint (it sets the "
+               "cadence of the checkpoint file)");
+  if (opt.checkpoint_rotate > 0 && opt.checkpoint_path.empty())
+    return err("--checkpoint-rotate requires --checkpoint (it rotates the "
+               "checkpoint file's generations)");
+  if (opt.supervise && opt.checkpoint_path.empty())
+    return err("--supervise requires --checkpoint (crash restarts resume "
+               "from the newest valid checkpoint)");
+  if (opt.supervise && !opt.resume_path.empty())
+    return err("--supervise cannot be combined with --resume (supervision "
+               "always auto-resumes from the --checkpoint path)");
+  if (!opt.reload_scenario_path.empty() && opt.scenario_path.empty())
+    return err("--reload-scenario requires --scenario (hot-reload swaps one "
+               "spec file for another; flag-built scenarios have no file to "
+               "swap)");
+  if (!opt.reload_scenario_path.empty() && !opt.supervise)
+    return err("--reload-scenario requires --supervise (the reload happens "
+               "at a supervised restart, triggered by SIGHUP)");
+  if (!opt.reload_scenario_path.empty() && opt.seeds > 1)
+    return err("--reload-scenario cannot be combined with --seeds > 1 (a "
+               "replicate sweep's scenario is fixed for the whole fleet)");
   if (opt.snapshot_every > 0 && opt.snapshot_path.empty())
     return err("--snapshot-every requires --snapshot (it sets the cadence "
                "of the snapshot file)");

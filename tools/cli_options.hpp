@@ -23,6 +23,10 @@ struct Options {
   std::string scenario_path;
   std::string scenario_name = "default";
   std::uint64_t scenario_hash = 0;
+  // Structure-only subset of scenario_hash (topology/energy/algorithm
+  // fields; traffic shape and tariff excluded) — what --reload-scenario
+  // compares to decide whether a swap is safe. 0 for flag-built scenarios.
+  std::uint64_t scenario_structural_hash = 0;
   // --print-scenario: dump the resolved scenario JSON to stdout and exit.
   bool print_scenario = false;
   double V = 3.0;
@@ -62,12 +66,32 @@ struct Options {
   std::string checkpoint_path;  // empty = no checkpoints
   int checkpoint_every = 0;     // 0 = only the final checkpoint
   std::string resume_path;      // empty = start from slot 0
+  // Rotating checkpoint generations (sim::CheckpointRotator): keep the
+  // newest N durable generations PATH.gen<K> plus a manifest; 0 = the
+  // legacy single-file checkpoint. Requires --checkpoint.
+  int checkpoint_rotate = 0;
+
+  // Crash-safe service mode (docs/ROBUSTNESS.md "Operating long runs").
+  // --supervise forks the run into a supervised child: abnormal deaths
+  // restart it from the newest valid checkpoint (with exponential
+  // backoff), SIGTERM/SIGINT shut it down gracefully, SIGHUP triggers a
+  // scenario hot-reload. Requires --checkpoint; incompatible with
+  // --resume (supervision always auto-resumes from the checkpoint path).
+  bool supervise = false;
+  int max_restarts = 5;         // crash restarts before the supervisor gives up
+  int restart_backoff_ms = 500; // first restart backoff; doubles per crash
+  // Scenario hot-reload source: on every (re)start the supervised child
+  // re-reads this spec; only structurally-identical swaps (traffic shape,
+  // tariff) are accepted — topology/energy/algorithm changes are refused
+  // with the first differing field. Requires --scenario and --supervise.
+  std::string reload_scenario_path;
 
   // Parallel replicate sweep (docs/PERFORMANCE.md). seeds > 1 runs that
   // many replicates (input_seed, input_seed+1, ...) through the sweep
   // engine and prints per-seed lines plus an aggregate summary; trace/CSV
-  // paths get a ".seed<k>" suffix per replicate. Incompatible with
-  // --checkpoint/--resume (those name one run's state). threads caps the
+  // and checkpoint paths get a ".seed<k>" suffix per replicate.
+  // Incompatible with --resume (per-seed resume state is derived from the
+  // checkpoint base automatically under --supervise). threads caps the
   // sweep workers; 0 = all hardware threads.
   int seeds = 1;
   int threads = 0;

@@ -6,6 +6,7 @@
 //   $ greencell_sim --multihop 0 --renewables 0 --quiet   # legacy baseline
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "cli_options.hpp"
@@ -16,10 +17,13 @@
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
 #include "scenario/spec.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/simulator.hpp"
+#include "sim/supervisor.hpp"
 #include "sim/sweep.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/fsio.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -51,6 +55,8 @@ void print_report(const gc::sim::Metrics& m) {
 }
 
 int run(const gc::cli::Options& opt);
+int run_attempt(const gc::cli::Options& opt, int crash_restarts,
+                bool supervised);
 
 }  // namespace
 
@@ -219,7 +225,8 @@ void export_sweep_obs(const gc::cli::Options& opt,
 // --threads value (sim/sweep.hpp).
 int run_replicates(const gc::cli::Options& opt,
                    const gc::fault::FaultSchedule* faults,
-                   const gc::core::NetworkModel& model) {
+                   const gc::core::NetworkModel& model, int crash_restarts,
+                   bool supervised) {
   // Per-seed LP solve logs: each job gets its own sink and file (one
   // shared file would interleave replicates), kept alive past the sweep.
   std::vector<std::unique_ptr<gc::lp::JsonlSolveLog>> lp_logs;
@@ -238,13 +245,46 @@ int run_replicates(const gc::cli::Options& opt,
     job.sim.snapshot_every = opt.snapshot_every;
     job.sim.scenario_name = opt.scenario_name;
     job.sim.scenario_hash = opt.scenario_hash;
+    job.sim.scenario_structural_hash = opt.scenario_structural_hash;
     job.sim.faults = faults;
+    // Per-seed checkpoints: each replicate rotates its own generations at
+    // BASE.seed<k>. A supervised sweep attempt auto-resumes every seed
+    // from its own base — seeds that already finished reload their final
+    // checkpoint and return instantly, so a crashed sweep only redoes the
+    // interrupted replicates' tails.
+    job.sim.checkpoint_path = seed_suffixed(opt.checkpoint_path, k);
+    job.sim.checkpoint_every = opt.checkpoint_every;
+    job.sim.checkpoint_rotate = opt.checkpoint_rotate;
+    if (supervised) {
+      job.sim.resume_path = job.sim.checkpoint_path;
+      job.sim.resume_auto = true;
+      job.sim.sink_resume = true;
+      job.sim.process_kill_skip = crash_restarts;
+    }
     if (!opt.lp_log_path.empty()) {
-      lp_logs.push_back(std::make_unique<gc::lp::JsonlSolveLog>(
-          seed_suffixed(opt.lp_log_path, k)));
+      const std::string lp_path = seed_suffixed(opt.lp_log_path, k);
+      bool append = false;
+      if (supervised) {
+        // Same contract as the single-run path: cut the crashed attempt's
+        // log back to this seed's checkpointed slot, then append.
+        int resume_slot = 0;
+        if (opt.checkpoint_rotate > 0) {
+          const auto sel = gc::sim::load_newest_valid(job.sim.resume_path);
+          if (sel.has_value()) resume_slot = sel->checkpoint.next_slot;
+        } else if (std::ifstream(job.sim.resume_path).good()) {
+          resume_slot =
+              gc::sim::load_checkpoint(job.sim.resume_path).next_slot;
+        }
+        const gc::util::JsonlTruncation cut =
+            gc::util::truncate_jsonl_to_slot(lp_path, "slot", resume_slot);
+        append = cut.existed && cut.kept_lines > 0;
+      }
+      lp_logs.push_back(
+          std::make_unique<gc::lp::JsonlSolveLog>(lp_path, append));
       gc::core::ControllerOptions copts = opt.scenario.controller_options();
       copts.lp_stats = lp_logs.back().get();
       job.controller = copts;
+      job.sim.lp_sink = lp_logs.back().get();
     }
     if (opt.mobility_mps > 0.0) {
       gc::sim::MobilityConfig mob;
@@ -305,6 +345,9 @@ int run_replicates(const gc::cli::Options& opt,
     if (!opt.lp_log_path.empty())
       std::printf("per-seed LP solve logs written to %s.seed<k>\n",
                   opt.lp_log_path.c_str());
+    if (!opt.checkpoint_path.empty())
+      std::printf("per-seed checkpoints written to %s.seed<k>\n",
+                  opt.checkpoint_path.c_str());
   }
   export_sweep_obs(opt, model, runs);
   if (opt.report) {
@@ -324,7 +367,62 @@ int run_replicates(const gc::cli::Options& opt,
   return 0;
 }
 
+// Crash-safe service mode (docs/ROBUSTNESS.md "Operating long runs"):
+// --supervise runs each attempt in a forked child; crashes restart it from
+// the newest valid checkpoint, SIGHUP hot-reloads the scenario.
 int run(const gc::cli::Options& opt) {
+  if (!opt.supervise) return run_attempt(opt, 0, false);
+  gc::sim::SupervisorOptions sup_opts;
+  sup_opts.max_restarts = opt.max_restarts;
+  sup_opts.backoff_ms = opt.restart_backoff_ms;
+  sup_opts.quiet = opt.quiet;
+  gc::sim::RunSupervisor supervisor(sup_opts);
+  const gc::sim::SupervisorOutcome outcome =
+      supervisor.run([&](int crash_restarts) {
+        try {
+          return run_attempt(opt, crash_restarts, true);
+        } catch (const gc::CheckError& e) {
+          // A deterministic failure: print it here (the child's stderr is
+          // the user's stderr) and exit nonzero so the supervisor does
+          // not retry it.
+          std::fprintf(stderr, "error: %s\n", e.what());
+          return 1;
+        }
+      });
+  if (!opt.quiet && (outcome.crash_restarts > 0 || outcome.reloads > 0))
+    std::printf("supervisor: %d crash restart(s), %d reload(s)%s\n",
+                outcome.crash_restarts, outcome.reloads,
+                outcome.gave_up ? "; gave up" : "");
+  return outcome.exit_code;
+}
+
+// Scenario hot-reload: re-read the swap file and accept it only when the
+// structural fields (topology, energy model, algorithm) are untouched —
+// traffic shape and tariff may change. Refusals name the first differing
+// structural field.
+gc::scenario::ScenarioSpec load_swapped_scenario(
+    const gc::cli::Options& opt) {
+  gc::scenario::ScenarioSpec swapped =
+      gc::scenario::load_scenario_file(opt.reload_scenario_path);
+  if (gc::scenario::scenario_structural_hash(swapped) !=
+      opt.scenario_structural_hash) {
+    const gc::scenario::ScenarioSpec original =
+        gc::scenario::load_scenario_file(opt.scenario_path);
+    const std::string field =
+        gc::scenario::first_structural_difference(original, swapped);
+    GC_CHECK_MSG(false,
+                 "--reload-scenario " << opt.reload_scenario_path
+                     << ": structural field \"" << field
+                     << "\" differs from " << opt.scenario_path
+                     << "; only traffic shape and tariff may be swapped at "
+                        "a reload (docs/ROBUSTNESS.md)");
+  }
+  return swapped;
+}
+
+int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
+                bool supervised) {
+  const gc::cli::Options& opt = opt_in;
   // --print-scenario: dump the resolved spec (whether it came from a
   // --scenario file or from shaping flags) as canonical JSON and exit.
   if (opt.print_scenario) {
@@ -335,14 +433,59 @@ int run(const gc::cli::Options& opt) {
     return 0;
   }
 
-  gc::core::NetworkModel model = opt.scenario.build();
+  // Resolve the active scenario: a supervised attempt with a reload file
+  // swaps it in (structurally checked) on every (re)start, so a SIGHUP
+  // restart picks up edits without losing checkpointed progress.
+  gc::sim::ScenarioConfig active_scenario = opt.scenario;
+  std::string active_name = opt.scenario_name;
+  std::uint64_t active_hash = opt.scenario_hash;
+  bool scenario_swapped = false;
+  if (supervised && !opt.reload_scenario_path.empty()) {
+    const gc::scenario::ScenarioSpec swapped = load_swapped_scenario(opt);
+    active_scenario = swapped.config;
+    active_name = swapped.name;
+    active_hash = gc::scenario::scenario_hash(swapped);
+    scenario_swapped = true;
+    if (!opt.quiet && active_hash != opt.scenario_hash)
+      std::printf("scenario swapped in from %s (%s)\n",
+                  opt.reload_scenario_path.c_str(),
+                  gc::scenario::hash_hex(active_hash).c_str());
+  }
+
+  gc::core::NetworkModel model = active_scenario.build();
   gc::core::ControllerOptions controller_opts =
-      opt.scenario.controller_options();
+      active_scenario.controller_options();
+
+  // A supervised attempt always auto-resumes from the checkpoint base (a
+  // crash may have landed before the first checkpoint existed, so the
+  // base may legitimately name nothing). Pre-resolve the resume slot here:
+  // the lp-log sink is constructed before the run and must be truncated
+  // back to the checkpointed slot for a resumed run's log to be
+  // byte-identical to an uninterrupted one's.
+  std::string resume_path = opt.resume_path;
+  int resume_slot = 0;
+  if (supervised) {
+    resume_path = opt.checkpoint_path;
+    if (opt.checkpoint_rotate > 0) {
+      const auto sel = gc::sim::load_newest_valid(resume_path);
+      if (sel.has_value()) resume_slot = sel->checkpoint.next_slot;
+    } else if (std::ifstream(resume_path).good()) {
+      resume_slot = gc::sim::load_checkpoint(resume_path).next_slot;
+    }
+  }
+
   // --lp-log (single run; replicate sweeps attach one per seed inside
   // run_replicates): stream every simplex solve's SolveStats as JSONL.
   std::unique_ptr<gc::lp::JsonlSolveLog> lp_log;
   if (!opt.lp_log_path.empty() && opt.seeds == 1) {
-    lp_log = std::make_unique<gc::lp::JsonlSolveLog>(opt.lp_log_path);
+    bool append = false;
+    if (supervised) {
+      const gc::util::JsonlTruncation cut = gc::util::truncate_jsonl_to_slot(
+          opt.lp_log_path, "slot", resume_slot);
+      append = cut.existed && cut.kept_lines > 0;
+    }
+    lp_log =
+        std::make_unique<gc::lp::JsonlSolveLog>(opt.lp_log_path, append);
     controller_opts.lp_stats = lp_log.get();
   }
   gc::core::LyapunovController controller(model, opt.V, controller_opts);
@@ -350,15 +493,30 @@ int run(const gc::cli::Options& opt) {
   sim_opts.input_seed = opt.input_seed;
   sim_opts.validate = opt.validate;
   sim_opts.trace_path = opt.trace_path;
-  sim_opts.scenario_name = opt.scenario_name;
-  sim_opts.scenario_hash = opt.scenario_hash;
+  sim_opts.scenario_name = active_name;
+  sim_opts.scenario_hash = active_hash;
+  sim_opts.scenario_structural_hash = opt.scenario_structural_hash;
+  sim_opts.allow_swapped_scenario = scenario_swapped;
   sim_opts.trace_top_k = opt.trace_top_k;
   sim_opts.checkpoint_path = opt.checkpoint_path;
   sim_opts.checkpoint_every = opt.checkpoint_every;
-  sim_opts.resume_path = opt.resume_path;
+  sim_opts.checkpoint_rotate = opt.checkpoint_rotate;
+  sim_opts.resume_path = resume_path;
+  sim_opts.resume_auto = supervised;
+  sim_opts.sink_resume = supervised;
+  sim_opts.process_kill_skip = crash_restarts;
+  sim_opts.lp_sink = lp_log.get();
+  bool interrupted = false;
+  sim_opts.interrupted = &interrupted;
   sim_opts.strict_bounds = opt.strict_bounds;
   sim_opts.snapshot_path = opt.snapshot_path;
   sim_opts.snapshot_every = opt.snapshot_every;
+
+  // Any checkpointing run gets signal-safe graceful shutdown: the first
+  // SIGTERM/SIGINT finishes the slot, writes a checkpoint, flushes every
+  // sink and exits cleanly; the second one kills the process.
+  if (supervised || !opt.checkpoint_path.empty())
+    gc::sim::install_shutdown_signals();
 
   // Both the Chrome trace and the profile feed off the same span ring.
   if (!opt.spans_path.empty() || !opt.profile_path.empty())
@@ -373,7 +531,9 @@ int run(const gc::cli::Options& opt) {
 
   // Replicate sweep: fan the seeds out and aggregate (the FaultSchedule is
   // read-only during runs, so sharing it across jobs is safe).
-  if (opt.seeds > 1) return run_replicates(opt, sim_opts.faults, model);
+  if (opt.seeds > 1)
+    return run_replicates(opt, sim_opts.faults, model, crash_restarts,
+                          supervised);
 
   gc::sim::Metrics m;
   const gc::obs::StopWatch run_watch;
@@ -381,13 +541,24 @@ int run(const gc::cli::Options& opt) {
     gc::sim::MobilityConfig mob;
     mob.speed_mps_lo = 0.0;
     mob.speed_mps_hi = opt.mobility_mps;
-    mob.area_m = opt.scenario.area_m;
+    mob.area_m = active_scenario.area_m;
     m = gc::sim::run_simulation_mobile(model, controller, opt.slots, mob,
                                        sim_opts);
   } else {
     m = gc::sim::run_simulation(model, controller, opt.slots, sim_opts);
   }
   const double run_wall_s = run_watch.elapsed_seconds();
+
+  if (interrupted) {
+    // Graceful shutdown: the run checkpointed and flushed at the slot
+    // boundary; report where it stopped and exit cleanly (a supervised
+    // parent treats exit 0 + termination flag as "done").
+    if (!opt.quiet)
+      std::printf("interrupted at slot %d of %d; checkpoint %s holds the "
+                  "state — resume with --resume (or restart --supervise)\n",
+                  m.slots, opt.slots, opt.checkpoint_path.c_str());
+    return 0;
+  }
 
   if (!opt.csv_path.empty()) write_csv(opt.csv_path, m);
 
@@ -399,15 +570,16 @@ int run(const gc::cli::Options& opt) {
 
   if (!opt.quiet) {
     if (!opt.scenario_path.empty())
-      std::printf("scenario spec: %s (%s) from %s\n",
-                  opt.scenario_name.c_str(),
-                  gc::scenario::hash_hex(opt.scenario_hash).c_str(),
-                  opt.scenario_path.c_str());
+      std::printf("scenario spec: %s (%s) from %s\n", active_name.c_str(),
+                  gc::scenario::hash_hex(active_hash).c_str(),
+                  scenario_swapped ? opt.reload_scenario_path.c_str()
+                                   : opt.scenario_path.c_str());
     std::printf("scenario: %d users, %d sessions @ %.0f kbps, %s, %s, V=%g\n",
-                opt.scenario.num_users, opt.scenario.num_sessions,
-                opt.scenario.session_rate_bps / 1e3,
-                opt.scenario.multihop ? "multi-hop" : "one-hop",
-                opt.scenario.renewables ? "renewables" : "grid-only", opt.V);
+                active_scenario.num_users, active_scenario.num_sessions,
+                active_scenario.session_rate_bps / 1e3,
+                active_scenario.multihop ? "multi-hop" : "one-hop",
+                active_scenario.renewables ? "renewables" : "grid-only",
+                opt.V);
     std::printf("slots:                %d\n", m.slots);
     std::printf("avg energy cost:      %.6g\n", m.cost_avg.average());
     // Offered = what the (possibly time-varying) traffic model actually

@@ -12,6 +12,7 @@
 // totals, and the nodes that dominated the per-slot top-backlog drill-down.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
@@ -89,6 +90,13 @@ int main(int argc, char** argv) {
   std::string line;
   int lineno = 0;
   int skipped = 0;
+  // When the FILE'S LAST line is the malformed one, it is a torn tail — a
+  // crash landed mid-write — and is reported as such (with the slot the
+  // record belongs to, recoverable from the intact "t": prefix) rather
+  // than as generic corruption.
+  bool last_line_malformed = false;
+  int torn_lineno = 0;
+  std::string torn_line;
   // From the trace header record (first line since the scenario subsystem;
   // absent in older traces, which start directly with slot records).
   std::string scenario_name, scenario_hash;
@@ -100,6 +108,7 @@ int main(int argc, char** argv) {
     // aborting the whole summary.
     try {
       const JsonValue rec = gc::obs::json_parse(line);
+      last_line_malformed = false;
       if (rec.has("scenario")) {
         const JsonValue& sc = rec.at("scenario");
         scenario_name = sc.at("name").as_string();
@@ -155,8 +164,31 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warning: %s:%d: skipping malformed record: %s\n",
                    argv[1], lineno, e.what());
       ++skipped;
+      last_line_malformed = true;
+      torn_lineno = lineno;
+      torn_line = line;
       continue;
     }
+  }
+  if (last_line_malformed) {
+    // Slot records lead with {"t":N,... and tearing truncates the line's
+    // END, so the slot index survives even in a torn tail.
+    int torn_slot = -1;
+    const std::size_t at = torn_line.find("\"t\":");
+    if (at != std::string::npos)
+      torn_slot = std::atoi(torn_line.c_str() + at + 4);
+    if (torn_slot >= 0)
+      std::fprintf(stderr,
+                   "warning: %s:%d is a torn tail for slot %d (crash "
+                   "mid-write); a --supervise resume truncates and rewrites "
+                   "it (docs/ROBUSTNESS.md)\n",
+                   argv[1], torn_lineno, torn_slot);
+    else
+      std::fprintf(stderr,
+                   "warning: %s:%d is a torn tail (crash mid-write, slot "
+                   "unrecoverable); a --supervise resume truncates and "
+                   "rewrites it (docs/ROBUSTNESS.md)\n",
+                   argv[1], torn_lineno);
   }
   if (skipped > 0)
     std::fprintf(stderr, "warning: skipped %d malformed record%s in %s\n",
