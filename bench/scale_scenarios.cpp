@@ -44,6 +44,12 @@ struct Args {
   int slots = 20;
   std::string out = "BENCH_sweep.json";
   std::string profile_dir;  // empty = no per-scenario profile capture
+  // --fast: run with every performance lever on (range pruning, cross-slot
+  // LP warm starts, all intra-slot threads; sparse tableau and the S4
+  // decomposition engage on their own Auto thresholds). Profiles land at
+  // <name>.fast.profile.json so the committed baseline artifacts stay
+  // comparable (docs/PERFORMANCE.md "Scaling past 500 nodes").
+  bool fast = false;
 };
 
 bool parse_args(const std::vector<std::string>& argv, Args* out,
@@ -53,8 +59,12 @@ bool parse_args(const std::vector<std::string>& argv, Args* out,
     if (flag == "--help") {
       *error =
           "usage: scale_scenarios [SPEC.json ...] [--dir DIR] [--slots N]\n"
-          "                       [--out PATH] [--profile-dir DIR]";
+          "                       [--out PATH] [--profile-dir DIR] [--fast]";
       return false;
+    }
+    if (flag == "--fast") {
+      out->fast = true;
+      continue;
     }
     if (flag.rfind("--", 0) != 0) {
       out->files.push_back(flag);
@@ -152,6 +162,7 @@ void dump(const JsonValue& v, std::string* out, int indent) {
 struct Row {
   std::string name;
   int nodes = 0, bs = 0, users = 0, sessions = 0, slots = 0;
+  bool fast = false;  // run with the --fast performance levers
   double wall_s = 0.0, slots_per_s = 0.0;
 };
 
@@ -168,12 +179,18 @@ int count_allowed_links(const gc::core::NetworkModel& model) {
 // profile_dir/<name>.profile.json (+.collapsed) — one artifact per
 // scenario, comparable across network sizes with tools/perf_report.
 Row run_one(const std::string& path, int slots,
-            const std::string& profile_dir) {
+            const std::string& profile_dir, bool fast) {
   const gc::scenario::ScenarioSpec spec =
       gc::scenario::load_scenario_file(path);
-  const gc::core::NetworkModel model = spec.config.build();
-  gc::core::LyapunovController controller(model, 3.0,
-                                          spec.config.controller_options());
+  gc::sim::ScenarioConfig config = spec.config;
+  if (fast) config.link_prune = true;
+  const gc::core::NetworkModel model = config.build();
+  gc::core::ControllerOptions copts = config.controller_options();
+  if (fast) {
+    copts.warm_across_slots = true;
+    copts.intra_slot_threads = 0;  // all hardware threads
+  }
+  gc::core::LyapunovController controller(model, 3.0, copts);
   gc::sim::SimOptions sim_opts;
   sim_opts.scenario_name = spec.name;
   sim_opts.scenario_hash = gc::scenario::scenario_hash(spec);
@@ -188,6 +205,7 @@ Row run_one(const std::string& path, int slots,
   const auto t1 = std::chrono::steady_clock::now();
   Row row;
   row.name = spec.name;
+  row.fast = fast;
   row.nodes = model.num_nodes();
   row.bs = model.topology().num_base_stations();
   row.users = model.topology().num_users();
@@ -201,13 +219,17 @@ Row run_one(const std::string& path, int slots,
     p.meta.scenario = spec.name;
     p.meta.nodes = row.nodes;
     p.meta.links = count_allowed_links(model);
+    if (const gc::net::LinkPruneMap* prune = model.pruned_links())
+      p.meta.links_pruned = prune->pruned_links();
     p.meta.sessions = row.sessions;
     p.meta.slots = row.slots;
     p.meta.wall_s = row.wall_s;
     p.meta.slots_per_s = row.slots_per_s;
     p.meta.spans_dropped = dropped;
     const std::string base =
-        (fs::path(profile_dir) / (spec.name + ".profile.json")).string();
+        (fs::path(profile_dir) /
+         (spec.name + (fast ? ".fast.profile.json" : ".profile.json")))
+            .string();
     gc::obs::write_text_atomic(base, p.to_json(), "profile");
     gc::obs::write_text_atomic(base + ".collapsed", p.to_collapsed(),
                                "collapsed profile");
@@ -231,7 +253,7 @@ int main(int argc, char** argv) {
     std::vector<Row> rows;
     for (const std::string& f : args.files) {
       std::printf("running %s (%d slots)...\n", f.c_str(), args.slots);
-      rows.push_back(run_one(f, args.slots, args.profile_dir));
+      rows.push_back(run_one(f, args.slots, args.profile_dir, args.fast));
       const Row& r = rows.back();
       std::printf("  %s: %d nodes (%d BS + %d users), %d sessions, "
                   "%.3f s wall, %.2f slots/s\n",
@@ -264,11 +286,12 @@ int main(int argc, char** argv) {
       char buf[512];
       std::snprintf(buf, sizeof buf,
                     "    {\"scenario\": \"%s\", \"nodes\": %d, \"bs\": %d, "
-                    "\"users\": %d, \"sessions\": %d, \"slots\": %d,\n"
+                    "\"users\": %d, \"sessions\": %d, \"slots\": %d, "
+                    "\"fast\": %s,\n"
                     "     \"wall_s\": %.6f, \"slots_per_s\": %.3f}%s\n",
                     gc::obs::json_escape(r.name).c_str(), r.nodes, r.bs,
-                    r.users, r.sessions, r.slots, r.wall_s, r.slots_per_s,
-                    i + 1 < rows.size() ? "," : "");
+                    r.users, r.sessions, r.slots, r.fast ? "true" : "false",
+                    r.wall_s, r.slots_per_s, i + 1 < rows.size() ? "," : "");
       body += buf;
     }
     body += "  ]\n}\n";

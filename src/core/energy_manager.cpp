@@ -6,6 +6,7 @@
 
 #include "lp/pwl.hpp"
 #include "lp/simplex.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gc::core {
 
@@ -307,17 +308,63 @@ EnergyResult price_energy_manage(const NetworkState& state,
 EnergyResult lp_energy_manage(const NetworkState& state,
                               const SlotInputs& inputs,
                               const std::vector<double>& demands_j,
-                              int pwl_segments,
+                              const EnergyLpOptions& options,
                               const lp::Options& lp_options,
                               lp::Workspace* workspace) {
   const auto& model = state.model();
   const int n = model.num_nodes();
+  const int pwl_segments = options.pwl_segments;
   GC_CHECK(static_cast<int>(demands_j.size()) == n);
   GC_CHECK(pwl_segments >= 2);
   const double V = state.V();
 
+  // Decomposition: the LP covers the node prefix [0, k) — base stations
+  // are always the first indices — and every user in [k, n) is solved by
+  // its exact closed-form best response at grid price 0 (users' grid
+  // energy never enters f(P), so their subproblems are independent of P
+  // and of each other; docs/ALGORITHM.md "Why the S4 split is exact").
+  const bool decompose =
+      options.decompose == S4Decompose::Force ||
+      (options.decompose == S4Decompose::Auto &&
+       n >= options.decompose_min_nodes);
+  const int k = decompose ? model.num_base_stations() : n;
+
+  std::vector<NodeEnergyDecision> decisions(static_cast<std::size_t>(n));
+  if (k < n) {
+    const auto solve_users = [&](int lo, int hi) {
+      for (int i = lo; i < hi; ++i)
+        decisions[static_cast<std::size_t>(i)] =
+            best_response(make_instance(state, inputs, demands_j, i), 0.0).d;
+    };
+    util::ThreadPool* pool = options.pool;
+    if (pool != nullptr && pool->num_threads() > 1) {
+      // Fixed chunk grain: the split depends only on (n, k, threads), so
+      // the work partition — and with it every FP result, each written to
+      // its own slot — is identical however the chunks land on workers.
+      const int chunk =
+          std::max(64, (n - k + pool->num_threads() - 1) / pool->num_threads());
+      std::vector<std::exception_ptr> errors;
+      errors.resize(static_cast<std::size_t>((n - k + chunk - 1) / chunk));
+      int job = 0;
+      for (int lo = k; lo < n; lo += chunk, ++job)
+        pool->submit([&, lo, job] {
+          try {
+            solve_users(lo, std::min(lo + chunk, n));
+          } catch (...) {
+            errors[static_cast<std::size_t>(job)] = std::current_exception();
+          }
+        });
+      pool->wait_idle();
+      for (const std::exception_ptr& e : errors)
+        if (e) std::rethrow_exception(e);
+    } else {
+      solve_users(k, n);
+    }
+  }
+
   // Penalty dominating every per-joule gain so unserved energy is a last
-  // resort.
+  // resort. Computed over ALL nodes so the objective scale is identical
+  // with and without decomposition.
   double max_abs_z = 0.0;
   for (int i = 0; i < n; ++i) max_abs_z = std::max(max_abs_z, std::abs(state.z(i)));
   const double big_m = 10.0 * (max_abs_z + V * model.gamma_max() + 1.0);
@@ -326,8 +373,8 @@ EnergyResult lp_energy_manage(const NetworkState& state,
   struct NodeVars {
     int r, d, cr, cg, g, u;
   };
-  std::vector<NodeVars> nv(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
+  std::vector<NodeVars> nv(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
     const NodeInstance inst = make_instance(state, inputs, demands_j, i);
     const double z = inst.z;
     nv[i].r = m.add_variable(0.0, inst.renewable_j, 0.0);
@@ -376,6 +423,15 @@ EnergyResult lp_energy_manage(const NetworkState& state,
     m.set_coeff(row, yvar, -1.0);
   }
 
+  // Cross-slot warm start: the layout above is a pure function of k, so an
+  // identity map carries each variable's final state into the next slot.
+  if (options.warm_across_slots && workspace != nullptr) {
+    std::vector<int> ident(static_cast<std::size_t>(m.num_variables()));
+    for (std::size_t j = 0; j < ident.size(); ++j)
+      ident[j] = static_cast<int>(j);
+    workspace->set_warm_start(std::move(ident), /*cross_slot=*/true);
+  }
+
   lp::Workspace local_ws;
   const lp::Solution sol =
       lp::solve(m, lp_options, workspace != nullptr ? *workspace : local_ws);
@@ -383,8 +439,7 @@ EnergyResult lp_energy_manage(const NetworkState& state,
                "S4 LP not optimal at slot " << state.slot() << ": "
                                             << lp::to_string(sol.status));
 
-  std::vector<NodeEnergyDecision> decisions(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
+  for (int i = 0; i < k; ++i) {
     auto& d = decisions[i];
     d.demand_j = inputs.node_is_down(i) ? 0.0 : demands_j[i];
     d.connected = inputs.grid_connected[i] != 0;
@@ -404,6 +459,19 @@ EnergyResult lp_energy_manage(const NetworkState& state,
         0.0);
   }
   return assemble(state, inputs, std::move(decisions));
+}
+
+EnergyResult lp_energy_manage(const NetworkState& state,
+                              const SlotInputs& inputs,
+                              const std::vector<double>& demands_j,
+                              int pwl_segments,
+                              const lp::Options& lp_options,
+                              lp::Workspace* workspace) {
+  EnergyLpOptions options;
+  options.pwl_segments = pwl_segments;
+  options.decompose = S4Decompose::Never;
+  return lp_energy_manage(state, inputs, demands_j, options, lp_options,
+                          workspace);
 }
 
 double psi4(const NetworkState& state,

@@ -35,6 +35,10 @@
 #include "core/types.hpp"
 #include "lp/simplex.hpp"
 
+namespace gc::util {
+class ThreadPool;
+}
+
 namespace gc::core {
 
 // E_i(t) for every node under the given schedule (eqs. (2) + (23)).
@@ -60,9 +64,49 @@ EnergyResult price_energy_manage(const NetworkState& state,
                                  const SlotInputs& inputs,
                                  const std::vector<double>& demands_j);
 
+// S4 decomposition (docs/ALGORITHM.md "Why the S4 split is exact"). User
+// nodes never appear in the grid-price coupling — their grid energy is
+// unpriced (Sec. II-E), so none of their variables touch P, and the joint
+// LP separates into one tiny LP over the base stations plus an independent
+// per-user problem whose exact optimum is the closed-form best response at
+// price 0. On a 500-node topology this shrinks the S4 LP from ~3000
+// variables to ~100 while changing nothing the LP could not also have
+// chosen (ties aside, which is why Auto keeps the historical joint path on
+// small instances).
+enum class S4Decompose { Auto, Force, Never };
+
+struct EnergyLpOptions {
+  int pwl_segments = 64;
+  // Auto decomposes at num_nodes >= decompose_min_nodes; the threshold
+  // keeps the paper-scale default (22 nodes) on the joint-LP trajectory
+  // bit for bit.
+  S4Decompose decompose = S4Decompose::Auto;
+  int decompose_min_nodes = 64;
+  // Cross-slot warm start (ControllerOptions::warm_across_slots): hint the
+  // LP with the previous slot's final variable states through an identity
+  // map — the S4 variable layout is fixed across slots for a fixed
+  // decomposition mode. Requires a persistent `workspace`; purely a
+  // starting-point change (statuses and objectives are unaffected).
+  bool warm_across_slots = false;
+  // When set (and decomposing), per-user closed forms run as index chunks
+  // on this pool. Bit-identical at any thread count: each chunk writes a
+  // disjoint range of a preallocated decision vector.
+  util::ThreadPool* pool = nullptr;
+};
+
 // lp_energy_manage's `workspace` (optional) reuses solver buffers across
-// slots; no warm-start hint is ever set, so results are identical with or
-// without one.
+// slots; unless warm_across_slots is set no warm-start hint is passed, and
+// results are identical with or without one.
+EnergyResult lp_energy_manage(const NetworkState& state,
+                              const SlotInputs& inputs,
+                              const std::vector<double>& demands_j,
+                              const EnergyLpOptions& options,
+                              const lp::Options& lp_options = {},
+                              lp::Workspace* workspace = nullptr);
+
+// Legacy signature: a joint LP over all nodes (S4Decompose::Never) with
+// the given PWL resolution. Kept because the ablation benches and tests
+// pin this exact historical behavior.
 EnergyResult lp_energy_manage(const NetworkState& state,
                               const SlotInputs& inputs,
                               const std::vector<double>& demands_j,

@@ -99,6 +99,18 @@ NetworkModel::NetworkModel(net::Topology topology, net::Spectrum spectrum,
   drift_b_ = b1 + b2 + b3;
 }
 
+const net::LinkPruneMap* NetworkModel::pruned_links() const {
+  if (!config_.link_prune) return nullptr;
+  if (prune_ == nullptr || prune_->topology_version() != topo_.version()) {
+    std::vector<double> pmax(static_cast<std::size_t>(num_nodes()), 0.0);
+    for (int i = 0; i < num_nodes(); ++i)
+      pmax[i] = nodes_[i].energy.max_tx_power_w;
+    prune_ =
+        std::make_unique<net::LinkPruneMap>(topo_, spectrum_, radio_, pmax);
+  }
+  return prune_.get();
+}
+
 bool NetworkModel::link_allowed(int tx, int rx) const {
   check_node(tx);
   check_node(rx);

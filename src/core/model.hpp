@@ -15,6 +15,7 @@
 #include "energy/node_energy.hpp"
 #include "energy/renewable.hpp"
 #include "net/capacity.hpp"
+#include "net/link_prune.hpp"
 #include "net/spectrum.hpp"
 #include "net/topology.hpp"
 
@@ -57,6 +58,16 @@ struct ModelConfig {
   // constant-rate model: sample_inputs leaves the demand vector empty and
   // nothing downstream changes.
   std::shared_ptr<const TrafficModel> traffic;
+  // Exact radio-range link pruning (net/link_prune.hpp; docs/ALGORITHM.md
+  // "Why range pruning is exact"): the scheduler's candidate scans skip
+  // (tx, rx) pairs no shared band could close at tx's maximum transmit
+  // power. Pruned pairs carry zero rate under every slot realization, so
+  // no capacity is lost — but the schedule still changes: radios the
+  // unpruned scheduler wastes on doomed links (power control deschedules
+  // them) go to real links instead, which perturbs the whole trajectory.
+  // Off by default so default configs stay bit-identical to the paper
+  // reproduction; flip it on for large topologies (--link-prune on).
+  bool link_prune = false;
 };
 
 class NetworkModel {
@@ -105,6 +116,14 @@ class NetworkModel {
 
   // Whether (tx -> rx) may ever carry traffic under the architecture.
   bool link_allowed(int tx, int rx) const;
+
+  // Range-pruned link neighborhood (ModelConfig::link_prune), or nullptr
+  // when pruning is disabled. Built lazily and rebuilt when mobility moves
+  // a node (keyed on Topology::version()). Not thread-safe against the
+  // rebuild: call once from the owning thread before handing the map to
+  // concurrent readers — the same single-writer contract as
+  // mutable_topology().
+  const net::LinkPruneMap* pruned_links() const;
 
   // Upper bound on W_m(t).
   double max_bandwidth_hz(int band) const;
@@ -155,6 +174,9 @@ class NetworkModel {
   std::vector<Session> sessions_;
   energy::QuadraticCost cost_;
   ModelConfig config_;
+  // Lazy link-prune cache (pruned_links()); mutable because building it is
+  // observationally pure — the map is fully derived from topology/spectrum.
+  mutable std::unique_ptr<net::LinkPruneMap> prune_;
 
   double beta_ = 0.0;
   double max_tariff_ = 1.0;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
@@ -46,7 +47,18 @@ struct SimplexMetrics {
       obs::registry().counter("lp.warmstart_accepted");
   obs::Counter& warmstart_vars_reused =
       obs::registry().counter("lp.warmstart_vars_reused");
+  // Cross-slot warm starts (ControllerOptions::warm_across_slots): the
+  // subset of warm attempts/accepts whose hint crossed a slot boundary.
+  obs::Counter& warmstart_cross_slot_attempted =
+      obs::registry().counter("lp.warmstart_cross_slot_attempted");
+  obs::Counter& warmstart_cross_slot_accepted =
+      obs::registry().counter("lp.warmstart_cross_slot_accepted");
   obs::Counter& numeric_repairs = obs::registry().counter("lp.numeric_repairs");
+  // Sparse-storage volume (Options::sparse): solves routed to the sparse
+  // engine, and the end-of-solve tableau fill in nonzero entries.
+  obs::Counter& sparse_solves = obs::registry().counter("lp.sparse_solves");
+  obs::Histogram& fill_nonzeros =
+      obs::registry().histogram("lp.fill_nonzeros");
   obs::Histogram& rows = obs::registry().histogram("lp.rows");
   obs::Histogram& cols = obs::registry().histogram("lp.cols");
   obs::Histogram& nonzeros = obs::registry().histogram("lp.nonzeros");
@@ -73,57 +85,313 @@ const char* to_string(Status s) {
   return "?";
 }
 
-// The solver proper. All working vectors live in the caller's Workspace
-// (bound by reference) so a long-lived workspace turns every per-solve
-// allocation into an assign() over retained capacity.
-class SimplexEngine {
+// Friend-only door into Workspace internals shared by solve() and both
+// engine instantiations.
+struct WorkspaceHooks {
+  // Saves the structural variables' final states into the workspace (for
+  // the next solve's warm start) and consumes the one-shot hint.
+  static void record_warm_state(Workspace& ws, int nstruct) {
+    ws.prev_struct_state_.assign(ws.state_.begin(),
+                                 ws.state_.begin() + nstruct);
+    ws.warm_map_.clear();
+    ws.warm_cross_slot_ = false;
+  }
+
+  // Stores the finished solve's stats in the workspace and notifies its
+  // sink, if any.
+  static void publish_stats(Workspace& ws, const SolveStats& stats) {
+    ws.last_stats_ = stats;
+    if (ws.stats_sink_ != nullptr)
+      ws.stats_sink_->on_solve(stats, ws.stats_context_);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Tableau storage policies.
+//
+// The driver (SimplexEngineT) never touches coefficients directly; it goes
+// through this interface:
+//   reset/load_rows/append_unit  build-time population
+//   rhs/set_rhs/negate_row       rhs column + row orientation flips
+//   scan_row                     nonzero (col, value) pairs, ascending col
+//   price_accumulate             d[j] -= cb * a_ij over the row
+//   gather_col                   nonzero (row, value) pairs, ascending row
+//   pivot                        elementary row operations for one pivot
+//
+// Bit-identity contract: the dense driver loops always skipped exact-zero
+// coefficients in every decision (pricing eligibility, ratio test,
+// basic-value updates, pivot row selection), and the skipped zero-term
+// arithmetic is an IEEE no-op except for the sign of zero, which no solver
+// predicate observes. Both storages therefore present the same nonzero
+// sequences in the same (ascending) order, the driver takes the same
+// decisions, and the two engines produce bit-identical solutions.
+// ---------------------------------------------------------------------------
+
+// Dense storage: the row-major tableau this solver has always used, column
+// ntot holding B^-1 b. Operation order matches the pre-policy code exactly.
+struct DenseTableau {
+  explicit DenseTableau(Workspace& ws) : tab(ws.tab_) {}
+
+  void reset(int m_, int ntot_) {
+    m = m_;
+    ntot = ntot_;
+    width = ntot_ + 1;
+    tab.assign(static_cast<std::size_t>(m) * width, 0.0);
+  }
+
+  void load_rows(const Model& model) {
+    for (int r = 0; r < m; ++r) {
+      for (auto [v, c] : model.row_entries(r)) at(r, v) = c;
+      at(r, ntot) = model.row_rhs(r);
+    }
+  }
+
+  void append_unit(int r, int j, double v) { at(r, j) = v; }
+
+  double rhs(int r) const { return at(r, ntot); }
+
+  void negate_row(int r) {
+    double* row = &tab[static_cast<std::size_t>(r) * width];
+    for (int j = 0; j < width; ++j) row[j] = -row[j];
+  }
+
+  template <class F>
+  void scan_row(int r, int jlimit, F&& f) const {
+    const double* row = &tab[static_cast<std::size_t>(r) * width];
+    for (int j = 0; j < jlimit; ++j) {
+      const double a = row[j];
+      if (a != 0.0) f(j, a);
+    }
+  }
+
+  void price_accumulate(int i, double cb, double* d) const {
+    const double* row = &tab[static_cast<std::size_t>(i) * width];
+    for (int j = 0; j < ntot; ++j) d[j] -= cb * row[j];
+  }
+
+  void gather_col(int e, std::vector<std::pair<int, double>>& out) const {
+    for (int i = 0; i < m; ++i) {
+      const double a = tab[static_cast<std::size_t>(i) * width + e];
+      if (a != 0.0) out.emplace_back(i, a);
+    }
+  }
+
+  // `col_cache` holds the entering column's nonzero entries as gathered
+  // before this pivot; other rows' entries in that column are unchanged by
+  // the pivot-row scaling, so the cached factors equal the live ones.
+  void pivot(int row, int col,
+             const std::vector<std::pair<int, double>>& col_cache) {
+    const double inv = 1.0 / at(row, col);
+    double* prow = &tab[static_cast<std::size_t>(row) * width];
+    for (int j = 0; j < width; ++j) prow[j] *= inv;
+    prow[col] = 1.0;  // kill roundoff
+    for (const auto& [i, f] : col_cache) {
+      if (i == row) continue;
+      double* irow = &tab[static_cast<std::size_t>(i) * width];
+      for (int j = 0; j < width; ++j) irow[j] -= f * prow[j];
+      irow[col] = 0.0;
+    }
+  }
+
+  std::int64_t nonzeros() const {
+    std::int64_t nnz = 0;
+    for (int i = 0; i < m; ++i) {
+      const double* row = &tab[static_cast<std::size_t>(i) * width];
+      for (int j = 0; j < ntot; ++j)
+        if (row[j] != 0.0) ++nnz;
+    }
+    return nnz;
+  }
+
+  std::vector<double>& tab;
+  int m = 0, ntot = 0, width = 0;
+
+  double& at(int i, int j) {
+    return tab[static_cast<std::size_t>(i) * width + j];
+  }
+  double at(int i, int j) const {
+    return tab[static_cast<std::size_t>(i) * width + j];
+  }
+};
+
+// Sparse storage: per-row sorted (column, value) entry lists plus a dense
+// rhs column. Exact-zero results of row updates are dropped instead of
+// stored — equivalent to the dense storage holding a 0.0 the driver skips
+// everywhere. Fill-in stays bounded on this project's block-structured
+// LPs (user blocks never couple to each other under pivoting), which is
+// where the asymptotic win over the dense tableau comes from.
+struct SparseTableau {
+  using Entry = std::pair<int, double>;
+  using Row = std::vector<Entry>;
+
+  explicit SparseTableau(Workspace& ws)
+      : rows(ws.sp_rows_), rhs_(ws.sp_rhs_), merge_(ws.sp_merge_) {}
+
+  void reset(int m_, int ntot_) {
+    m = m_;
+    ntot = ntot_;
+    if (static_cast<int>(rows.size()) < m) rows.resize(m);
+    for (int r = 0; r < m; ++r) rows[r].clear();
+    rhs_.assign(m, 0.0);
+  }
+
+  void load_rows(const Model& model) {
+    for (int r = 0; r < m; ++r) {
+      Row& row = rows[r];
+      for (auto [v, c] : model.row_entries(r))
+        if (c != 0.0) row.emplace_back(v, c);
+      // Model merges duplicate coefficients, so columns are unique and the
+      // sort recovers the ascending order the dense scans walk in.
+      std::sort(row.begin(), row.end());
+      rhs_[r] = model.row_rhs(r);
+    }
+  }
+
+  // Build-time slack/artificial placement: both use columns strictly above
+  // every column already in the row, so appending keeps rows sorted.
+  void append_unit(int r, int j, double v) { rows[r].emplace_back(j, v); }
+
+  double rhs(int r) const { return rhs_[r]; }
+
+  void negate_row(int r) {
+    for (auto& e : rows[r]) e.second = -e.second;
+    rhs_[r] = -rhs_[r];
+  }
+
+  template <class F>
+  void scan_row(int r, int jlimit, F&& f) const {
+    for (const auto& [j, a] : rows[r]) {
+      if (j >= jlimit) break;
+      f(j, a);
+    }
+  }
+
+  void price_accumulate(int i, double cb, double* d) const {
+    for (const auto& [j, a] : rows[i]) d[j] -= cb * a;
+  }
+
+  void gather_col(int e, std::vector<Entry>& out) const {
+    for (int i = 0; i < m; ++i) {
+      const Row& row = rows[i];
+      auto it = std::lower_bound(
+          row.begin(), row.end(), e,
+          [](const Entry& ent, int j) { return ent.first < j; });
+      if (it != row.end() && it->first == e) out.emplace_back(i, it->second);
+    }
+  }
+
+  void pivot(int row, int col, const std::vector<Entry>& col_cache) {
+    Row& prow = rows[row];
+    const double inv = 1.0 / value_at(prow, col);
+    for (auto& e : prow) e.second *= inv;
+    rhs_[row] *= inv;
+    set_value(prow, col, 1.0);  // kill roundoff
+    for (const auto& [i, f] : col_cache) {
+      if (i == row) continue;
+      merge_sub(rows[i], f, prow, col);
+      rhs_[i] -= f * rhs_[row];
+    }
+  }
+
+  std::int64_t nonzeros() const {
+    std::int64_t nnz = 0;
+    for (int r = 0; r < m; ++r) nnz += static_cast<std::int64_t>(rows[r].size());
+    return nnz;
+  }
+
+  std::vector<Row>& rows;
+  std::vector<double>& rhs_;
+  Row& merge_;
+  int m = 0, ntot = 0;
+
+ private:
+  static double value_at(const Row& row, int col) {
+    auto it = std::lower_bound(
+        row.begin(), row.end(), col,
+        [](const Entry& ent, int j) { return ent.first < j; });
+    return it != row.end() && it->first == col ? it->second : 0.0;
+  }
+
+  static void set_value(Row& row, int col, double v) {
+    auto it = std::lower_bound(
+        row.begin(), row.end(), col,
+        [](const Entry& ent, int j) { return ent.first < j; });
+    if (it != row.end() && it->first == col) it->second = v;
+  }
+
+  // irow -= f * prow as a sorted merge; the entering column `col` is
+  // zeroed exactly (the dense code writes irow[col] = 0.0), and entries
+  // whose update cancels to exactly 0.0 are dropped.
+  void merge_sub(Row& irow, double f, const Row& prow, int col) {
+    merge_.clear();
+    std::size_t a = 0, b = 0;
+    const std::size_t na = irow.size(), nb = prow.size();
+    constexpr int kEnd = std::numeric_limits<int>::max();
+    while (a < na || b < nb) {
+      const int ja = a < na ? irow[a].first : kEnd;
+      const int jb = b < nb ? prow[b].first : kEnd;
+      if (ja < jb) {
+        if (ja != col) merge_.push_back(irow[a]);
+        ++a;
+      } else if (jb < ja) {
+        if (jb != col) {
+          const double v = -f * prow[b].second;
+          if (v != 0.0) merge_.emplace_back(jb, v);
+        }
+        ++b;
+      } else {
+        if (ja != col) {
+          const double v = irow[a].second - f * prow[b].second;
+          if (v != 0.0) merge_.emplace_back(ja, v);
+        }
+        ++a;
+        ++b;
+      }
+    }
+    irow.swap(merge_);
+  }
+};
+
+// The solver proper, templated on tableau storage. All working vectors live
+// in the caller's Workspace (bound by reference) so a long-lived workspace
+// turns every per-solve allocation into an assign() over retained capacity.
+template <class Tableau>
+class SimplexEngineT {
  public:
-  SimplexEngine(const Model& model, const Options& opt, Workspace& ws)
+  SimplexEngineT(const Model& model, const Options& opt, Workspace& ws)
       : model_(model),
         opt_(opt),
         ws_(ws),
-        tab_(ws.tab_),
+        tb_(ws),
         lo_(ws.lo_),
         hi_(ws.hi_),
         cost_(ws.cost_),
         state_(ws.state_),
         basis_(ws.basis_),
         xb_(ws.xb_),
-        dscratch_(ws.dscratch_) {
+        dscratch_(ws.dscratch_),
+        colbuf_(ws.colbuf_) {
     build();
   }
 
-  Solution run();
+  Solution run() {
+    Solution sol = run_phases();
+    stats_.fill_nonzeros = tb_.nonzeros();
+    return sol;
+  }
 
   // Per-solve introspection collected while running (see SolveStats).
   // Dimensions, wall time and status are stamped by solve().
   const SolveStats& stats() const { return stats_; }
 
-  // Saves the structural variables' final states into the workspace (for
-  // the next solve's warm start) and consumes the one-shot hint. Lives
-  // here because SimplexEngine is the Workspace's only friend.
-  static void record_warm_state(Workspace& ws, int nstruct) {
-    ws.prev_struct_state_.assign(ws.state_.begin(),
-                                 ws.state_.begin() + nstruct);
-    ws.warm_map_.clear();
-  }
-
-  // Stores the finished solve's stats in the workspace and notifies its
-  // sink, if any (also a friend-only door into Workspace internals).
-  static void publish_stats(Workspace& ws, const SolveStats& stats) {
-    ws.last_stats_ = stats;
-    if (ws.stats_sink_ != nullptr)
-      ws.stats_sink_->on_solve(stats, ws.stats_context_);
-  }
-
  private:
   void build();
+  Solution run_phases();
   // One simplex phase on objective `cost_`.
   Status iterate(int* iter_budget);
   void recompute_basic_values();
   double current_cost() const;
   int price(bool bland);  // entering column or -1
-  void pivot(int row, int col);
 
   double nonbasic_value(int j) const {
     return state_[j] == VarState::AtUpper ? hi_[j] : lo_[j];
@@ -132,13 +400,12 @@ class SimplexEngine {
   const Model& model_;
   const Options& opt_;
   Workspace& ws_;
+  Tableau tb_;
 
   int m_ = 0;        // rows
   int nstruct_ = 0;  // structural variables
   int ntot_ = 0;     // structural + slack + artificial
-  int width_ = 0;    // ntot_ + 1 (rhs column)
 
-  std::vector<double>& tab_;  // m_ x width_, row-major; column ntot_ is B^-1 b
   std::vector<double>& lo_;
   std::vector<double>& hi_;
   std::vector<double>& cost_;
@@ -146,6 +413,7 @@ class SimplexEngine {
   std::vector<int>& basis_;  // basis_[i] = variable basic in row i
   std::vector<double>& xb_;  // value of basis_[i]
   std::vector<double>& dscratch_;
+  std::vector<std::pair<int, double>>& colbuf_;
   int first_artificial_ = 0;
   SolveStats stats_;
   // Wall-clock watchdog (Options::max_seconds); invalid when unlimited.
@@ -159,16 +427,10 @@ class SimplexEngine {
       if (!std::isfinite(v)) return true;
     return false;
   }
-
-  double& T(int i, int j) {
-    return tab_[static_cast<std::size_t>(i) * width_ + j];
-  }
-  double T(int i, int j) const {
-    return tab_[static_cast<std::size_t>(i) * width_ + j];
-  }
 };
 
-void SimplexEngine::build() {
+template <class Tableau>
+void SimplexEngineT<Tableau>::build() {
   m_ = model_.num_rows();
   nstruct_ = model_.num_variables();
 
@@ -178,8 +440,7 @@ void SimplexEngine::build() {
 
   first_artificial_ = nstruct_ + nslack;
   ntot_ = first_artificial_ + m_;
-  width_ = ntot_ + 1;
-  tab_.assign(static_cast<std::size_t>(m_) * width_, 0.0);
+  tb_.reset(m_, ntot_);
 
   lo_.assign(ntot_, 0.0);
   hi_.assign(ntot_, kInf);
@@ -208,6 +469,7 @@ void SimplexEngine::build() {
                                           << " variables, model has "
                                           << nstruct_);
     stats_.warm_attempted = true;
+    stats_.warm_cross_slot = ws_.warm_cross_slot_;
     const int nprev = static_cast<int>(ws_.prev_struct_state_.size());
     for (int j = 0; j < nstruct_; ++j) {
       const int o = ws_.warm_map_[j];
@@ -225,20 +487,17 @@ void SimplexEngine::build() {
     }
   }
 
-  for (int r = 0; r < m_; ++r) {
-    for (auto [v, c] : model_.row_entries(r)) T(r, v) = c;
-    T(r, ntot_) = model_.row_rhs(r);
-  }
+  tb_.load_rows(model_);
 
   // Slacks: "<=" gets a +1 slack in [0, inf); ">=" a -1 surplus in [0, inf).
   int s = nstruct_;
   for (int r = 0; r < m_; ++r) {
     switch (model_.row_sense(r)) {
       case Sense::LessEqual:
-        T(r, s++) = 1.0;
+        tb_.append_unit(r, s++, 1.0);
         break;
       case Sense::GreaterEqual:
-        T(r, s++) = -1.0;
+        tb_.append_unit(r, s++, -1.0);
         break;
       case Sense::Equal:
         break;
@@ -250,24 +509,24 @@ void SimplexEngine::build() {
   // starting residual is negative are negated wholesale (the equation is
   // unchanged; only its orientation flips) before the +1 artificial enters.
   for (int r = 0; r < m_; ++r) {
-    double resid = T(r, ntot_);
-    for (int j = 0; j < first_artificial_; ++j) {
-      const double a = T(r, j);
-      if (a != 0.0) resid -= a * nonbasic_value(j);
-    }
+    double resid = tb_.rhs(r);
+    tb_.scan_row(r, first_artificial_, [&](int j, double a) {
+      resid -= a * nonbasic_value(j);
+    });
     if (resid < 0.0) {
-      for (int j = 0; j < width_; ++j) T(r, j) = -T(r, j);
+      tb_.negate_row(r);
       resid = -resid;
     }
     const int art = first_artificial_ + r;
-    T(r, art) = 1.0;
+    tb_.append_unit(r, art, 1.0);
     basis_[r] = art;
     state_[art] = VarState::Basic;
     xb_[r] = resid;
   }
 }
 
-double SimplexEngine::current_cost() const {
+template <class Tableau>
+double SimplexEngineT<Tableau>::current_cost() const {
   double c = 0.0;
   for (int j = 0; j < ntot_; ++j)
     if (state_[j] != VarState::Basic && cost_[j] != 0.0)
@@ -276,35 +535,33 @@ double SimplexEngine::current_cost() const {
   return c;
 }
 
-void SimplexEngine::recompute_basic_values() {
+template <class Tableau>
+void SimplexEngineT<Tableau>::recompute_basic_values() {
   lp_metrics().refactorizations.add();
   ++stats_.refactorizations;
   // x_B = (B^-1 b) - sum_{nonbasic j} (B^-1 A_j) * xval_j; both factors live
   // in the updated tableau.
   for (int i = 0; i < m_; ++i) {
-    double v = T(i, ntot_);
-    const double* row = &tab_[static_cast<std::size_t>(i) * width_];
-    for (int j = 0; j < ntot_; ++j) {
-      if (state_[j] == VarState::Basic) continue;
-      const double a = row[j];
-      if (a == 0.0) continue;
+    double v = tb_.rhs(i);
+    tb_.scan_row(i, ntot_, [&](int j, double a) {
+      if (state_[j] == VarState::Basic) return;
       const double xv = nonbasic_value(j);
       if (xv != 0.0) v -= a * xv;
-    }
+    });
     xb_[i] = v;
   }
 }
 
-int SimplexEngine::price(bool bland) {
+template <class Tableau>
+int SimplexEngineT<Tableau>::price(bool bland) {
   // Reduced costs d_j = c_j - c_B^T (B^-1 A_j), accumulated row-wise so the
-  // dense tableau is walked cache-friendly.
+  // tableau is walked storage-friendly.
   double* d = dscratch_.data();
   for (int j = 0; j < ntot_; ++j) d[j] = cost_[j];
   for (int i = 0; i < m_; ++i) {
     const double cb = cost_[basis_[i]];
     if (cb == 0.0) continue;
-    const double* row = &tab_[static_cast<std::size_t>(i) * width_];
-    for (int j = 0; j < ntot_; ++j) d[j] -= cb * row[j];
+    tb_.price_accumulate(i, cb, d);
   }
 
   int best = -1;
@@ -328,22 +585,8 @@ int SimplexEngine::price(bool bland) {
   return best;
 }
 
-void SimplexEngine::pivot(int row, int col) {
-  const double inv = 1.0 / T(row, col);
-  double* prow = &tab_[static_cast<std::size_t>(row) * width_];
-  for (int j = 0; j < width_; ++j) prow[j] *= inv;
-  prow[col] = 1.0;  // kill roundoff
-  for (int i = 0; i < m_; ++i) {
-    if (i == row) continue;
-    const double f = T(i, col);
-    if (f == 0.0) continue;
-    double* irow = &tab_[static_cast<std::size_t>(i) * width_];
-    for (int j = 0; j < width_; ++j) irow[j] -= f * prow[j];
-    irow[col] = 0.0;
-  }
-}
-
-Status SimplexEngine::iterate(int* iter_budget) {
+template <class Tableau>
+Status SimplexEngineT<Tableau>::iterate(int* iter_budget) {
   bool bland = false;
   int stall = 0;
   double best_obj = current_cost();
@@ -369,14 +612,19 @@ Status SimplexEngine::iterate(int* iter_budget) {
     const double dir = state_[e] == VarState::AtLower ? 1.0 : -1.0;
     const double span = hi_[e] - lo_[e];  // may be +inf
 
+    // The entering column is gathered once per iteration; its nonzero
+    // entries (ascending row) serve the ratio test, the bound-flip / step
+    // updates of the basic values, and the pivot's row eliminations.
+    colbuf_.clear();
+    tb_.gather_col(e, colbuf_);
+
     // Ratio test: entering moves by t >= 0 in direction dir; basic i changes
     // at rate delta_i = -dir * T(i, e).
     double t_best = kInf;
     int leave_row = -1;
     bool leave_at_upper = false;
     double leave_pivot = 0.0;
-    for (int i = 0; i < m_; ++i) {
-      const double a = T(i, e);
+    for (const auto& [i, a] : colbuf_) {
       if (std::abs(a) < opt_.pivot_tol) continue;
       const double delta = -dir * a;
       const int b = basis_[i];
@@ -413,18 +661,14 @@ Status SimplexEngine::iterate(int* iter_budget) {
       ++stats_.bound_flips;
       state_[e] = state_[e] == VarState::AtLower ? VarState::AtUpper
                                                  : VarState::AtLower;
-      for (int i = 0; i < m_; ++i) {
-        const double a = T(i, e);
-        if (a != 0.0) xb_[i] -= dir * a * span;
-      }
+      for (const auto& [i, a] : colbuf_) xb_[i] -= dir * a * span;
     } else {
       GC_CHECK(leave_row >= 0);
       const double t = t_best;
       const double enter_val = nonbasic_value(e) + dir * t;
-      for (int i = 0; i < m_; ++i) {
+      for (const auto& [i, a] : colbuf_) {
         if (i == leave_row) continue;
-        const double a = T(i, e);
-        if (a != 0.0) xb_[i] -= dir * a * t;
+        xb_[i] -= dir * a * t;
       }
       const int leaving = basis_[leave_row];
       state_[leaving] = leave_at_upper ? VarState::AtUpper : VarState::AtLower;
@@ -433,7 +677,7 @@ Status SimplexEngine::iterate(int* iter_budget) {
       // A zero-length step is the degeneracy that stalls dense simplex on
       // big scheduling LPs — worth its own count.
       if (t <= kTie) ++stats_.degenerate_pivots;
-      pivot(leave_row, e);
+      tb_.pivot(leave_row, e, colbuf_);
       basis_[leave_row] = e;
       state_[e] = VarState::Basic;
       xb_[leave_row] = enter_val;
@@ -456,7 +700,8 @@ Status SimplexEngine::iterate(int* iter_budget) {
   }
 }
 
-Solution SimplexEngine::run() {
+template <class Tableau>
+Solution SimplexEngineT<Tableau>::run_phases() {
   Solution sol;
   int budget = opt_.max_iterations;
   if (opt_.max_seconds > 0.0) {
@@ -527,6 +772,32 @@ Solution SimplexEngine::run() {
   return sol;
 }
 
+namespace {
+
+// Storage selection (Options::sparse): Auto routes a solve to the sparse
+// engine when the dense tableau would be big (cells = rows x (total
+// columns + 1), counting slacks and artificials) AND the structural
+// coefficient matrix is thin. Pure speed heuristic — both engines produce
+// bit-identical results.
+bool pick_sparse(const Model& model, const Options& options,
+                 std::int64_t nnz) {
+  if (options.sparse == SparseMode::Force) return true;
+  if (options.sparse == SparseMode::Never) return false;
+  const std::int64_t rows = model.num_rows();
+  const std::int64_t cols = model.num_variables();
+  if (rows <= 0 || cols <= 0) return false;
+  std::int64_t nslack = 0;
+  for (int r = 0; r < rows; ++r)
+    if (model.row_sense(r) != Sense::Equal) ++nslack;
+  const std::int64_t cells = rows * (cols + nslack + rows + 1);
+  if (cells < options.sparse_min_cells) return false;
+  const double density =
+      static_cast<double>(nnz) / static_cast<double>(rows * cols);
+  return density <= options.sparse_max_density;
+}
+
+}  // namespace
+
 Solution solve(const Model& model, const Options& options,
                Workspace& workspace) {
   SimplexMetrics& m = lp_metrics();
@@ -535,11 +806,26 @@ Solution solve(const Model& model, const Options& options,
   // to LP size classes (obs/profile.hpp).
   obs::Span span("lp.solve", -1, model.num_variables());
   obs::StopWatch wall;
-  SimplexEngine s(model, options, workspace);
-  Solution sol = s.run();
+
+  std::int64_t nnz = 0;
+  for (int r = 0; r < model.num_rows(); ++r)
+    nnz += static_cast<std::int64_t>(model.row_entries(r).size());
+  const bool use_sparse = pick_sparse(model, options, nnz);
+
+  Solution sol;
+  SolveStats stats;
+  if (use_sparse) {
+    SimplexEngineT<SparseTableau> s(model, options, workspace);
+    sol = s.run();
+    stats = s.stats();
+  } else {
+    SimplexEngineT<DenseTableau> s(model, options, workspace);
+    sol = s.run();
+    stats = s.stats();
+  }
   // Record the structural variables' final states for the next solve's
   // warm start and consume the (one-shot) hint that fed this one.
-  SimplexEngine::record_warm_state(workspace, model.num_variables());
+  WorkspaceHooks::record_warm_state(workspace, model.num_variables());
   m.solves.add();
   m.iterations.add(sol.iterations);
   if (sol.status == Status::TimeLimit) m.time_limits.add();
@@ -547,13 +833,10 @@ Solution solve(const Model& model, const Options& options,
 
   // Per-solve introspection (always collected; only the registry
   // instruments below compile out under GC_OBS_DISABLE).
-  SolveStats stats = s.stats();
   stats.rows = model.num_rows();
   stats.cols = model.num_variables();
-  int nnz = 0;
-  for (int r = 0; r < stats.rows; ++r)
-    nnz += static_cast<int>(model.row_entries(r).size());
-  stats.nonzeros = nnz;
+  stats.nonzeros = static_cast<int>(nnz);
+  stats.sparse = use_sparse;
   stats.wall_s = wall.elapsed_seconds();
   stats.status = sol.status;
   // "Accepted" = the hint survived to the engine and mapped at least one
@@ -568,12 +851,18 @@ Solution solve(const Model& model, const Options& options,
   // Only warm solves contribute, so events() counts attempts, not solves.
   if (stats.warm_attempted)
     m.warmstart_vars_reused.add(stats.warm_vars_reused);
+  if (stats.warm_attempted && stats.warm_cross_slot)
+    m.warmstart_cross_slot_attempted.add();
+  if (warm_accepted && stats.warm_cross_slot)
+    m.warmstart_cross_slot_accepted.add();
   m.numeric_repairs.add(stats.numeric_repairs);
+  if (use_sparse) m.sparse_solves.add();
+  m.fill_nonzeros.observe(static_cast<double>(stats.fill_nonzeros));
   m.rows.observe(stats.rows);
   m.cols.observe(stats.cols);
   m.nonzeros.observe(stats.nonzeros);
 
-  SimplexEngine::publish_stats(workspace, stats);
+  WorkspaceHooks::publish_stats(workspace, stats);
   return sol;
 }
 

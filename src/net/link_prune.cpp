@@ -1,0 +1,42 @@
+#include "net/link_prune.hpp"
+
+namespace gc::net {
+
+LinkPruneMap::LinkPruneMap(const Topology& topo, const Spectrum& spectrum,
+                           const RadioParams& radio,
+                           const std::vector<double>& max_tx_power_w)
+    : n_(topo.num_nodes()), built_version_(topo.version()) {
+  GC_CHECK_MSG(static_cast<int>(max_tx_power_w.size()) == n_,
+               "one max transmit power per node");
+  reach_.assign(static_cast<std::size_t>(n_) * n_, 0);
+  out_.assign(static_cast<std::size_t>(n_), {});
+
+  // Per band, the smallest received power that could ever meet the SINR
+  // threshold: noise only (interference can only add) over the band's
+  // minimum bandwidth (band 0 is the fixed cellular band; random bands
+  // realize in [lo, hi], so lo is their floor).
+  const auto& sc = spectrum.config();
+  const int bands = spectrum.num_bands();
+  std::vector<double> need_w(static_cast<std::size_t>(bands), 0.0);
+  for (int m = 0; m < bands; ++m) {
+    const double w_min =
+        m == 0 ? sc.cellular_bandwidth_hz : sc.random_bandwidth_lo_hz;
+    need_w[m] = radio.sinr_threshold * radio.noise_psd_w_per_hz * w_min;
+  }
+
+  for (int tx = 0; tx < n_; ++tx) {
+    for (int rx = 0; rx < n_; ++rx) {
+      if (rx == tx) continue;
+      const double received_max = max_tx_power_w[tx] * topo.gain(tx, rx);
+      bool ok = false;
+      for (int m = 0; m < bands && !ok; ++m)
+        ok = spectrum.link_band_ok(tx, rx, m) && received_max >= need_w[m];
+      if (!ok) continue;
+      reach_[static_cast<std::size_t>(tx) * n_ + rx] = 1;
+      out_[tx].push_back(rx);
+      ++kept_;
+    }
+  }
+}
+
+}  // namespace gc::net

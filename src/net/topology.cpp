@@ -57,6 +57,7 @@ double Topology::gain(int i, int j) const {
 
 void Topology::set_position(int node, const Vec2& position) {
   check(node);
+  ++version_;
   pos_[node] = position;
   const int n = num_nodes();
   for (int other = 0; other < n; ++other) {

@@ -6,6 +6,7 @@
 // are mobile users.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "util/check.hpp"
@@ -56,6 +57,11 @@ class Topology {
 
   const PropagationParams& propagation() const { return prop_; }
 
+  // Monotone mutation counter, bumped by every set_position. Lets caches
+  // derived from positions (core::NetworkModel's link-prune map) detect
+  // staleness lazily instead of rebuilding on every mobility step.
+  std::uint64_t version() const { return version_; }
+
  private:
   int check(int node) const {
     GC_CHECK_MSG(node >= 0 && node < num_nodes(), "bad node index " << node);
@@ -66,6 +72,7 @@ class Topology {
   int num_bs_;
   PropagationParams prop_;
   std::vector<double> gain_;  // cached num_nodes x num_nodes
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace gc::net

@@ -72,6 +72,7 @@ void Profile::merge_from(const Profile& other) {
   if (meta.scenario.empty()) meta.scenario = other.meta.scenario;
   if (meta.nodes == 0) meta.nodes = other.meta.nodes;
   if (meta.links == 0) meta.links = other.meta.links;
+  if (meta.links_pruned == 0) meta.links_pruned = other.meta.links_pruned;
   if (meta.sessions == 0) meta.sessions = other.meta.sessions;
   meta.slots += other.meta.slots;
   meta.wall_s += other.meta.wall_s;
@@ -248,6 +249,8 @@ std::string Profile::to_json() const {
   append_num(&body, "%.0f", static_cast<double>(meta.nodes));
   body += ",\"links\":";
   append_num(&body, "%.0f", static_cast<double>(meta.links));
+  body += ",\"links_pruned\":";
+  append_num(&body, "%.0f", static_cast<double>(meta.links_pruned));
   body += ",\"sessions\":";
   append_num(&body, "%.0f", static_cast<double>(meta.sessions));
   body += ",\"slots\":";

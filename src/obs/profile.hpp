@@ -58,6 +58,10 @@ struct ProfileMeta {
   int links = 0;
   int sessions = 0;
   int slots = 0;
+  // Ordered (tx, rx) pairs range pruning removed from the candidate scans
+  // (net/link_prune.hpp); 0 when --link-prune is off. Stamped so a
+  // perf_report speedup stays attributable to the smaller scan.
+  std::int64_t links_pruned = 0;
   double wall_s = 0.0;
   double slots_per_s = 0.0;
   std::int64_t spans_dropped = 0;  // ring overflow during capture

@@ -12,15 +12,20 @@
 //    wall-clock timing is carried along but is inherently nondeterministic),
 //  * optionally the mobility walker (trips + RNG) and the user positions,
 //  * optionally the StabilityAuditor's accumulated state, so a resumed
-//    run's stability digest matches an uninterrupted run's.
+//    run's stability digest matches an uninterrupted run's,
+//  * optionally the controller's cross-slot LP warm-start carry
+//    (ControllerOptions::warm_across_slots), so the resumed run's first
+//    slot warm-starts from exactly the hints the uninterrupted run would
+//    have used — replay stays bit-identical even though warm starts make
+//    each slot's schedule depend on the previous slot's LP bases.
 //
 // Serialization is a versioned binary format: the 8-byte magic "GCCKPT01",
-// a u32 format version (currently 3), a u64 payload size, a CRC-32 of the
+// a u32 format version (currently 4), a u64 payload size, a CRC-32 of the
 // payload, then the payload itself as fixed-width little-endian fields
 // (doubles as their IEEE-754 bit patterns, so the round trip is bit-exact).
 // v3 added the size + CRC header, the structural scenario hash, and the
-// auditor state; v1/v2 files are refused loudly — re-run from slot 0 rather
-// than resuming with silently missing state. save_checkpoint writes to a
+// auditor state; v4 the warm-start carry; older files are refused loudly —
+// re-run from slot 0 rather than resuming with silently missing state. save_checkpoint writes to a
 // temp file, fsyncs it, and renames it into place, so neither a crash
 // mid-write nor a power loss after the rename corrupts the previous
 // checkpoint. Every load-time corruption (truncation, bit flip, wrong
@@ -52,7 +57,7 @@
 namespace gc::sim {
 
 inline constexpr char kCheckpointMagic[9] = "GCCKPT01";
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 // Load-time corruption (missing file, bad magic, unsupported version,
 // truncation, CRC mismatch, trailing bytes). A CheckError subtype so
@@ -92,6 +97,11 @@ struct Checkpoint {
   // Stability auditor accumulators (absent for audit-off runs).
   bool has_audit = false;
   obs::AuditorState audit;
+
+  // Cross-slot LP warm-start carry (absent unless the run enables
+  // ControllerOptions::warm_across_slots).
+  bool has_warm = false;
+  core::LyapunovController::WarmCarry warm;
 };
 
 // Captures the full loop state after slot `next_slot - 1` completed.

@@ -169,6 +169,7 @@ core::NetworkModel ScenarioConfig::build() const {
   mc.tariff_multipliers = tariff_multipliers;
   mc.phy_policy = phy_policy;
   mc.traffic = traffic_model;
+  mc.link_prune = link_prune;
 
   return core::NetworkModel(
       std::move(topo), std::move(spec), radio, std::move(nodes),

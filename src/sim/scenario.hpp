@@ -137,6 +137,14 @@ struct ScenarioConfig {
   bool multihop = true;
   bool renewables = true;
 
+  // Exact radio-range link pruning (core::ModelConfig::link_prune;
+  // --link-prune on to enable). A run parameter, not a scenario-JSON
+  // field: pruning never changes which links CAN carry traffic, only which
+  // provably-dead pairs the scheduler bothers scanning — but freeing the
+  // radios those pairs used to waste changes the realized schedule, so the
+  // default stays off to keep the paper baseline bit-identical.
+  bool link_prune = false;
+
   // Radios per node (extension; the paper's constraint (22) is 1).
   int bs_radios = 1;
   int user_radios = 1;

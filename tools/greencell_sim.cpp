@@ -115,6 +115,8 @@ gc::obs::ProfileMeta make_profile_meta(const gc::cli::Options& opt,
   meta.scenario = opt.scenario_name;
   meta.nodes = model.num_nodes();
   meta.links = count_allowed_links(model);
+  if (const gc::net::LinkPruneMap* prune = model.pruned_links())
+    meta.links_pruned = prune->pruned_links();
   meta.sessions = model.num_sessions();
   meta.slots = slots;
   meta.wall_s = wall_s;
@@ -234,6 +236,9 @@ int run_replicates(const gc::cli::Options& opt,
   for (int k = 0; k < opt.seeds; ++k) {
     gc::sim::SimJob job;
     job.scenario = opt.scenario;
+    // Run parameter, not a scenario-JSON field: applied on top of whatever
+    // scenario the replicate runs (see ScenarioConfig::link_prune).
+    job.scenario.link_prune = opt.link_prune;
     job.V = opt.V;
     job.slots = opt.slots;
     job.sim.input_seed = opt.input_seed + static_cast<std::uint64_t>(k);
@@ -261,6 +266,10 @@ int run_replicates(const gc::cli::Options& opt,
       job.sim.sink_resume = true;
       job.sim.process_kill_skip = crash_restarts;
     }
+    gc::core::ControllerOptions copts = opt.scenario.controller_options();
+    copts.lp.sparse = opt.lp_sparse;
+    copts.warm_across_slots = opt.lp_warm_slots;
+    copts.intra_slot_threads = opt.intra_slot_threads;
     if (!opt.lp_log_path.empty()) {
       const std::string lp_path = seed_suffixed(opt.lp_log_path, k);
       bool append = false;
@@ -281,11 +290,10 @@ int run_replicates(const gc::cli::Options& opt,
       }
       lp_logs.push_back(
           std::make_unique<gc::lp::JsonlSolveLog>(lp_path, append));
-      gc::core::ControllerOptions copts = opt.scenario.controller_options();
       copts.lp_stats = lp_logs.back().get();
-      job.controller = copts;
       job.sim.lp_sink = lp_logs.back().get();
     }
+    job.controller = copts;
     if (opt.mobility_mps > 0.0) {
       gc::sim::MobilityConfig mob;
       mob.speed_mps_lo = 0.0;
@@ -452,9 +460,16 @@ int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
                   gc::scenario::hash_hex(active_hash).c_str());
   }
 
+  // Performance levers ride on top of the scenario (they are run
+  // parameters, never part of the spec or its hash).
+  active_scenario.link_prune = opt.link_prune;
+
   gc::core::NetworkModel model = active_scenario.build();
   gc::core::ControllerOptions controller_opts =
       active_scenario.controller_options();
+  controller_opts.lp.sparse = opt.lp_sparse;
+  controller_opts.warm_across_slots = opt.lp_warm_slots;
+  controller_opts.intra_slot_threads = opt.intra_slot_threads;
 
   // A supervised attempt always auto-resumes from the checkpoint base (a
   // crash may have landed before the first checkpoint existed, so the
