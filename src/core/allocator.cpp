@@ -12,15 +12,15 @@ std::vector<AdmissionDecision> allocate_resources(
   static thread_local obs::Counter& throttled =
       obs::registry().counter("admit.throttled_sessions");
   const auto& model = state.model();
-  const auto down = [&](int b) {
-    return inputs != nullptr && inputs->node_is_down(b);
+  const auto inactive = [&](int b) {
+    return inputs != nullptr && inputs->node_is_inactive(b);
   };
   std::vector<AdmissionDecision> out(
       static_cast<std::size_t>(model.num_sessions()));
   for (int s = 0; s < model.num_sessions(); ++s) {
     int best = -1;
     for (int b = 0; b < model.num_base_stations(); ++b) {
-      if (down(b)) continue;  // a down BS admits nothing
+      if (inactive(b)) continue;  // a down or sleeping BS admits nothing
       if (best < 0 || state.q(b, s) < state.q(best, s)) best = b;
     }
     out[s].source_bs = best;

@@ -232,16 +232,26 @@ SlotDecision LyapunovController::step(const SlotInputs& inputs) {
   }
 
   // S4 — energy management for the demand the schedule implies (ladder:
-  // Lp -> Price). A down node demands nothing, not even its baseline draw.
+  // Lp -> Price). A down node demands nothing, not even its baseline draw;
+  // an asleep node's demand is replaced by the policy layer's sleep power
+  // (plus switching energy), which it still purchases normally; an awake
+  // node with a pending switch charge (instant wake) pays it on top.
   {
     obs::ScopedTimer t(m.s4, &decision.timing.s4_s);
     obs::Span span("controller.s4_energy", state_.slot());
     std::vector<double> demands =
         compute_energy_demands(*model_, decision.schedule);
     span.set_dim(static_cast<std::int64_t>(demands.size()));
-    if (inputs.any_node_down())
-      for (std::size_t i = 0; i < demands.size(); ++i)
-        if (inputs.node_is_down(static_cast<int>(i))) demands[i] = 0.0;
+    if (inputs.any_node_inactive() || !inputs.policy_demand_j.empty())
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        const int node = static_cast<int>(i);
+        if (inputs.node_is_down(node))
+          demands[i] = 0.0;  // an outage silences even sleep power
+        else if (inputs.node_is_asleep(node))
+          demands[i] = inputs.policy_demand(node);
+        else
+          demands[i] += inputs.policy_demand(node);
+      }
     EnergyResult energy;
     EnergyLpOptions eopt;
     eopt.decompose = options_.s4_decompose;

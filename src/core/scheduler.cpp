@@ -124,10 +124,10 @@ std::vector<CandidateLinkBand> build_candidates(const NetworkState& state,
   const net::LinkPruneMap* prune = model.pruned_links();
   std::vector<CandidateLinkBand> out;
   for (int i = 0; i < n; ++i) {
-    if (inputs.node_is_down(i)) continue;
+    if (inputs.node_is_inactive(i)) continue;  // down or asleep: no radio
     const auto scan_rx = [&](int j) {
       if (!model.link_allowed(i, j)) return;
-      if (inputs.node_is_down(j) || inputs.link_is_faded(i, j, n)) return;
+      if (inputs.node_is_inactive(j) || inputs.link_is_faded(i, j, n)) return;
       const double h = state.h(i, j);
       if (h <= 0.0) return;  // SF fixes alpha = 0 when H_ij = 0
       for (int m = 0; m < model.num_bands(); ++m) {
@@ -169,10 +169,10 @@ std::vector<CandidateLinkBand> build_fill_in_candidates(
   const net::LinkPruneMap* prune = model.pruned_links();
   std::vector<CandidateLinkBand> out;
   for (int i = 0; i < n; ++i) {
-    if (usage.node_saturated(i) || inputs.node_is_down(i)) continue;
+    if (usage.node_saturated(i) || inputs.node_is_inactive(i)) continue;
     const auto scan_rx = [&](int j) {
       if (usage.node_saturated(j) || !model.link_allowed(i, j)) return;
-      if (inputs.node_is_down(j) || inputs.link_is_faded(i, j, n)) return;
+      if (inputs.node_is_inactive(j) || inputs.link_is_faded(i, j, n)) return;
       // Best Psi3 differential any session could realize on (i, j), and
       // whether j is some session's destination (a delivery link: exempt
       // from the energy penalty, since (18) makes delivery an obligation

@@ -39,8 +39,29 @@ struct SlotInputs {
   std::vector<char> link_faded;  // empty or num_nodes^2, row-major
   double cost_multiplier = 1.0;
 
+  // Sleep overlay (src/policy). An asleep base station is masked out of
+  // S1–S3 exactly like a down node — its data and virtual queues freeze,
+  // sessions admit and route around it — but unlike a down node it still
+  // PAYS for energy: its S4 demand is replaced by policy_demand_j (tier
+  // sleep power plus any switching energy this slot), which it may serve
+  // from the grid, renewables, or its battery, and it keeps harvesting
+  // (charging) while asleep. A node that is both down and asleep behaves
+  // as down: the outage zeroes the demand too.
+  std::vector<char> node_asleep;        // empty or indexed by node
+  std::vector<double> policy_demand_j;  // empty or indexed by node
+
   bool node_is_down(int node) const {
     return !node_down.empty() && node_down[node] != 0;
+  }
+  bool node_is_asleep(int node) const {
+    return !node_asleep.empty() && node_asleep[node] != 0;
+  }
+  // Masked out of the combinatorial subproblems (S1–S3): down or asleep.
+  bool node_is_inactive(int node) const {
+    return node_is_down(node) || node_is_asleep(node);
+  }
+  double policy_demand(int node) const {
+    return policy_demand_j.empty() ? 0.0 : policy_demand_j[node];
   }
   bool link_is_faded(int tx, int rx, int num_nodes) const {
     return !link_faded.empty() &&
@@ -51,6 +72,12 @@ struct SlotInputs {
       if (d) return true;
     return false;
   }
+  bool any_node_asleep() const {
+    for (char d : node_asleep)
+      if (d) return true;
+    return false;
+  }
+  bool any_node_inactive() const { return any_node_down() || any_node_asleep(); }
 };
 
 // One active alpha_ij^m(t) = 1 with its transmission power and realized

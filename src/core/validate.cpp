@@ -136,9 +136,17 @@ std::vector<std::string> validate_decision(const NetworkState& pre_state,
   std::vector<double> demands =
       compute_energy_demands(model, decision.schedule);
   // A down node (fault overlay) consumes nothing — not even its baseline
-  // draw — and must not act at all this slot.
-  for (int i = 0; i < n; ++i)
-    if (inputs.node_is_down(i)) demands[i] = 0.0;
+  // draw — and must not act at all this slot. A sleeping node (policy
+  // overlay) consumes exactly its sleep power plus any switching charge;
+  // an awake node pays any switching charge on top of its schedule draw.
+  for (int i = 0; i < n; ++i) {
+    if (inputs.node_is_down(i))
+      demands[i] = 0.0;
+    else if (inputs.node_is_asleep(i))
+      demands[i] = inputs.policy_demand(i);
+    else
+      demands[i] += inputs.policy_demand(i);
+  }
   double p_total = 0.0;
   for (int i = 0; i < n; ++i) {
     const auto& e = decision.energy[i];
@@ -192,20 +200,20 @@ std::vector<std::string> validate_decision(const NetworkState& pre_state,
                decision.cost) > tol * (1.0 + decision.cost))
     fail("cost f(P) mismatch");
 
-  // Down nodes must be absent from the schedule, the routes, and the
-  // admission sources.
-  if (inputs.any_node_down()) {
+  // Down or sleeping nodes must be absent from the schedule, the routes,
+  // and the admission sources.
+  if (inputs.any_node_inactive()) {
     for (const auto& sl : decision.schedule)
-      if (inputs.node_is_down(sl.tx) || inputs.node_is_down(sl.rx))
-        fail(str("down node scheduled on ", sl.tx, "->", sl.rx));
+      if (inputs.node_is_inactive(sl.tx) || inputs.node_is_inactive(sl.rx))
+        fail(str("inactive node scheduled on ", sl.tx, "->", sl.rx));
     for (const auto& r : decision.routes)
-      if (inputs.node_is_down(r.tx) || inputs.node_is_down(r.rx))
-        fail(str("down node routed on ", r.tx, "->", r.rx));
+      if (inputs.node_is_inactive(r.tx) || inputs.node_is_inactive(r.rx))
+        fail(str("inactive node routed on ", r.tx, "->", r.rx));
     for (std::size_t s = 0; s < decision.admissions.size(); ++s) {
       const auto& adm = decision.admissions[s];
       if (adm.packets > tol && adm.source_bs >= 0 &&
-          inputs.node_is_down(adm.source_bs))
-        fail(str("session ", s, " admitted at down BS ", adm.source_bs));
+          inputs.node_is_inactive(adm.source_bs))
+        fail(str("session ", s, " admitted at inactive BS ", adm.source_bs));
     }
   }
 

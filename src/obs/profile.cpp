@@ -79,6 +79,10 @@ void Profile::merge_from(const Profile& other) {
   meta.slots_per_s =
       meta.wall_s > 0.0 ? static_cast<double>(meta.slots) / meta.wall_s : 0.0;
   meta.spans_dropped += other.meta.spans_dropped;
+  if (meta.policy.empty()) meta.policy = other.meta.policy;
+  meta.policy_switches += other.meta.policy_switches;
+  meta.policy_switch_energy_j += other.meta.policy_switch_energy_j;
+  meta.policy_sleep_slots += other.meta.policy_sleep_slots;
 }
 
 Profile build_profile(const std::vector<SpanEvent>& spans) {
@@ -261,6 +265,16 @@ std::string Profile::to_json() const {
   append_num(&body, "%.6f", meta.slots_per_s);
   body += ",\"spans_dropped\":";
   append_num(&body, "%.0f", static_cast<double>(meta.spans_dropped));
+  if (!meta.policy.empty()) {
+    body += ",\"policy\":{\"name\":\"" + json_escape(meta.policy) +
+            "\",\"switches\":";
+    append_num(&body, "%.0f", static_cast<double>(meta.policy_switches));
+    body += ",\"switch_energy_j\":";
+    append_num(&body, "%.6f", meta.policy_switch_energy_j);
+    body += ",\"sleep_slots\":";
+    append_num(&body, "%.0f", static_cast<double>(meta.policy_sleep_slots));
+    body += "}";
+  }
   body += ",\"orphans\":";
   append_num(&body, "%.0f", static_cast<double>(orphans));
   body += ",\"root\":\n";

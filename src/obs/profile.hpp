@@ -65,6 +65,13 @@ struct ProfileMeta {
   double wall_s = 0.0;
   double slots_per_s = 0.0;
   std::int64_t spans_dropped = 0;  // ring overflow during capture
+  // Sleep-policy layer (src/policy): the run's policy name and cumulative
+  // switch counters. Empty name = policy-free run — the "policy" object is
+  // then omitted from the JSON, keeping pre-policy artifacts byte-stable.
+  std::string policy;
+  std::int64_t policy_switches = 0;
+  double policy_switch_energy_j = 0.0;
+  std::int64_t policy_sleep_slots = 0;
 };
 
 struct Profile {

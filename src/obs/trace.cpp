@@ -105,6 +105,15 @@ void TraceSink::write(const TraceRecord& r) {
     append_field(s, "window_unstable", r.window_unstable ? 1.0 : 0.0);
     s += "}";
   }
+  if (r.has_policy) {
+    s += ",\"policy\":{";
+    append_field(s, "awake_bs", r.awake_bs, /*first=*/true);
+    append_field(s, "asleep_bs", r.asleep_bs);
+    append_field(s, "waking_bs", r.waking_bs);
+    append_field(s, "switches", r.policy_switches);
+    append_field(s, "switch_energy_j", r.switch_energy_j);
+    s += "}";
+  }
   s += ",\"top_backlog\":[";
   for (std::size_t i = 0; i < r.top_backlog.size(); ++i) {
     if (i) s += ',';

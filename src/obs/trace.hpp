@@ -59,6 +59,14 @@ struct TraceRecord {
   double worst_z_margin_j = 0.0;
   int stability_violations = 0;  // q + z + drift violations this slot
   bool window_unstable = false;
+  // Sleep-policy controller (src/policy): the slot's awake/asleep/waking
+  // split and the run-cumulative switch counters. Serialized as a "policy"
+  // group only when has_policy is set (policy-free runs keep the old
+  // schema byte for byte).
+  bool has_policy = false;
+  int awake_bs = 0, asleep_bs = 0, waking_bs = 0;
+  double policy_switches = 0.0;     // cumulative sleep/wake commands
+  double switch_energy_j = 0.0;     // cumulative switching energy charged
   // The k nodes carrying the largest total data backlog, worst first.
   std::vector<std::pair<int, double>> top_backlog;  // (node, packets)
 };

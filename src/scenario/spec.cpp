@@ -10,6 +10,7 @@
 
 #include "energy/tariff.hpp"
 #include "obs/json.hpp"
+#include "policy/sleep.hpp"
 #include "util/check.hpp"
 
 namespace gc::scenario {
@@ -87,6 +88,21 @@ class Section {
     const JsonValue* child =
         v_ != nullptr && v_->has(key) ? &v_->at(key) : nullptr;
     return Section(child, join(key));
+  }
+
+  // Array of objects: each element becomes its own Section at path
+  // "key[i]". An absent key yields an empty vector.
+  std::vector<Section> sub_array(const char* key) {
+    note(key);
+    std::vector<Section> out;
+    if (v_ == nullptr || !v_->has(key)) return out;
+    const JsonValue& j = v_->at(key);
+    if (!j.is_array())
+      fail(join(key), "expected array of objects, got " + kind_name(j));
+    for (std::size_t i = 0; i < j.as_array().size(); ++i)
+      out.emplace_back(&j.as_array()[i],
+                       join(key) + "[" + std::to_string(i) + "]");
+    return out;
   }
 
   double number(const char* key, double def, Num domain) {
@@ -239,6 +255,10 @@ const std::vector<std::string> kTariffKinds = {"flat", "time_of_use",
                                                "trace"};
 const std::vector<std::string> kPhyPolicies = {"min_power_fixed_rate",
                                                "max_power_adaptive_rate"};
+// Must match policy::parse_sleep_policy / sleep_policy_name and the
+// SleepPolicy enum order.
+const std::vector<std::string> kSleepPolicies = {
+    "always-on", "threshold", "hysteresis", "drift-plus-penalty"};
 
 void parse_battery(Section& s, double& capacity_j, double& charge_j,
                    double& discharge_j, double& initial_frac) {
@@ -463,6 +483,53 @@ ScenarioSpec parse_root(const JsonValue& root) {
   }
 
   {
+    // Base-station tiers + sleep policy (src/policy). The whole section is
+    // optional; absent means one homogeneous always-on tier, the paper
+    // scenario. Tier power fields override energy.bs for the covered BS
+    // indices and are structural; the sleep block is behavioral only.
+    Section bs = r.sub("bs");
+    for (Section& tier : bs.sub_array("tiers")) {
+      policy::TierSpec t;
+      t.name = tier.name_string("name", t.name);
+      t.count = tier.integer("count", t.count, 1);
+      t.const_w = tier.number("const_w", t.const_w, Num::NonNegative);
+      t.idle_w = tier.number("idle_w", t.idle_w, Num::NonNegative);
+      t.recv_w = tier.number("recv_w", t.recv_w, Num::NonNegative);
+      t.tx_max_w = tier.number("tx_max_w", t.tx_max_w, Num::Positive);
+      t.sleep_power_w =
+          tier.number("sleep_power_w", t.sleep_power_w, Num::NonNegative);
+      t.wake_latency_slots =
+          tier.integer("wake_latency_slots", t.wake_latency_slots, 0);
+      t.sleep_switch_j =
+          tier.number("sleep_switch_j", t.sleep_switch_j, Num::NonNegative);
+      t.wake_switch_j =
+          tier.number("wake_switch_j", t.wake_switch_j, Num::NonNegative);
+      t.can_sleep = tier.boolean("can_sleep", t.can_sleep);
+      tier.close();
+      c.bs_tiers.push_back(t);
+    }
+    {
+      Section sleep = bs.sub("sleep");
+      c.bs_sleep.policy = static_cast<policy::SleepPolicy>(sleep.choice(
+          "policy", static_cast<int>(c.bs_sleep.policy), kSleepPolicies));
+      c.bs_sleep.sleep_threshold = sleep.number(
+          "sleep_threshold", c.bs_sleep.sleep_threshold, Num::NonNegative);
+      c.bs_sleep.wake_threshold = sleep.number(
+          "wake_threshold", c.bs_sleep.wake_threshold, Num::NonNegative);
+      c.bs_sleep.min_dwell_slots =
+          sleep.integer("min_dwell_slots", c.bs_sleep.min_dwell_slots, 0);
+      c.bs_sleep.min_awake_bs =
+          sleep.integer("min_awake_bs", c.bs_sleep.min_awake_bs, 1);
+      c.bs_sleep.switch_cost_weight = sleep.number(
+          "switch_cost_weight", c.bs_sleep.switch_cost_weight, Num::NonNegative);
+      sleep.close();
+      if (c.bs_sleep.wake_threshold < c.bs_sleep.sleep_threshold)
+        fail("bs.sleep", "wake_threshold must be >= sleep_threshold");
+    }
+    bs.close();
+  }
+
+  {
     Section arch = r.sub("architecture");
     c.multihop = arch.boolean("multihop", c.multihop);
     c.renewables = arch.boolean("renewables", c.renewables);
@@ -501,6 +568,19 @@ class Writer {
     out_ += '}';
     first_ = false;
     if (depth_ == 0) out_ += '\n';
+  }
+  // Array of objects; elements open with open(nullptr).
+  void open_array(const char* key) {
+    item(key);
+    out_ += '[';
+    ++depth_;
+    first_ = true;
+  }
+  void close_array() {
+    --depth_;
+    newline();
+    out_ += ']';
+    first_ = false;
   }
   void field(const char* key, double v) {
     item(key);
@@ -698,6 +778,46 @@ std::string serialize(const ScenarioSpec& spec, bool include_name,
   w.close();
   w.close();
 
+  // The bs section (tiers + sleep policy) is emitted only when non-default,
+  // so every pre-tier scenario keeps its hash. Tiers change the built
+  // NodeParams and stay in structural mode; the sleep block, like the
+  // tariff, is hot-swappable and drops out.
+  const bool sleep_default = c.bs_sleep == policy::SleepPolicyConfig{};
+  if (!c.bs_tiers.empty() || (!structural_only && !sleep_default)) {
+    w.open("bs");
+    if (!c.bs_tiers.empty()) {
+      w.open_array("tiers");
+      for (const auto& t : c.bs_tiers) {
+        w.open(nullptr);
+        w.field("name", t.name);
+        w.field("count", t.count);
+        w.field("const_w", t.const_w);
+        w.field("idle_w", t.idle_w);
+        w.field("recv_w", t.recv_w);
+        w.field("tx_max_w", t.tx_max_w);
+        w.field("sleep_power_w", t.sleep_power_w);
+        w.field("wake_latency_slots", t.wake_latency_slots);
+        w.field("sleep_switch_j", t.sleep_switch_j);
+        w.field("wake_switch_j", t.wake_switch_j);
+        w.field("can_sleep", t.can_sleep);
+        w.close();
+      }
+      w.close_array();
+    }
+    if (!structural_only && !sleep_default) {
+      w.open("sleep");
+      w.field("policy", std::string(policy::sleep_policy_name(
+                            c.bs_sleep.policy)));
+      w.field("sleep_threshold", c.bs_sleep.sleep_threshold);
+      w.field("wake_threshold", c.bs_sleep.wake_threshold);
+      w.field("min_dwell_slots", c.bs_sleep.min_dwell_slots);
+      w.field("min_awake_bs", c.bs_sleep.min_awake_bs);
+      w.field("switch_cost_weight", c.bs_sleep.switch_cost_weight);
+      w.close();
+    }
+    w.close();
+  }
+
   w.open("architecture");
   w.field("multihop", c.multihop);
   w.field("renewables", c.renewables);
@@ -769,8 +889,10 @@ CanonicalLine split_line(const std::string& raw) {
     const std::size_t endq = out.body.find('"', 1);
     if (endq != std::string::npos) out.key = out.body.substr(1, endq - 1);
   }
-  out.opens = !out.body.empty() && out.body.back() == '{';
-  out.closes = !out.body.empty() && out.body.front() == '}';
+  out.opens = !out.body.empty() &&
+              (out.body.back() == '{' || out.body.back() == '[');
+  out.closes = !out.body.empty() &&
+               (out.body.front() == '}' || out.body.front() == ']');
   return out;
 }
 
@@ -790,6 +912,7 @@ std::string joined_path(const std::vector<std::string>& stack,
                         const std::string& leaf) {
   std::string out;
   for (const auto& s : stack) {
+    if (s.empty()) continue;  // keyless array-element brace
     if (!out.empty()) out += '.';
     out += s;
   }

@@ -217,6 +217,22 @@ std::string serialize_payload(const Checkpoint& checkpoint) {
     out.write(reinterpret_cast<const char*>(w.s4_states.data()),
               static_cast<std::streamsize>(w.s4_states.size()));
   }
+
+  put_u32(out, checkpoint.has_policy ? 1 : 0);
+  if (checkpoint.has_policy) {
+    const policy::SleepControllerState& p = checkpoint.policy_state;
+    GC_CHECK(p.dwell.size() == p.mode.size() &&
+             p.wake_countdown.size() == p.mode.size());
+    put_u64(out, p.mode.size());
+    for (std::size_t i = 0; i < p.mode.size(); ++i) {
+      put_u32(out, p.mode[i]);
+      put_i64(out, p.dwell[i]);
+      put_i64(out, p.wake_countdown[i]);
+    }
+    put_u64(out, p.switches);
+    put_f64(out, p.switch_energy_j);
+    put_u64(out, p.sleep_slots);
+  }
   return out.str();
 }
 
@@ -319,6 +335,26 @@ Checkpoint parse_payload(std::istream& in) {
     for (auto& k : c.warm.s1_keys) k = get_u64(in);
     c.warm.s4_states = get_bytes(in);
   }
+
+  c.has_policy = get_u32(in) != 0;
+  if (c.has_policy) {
+    policy::SleepControllerState& p = c.policy_state;
+    const std::uint64_t n_bs = get_u64(in);
+    if (n_bs > (1ull << 24)) corrupt("checkpoint policy BS count implausible");
+    p.mode.resize(static_cast<std::size_t>(n_bs));
+    p.dwell.resize(static_cast<std::size_t>(n_bs));
+    p.wake_countdown.resize(static_cast<std::size_t>(n_bs));
+    for (std::size_t i = 0; i < p.mode.size(); ++i) {
+      const std::uint32_t mode = get_u32(in);
+      if (mode > 2) corrupt("checkpoint policy mode out of range");
+      p.mode[i] = static_cast<std::uint8_t>(mode);
+      p.dwell[i] = static_cast<std::int32_t>(get_i64(in));
+      p.wake_countdown[i] = static_cast<std::int32_t>(get_i64(in));
+    }
+    p.switches = get_u64(in);
+    p.switch_energy_j = get_f64(in);
+    p.sleep_slots = get_u64(in);
+  }
   return c;
 }
 
@@ -329,7 +365,8 @@ Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
                            const Metrics& metrics,
                            const RandomWaypoint* mobility,
                            const net::Topology* topology,
-                           const obs::StabilityAuditor* auditor) {
+                           const obs::StabilityAuditor* auditor,
+                           const policy::SleepController* sleep) {
   GC_CHECK(next_slot >= 0);
   GC_CHECK((mobility == nullptr) == (topology == nullptr));
   const core::NetworkState& state = controller.state();
@@ -370,6 +407,10 @@ Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
     c.has_warm = true;
     c.warm = controller.warm_carry();
   }
+  if (sleep != nullptr) {
+    c.has_policy = true;
+    c.policy_state = sleep->snapshot();
+  }
   return c;
 }
 
@@ -377,7 +418,8 @@ void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
                         core::LyapunovController& controller,
                         Metrics& metrics, RandomWaypoint* mobility,
                         net::Topology* topology,
-                        obs::StabilityAuditor* auditor) {
+                        obs::StabilityAuditor* auditor,
+                        policy::SleepController* sleep) {
   core::NetworkState& state = controller.mutable_state();
   const core::NetworkModel& model = state.model();
   const int n = model.num_nodes();
@@ -390,6 +432,10 @@ void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
       "checkpoint does not match the model (node/session arity)");
   GC_CHECK_MSG(checkpoint.has_mobility == (mobility != nullptr),
                "checkpoint mobility presence does not match the run");
+  GC_CHECK_MSG(checkpoint.has_policy == (sleep != nullptr),
+               "checkpoint sleep-policy presence does not match the run "
+               "(resume with the same --policy the checkpoint was written "
+               "under)");
 
   input_rng.set_state(checkpoint.input_rng);
   controller.set_last_grid_j(checkpoint.last_grid_j);
@@ -424,6 +470,7 @@ void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
   // the controller to a cold start (all vectors empty), so a warm-off
   // checkpoint resumed by a warm-on run does not inherit stale hints.
   controller.restore_warm_carry(checkpoint.warm);
+  if (sleep != nullptr) sleep->restore(checkpoint.policy_state);
 }
 
 void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
@@ -464,8 +511,9 @@ Checkpoint load_checkpoint(const std::string& path) {
     corrupt("unsupported checkpoint version " + std::to_string(version) +
             " in " + path + " (this build reads v" +
             std::to_string(kCheckpointVersion) +
-            "; older checkpoints lack the CRC, structural-hash, auditor "
-            "and warm-start-carry fields — re-run from slot 0)");
+            " only; older checkpoints lack the CRC, structural-hash, "
+            "auditor, warm-start-carry and sleep-policy fields — re-run "
+            "from slot 0)");
   const std::uint64_t payload_size = get_u64(hdr);
   const std::uint32_t stored_crc = get_u32(hdr);
   if (data.size() - kHeader != payload_size)

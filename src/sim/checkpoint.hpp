@@ -19,12 +19,17 @@
 //    have used — replay stays bit-identical even though warm starts make
 //    each slot's schedule depend on the previous slot's LP bases.
 //
+//  * optionally the sleep-policy controller's mode state (src/policy:
+//    per-BS mode, dwell and wake countdowns plus the switching counters),
+//    so a killed + resumed run replays sleep/wake commands bit-identically.
+//
 // Serialization is a versioned binary format: the 8-byte magic "GCCKPT01",
-// a u32 format version (currently 4), a u64 payload size, a CRC-32 of the
+// a u32 format version (currently 5), a u64 payload size, a CRC-32 of the
 // payload, then the payload itself as fixed-width little-endian fields
 // (doubles as their IEEE-754 bit patterns, so the round trip is bit-exact).
 // v3 added the size + CRC header, the structural scenario hash, and the
-// auditor state; v4 the warm-start carry; older files are refused loudly —
+// auditor state; v4 the warm-start carry; v5 the sleep-policy state;
+// older files are refused loudly —
 // re-run from slot 0 rather than resuming with silently missing state. save_checkpoint writes to a
 // temp file, fsyncs it, and renames it into place, so neither a crash
 // mid-write nor a power loss after the rename corrupts the previous
@@ -49,6 +54,7 @@
 #include "core/controller.hpp"
 #include "net/topology.hpp"
 #include "obs/stability.hpp"
+#include "policy/sleep.hpp"
 #include "sim/mobility.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
@@ -57,7 +63,7 @@
 namespace gc::sim {
 
 inline constexpr char kCheckpointMagic[9] = "GCCKPT01";
-inline constexpr std::uint32_t kCheckpointVersion = 4;
+inline constexpr std::uint32_t kCheckpointVersion = 5;
 
 // Load-time corruption (missing file, bad magic, unsupported version,
 // truncation, CRC mismatch, trailing bytes). A CheckError subtype so
@@ -102,16 +108,22 @@ struct Checkpoint {
   // ControllerOptions::warm_across_slots).
   bool has_warm = false;
   core::LyapunovController::WarmCarry warm;
+
+  // Sleep-policy controller state (absent unless the run drives an active
+  // policy::SleepController). v5.
+  bool has_policy = false;
+  policy::SleepControllerState policy_state;
 };
 
 // Captures the full loop state after slot `next_slot - 1` completed.
-// `auditor` may be null (audit-off run).
+// `auditor` and `sleep` may be null (audit-off / policy-free run).
 Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
                            const core::LyapunovController& controller,
                            const Metrics& metrics,
                            const RandomWaypoint* mobility,
                            const net::Topology* topology,
-                           const obs::StabilityAuditor* auditor = nullptr);
+                           const obs::StabilityAuditor* auditor = nullptr,
+                           const policy::SleepController* sleep = nullptr);
 
 // Reinstates a checkpoint into live objects. The controller must be built
 // on the same model/scenario the checkpoint came from (arity-checked).
@@ -119,12 +131,16 @@ Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
 // state is restored when both the checkpoint carries it and `auditor` is
 // non-null; any other combination is ignored (audit state never affects
 // Metrics, so an audit-on resume of an audit-off checkpoint just restarts
-// its accumulators).
+// its accumulators). Policy state, like mobility, must match: a checkpoint
+// with (without) a policy section resumed by a run without (with) an
+// active SleepController would silently replay a different network, so
+// the mismatch is refused.
 void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
                         core::LyapunovController& controller,
                         Metrics& metrics, RandomWaypoint* mobility,
                         net::Topology* topology,
-                        obs::StabilityAuditor* auditor = nullptr);
+                        obs::StabilityAuditor* auditor = nullptr,
+                        policy::SleepController* sleep = nullptr);
 
 // Binary IO. save_checkpoint is atomic and durable (temp file + fsync +
 // rename + parent-dir fsync); load_checkpoint throws CheckpointError on a

@@ -88,6 +88,17 @@ std::shared_ptr<const core::TrafficModel> build_traffic(
   return nullptr;  // constant-rate: the pre-scenario code path
 }
 
+// Tier covering BS index `i`, or nullptr past the tiers (default model).
+const policy::TierSpec* tier_of(const std::vector<policy::TierSpec>& tiers,
+                                int i) {
+  int begin = 0;
+  for (const auto& t : tiers) {
+    if (i < begin + t.count) return &t;
+    begin += t.count;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 ScenarioConfig ScenarioConfig::tiny() {
@@ -107,6 +118,12 @@ core::NetworkModel ScenarioConfig::build() const {
   Rng topo_rng = master.fork(0x7001);
   net::Topology topo = build_topology(*this, topo_rng);
 
+  int tier_total = 0;
+  for (const auto& t : bs_tiers) tier_total += t.count;
+  GC_CHECK_MSG(tier_total <= topo.num_base_stations(),
+               "bs.tiers counts sum to " << tier_total << " but the topology"
+               << " has " << topo.num_base_stations() << " base stations");
+
   Rng spec_rng = master.fork(0x7002);
   net::Spectrum spec(spectrum, topo.num_nodes(), topo.num_base_stations(),
                      spec_rng);
@@ -118,7 +135,10 @@ core::NetworkModel ScenarioConfig::build() const {
   for (int i = 0; i < topo.num_nodes(); ++i) {
     core::NodeParams np;
     if (topo.is_base_station(i)) {
-      np.energy = {bs_const_w, bs_idle_w, bs_recv_w, bs_tx_max_w};
+      if (const policy::TierSpec* t = tier_of(bs_tiers, i))
+        np.energy = {t->const_w, t->idle_w, t->recv_w, t->tx_max_w};
+      else
+        np.energy = {bs_const_w, bs_idle_w, bs_recv_w, bs_tx_max_w};
       np.battery = {bs_batt_capacity_j, bs_batt_charge_j, bs_batt_discharge_j,
                     bs_batt_initial_frac * bs_batt_capacity_j};
       np.grid = {true, 0.0, bs_grid_max_j};
@@ -174,6 +194,29 @@ core::NetworkModel ScenarioConfig::build() const {
   return core::NetworkModel(
       std::move(topo), std::move(spec), radio, std::move(nodes),
       std::move(sessions), energy::QuadraticCost(cost_a, cost_b, cost_c), mc);
+}
+
+policy::SleepSetup ScenarioConfig::sleep_setup() const {
+  // BS count is fixed by the layout, never by the RNG, so it can be
+  // derived without building the model.
+  const int n_bs = topology.layout == TopologySpec::Layout::HexGrid
+                       ? topology.rows * topology.cols
+                       : 2;
+  int tier_total = 0;
+  for (const auto& t : bs_tiers) tier_total += t.count;
+  GC_CHECK_MSG(tier_total <= n_bs,
+               "bs.tiers counts sum to " << tier_total << " but the topology"
+               << " has " << n_bs << " base stations");
+  policy::SleepSetup setup;
+  setup.config = bs_sleep;
+  setup.bs.assign(static_cast<std::size_t>(n_bs), policy::BsSleepParams{});
+  for (int i = 0; i < n_bs; ++i)
+    if (const policy::TierSpec* t = tier_of(bs_tiers, i))
+      setup.bs[static_cast<std::size_t>(i)] = {t->sleep_power_w,
+                                               t->wake_latency_slots,
+                                               t->sleep_switch_j,
+                                               t->wake_switch_j, t->can_sleep};
+  return setup;
 }
 
 }  // namespace gc::sim

@@ -19,6 +19,7 @@
 
 #include "core/controller.hpp"
 #include "core/model.hpp"
+#include "policy/sleep.hpp"
 
 namespace gc::sim {
 
@@ -165,6 +166,14 @@ struct ScenarioConfig {
   TrafficSpec traffic;
   RenewableSpec renewable;
 
+  // Base-station tiers (scenario JSON bs.tiers, src/policy). Tiers are
+  // assigned to BS indices in declaration order by count; base stations
+  // beyond the last tier keep the energy.bs power model. Empty = the
+  // homogeneous paper network.
+  std::vector<policy::TierSpec> bs_tiers;
+  // Sleep policy knobs (scenario JSON bs.sleep; --policy overrides).
+  policy::SleepPolicyConfig bs_sleep;
+
   // Algorithm parameters. lambda*V is the source-backlog admission
   // threshold in packets.
   double lambda = 10.0;
@@ -181,6 +190,11 @@ struct ScenarioConfig {
   // Builds the immutable model: places nodes, assigns spectrum availability
   // and sessions deterministically from `seed`.
   core::NetworkModel build() const;
+
+  // Expands bs_tiers + bs_sleep into the per-BS parameter bundle a
+  // policy::SleepController is built from. Checks tier counts against the
+  // topology's BS count.
+  policy::SleepSetup sleep_setup() const;
 
   core::ControllerOptions controller_options() const {
     core::ControllerOptions opt;

@@ -16,6 +16,7 @@
 #include "obs/snapshot.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "policy/sleep.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/supervisor.hpp"
 #include "util/fsio.hpp"
@@ -100,9 +101,18 @@ void trace_slot(obs::TraceSink& sink, int t, const core::NetworkModel& model,
                 const core::NetworkState& state,
                 const core::SlotDecision& decision, int fault_events,
                 int top_k, const obs::SlotAudit* audit,
-                const obs::SlotVerdict* verdict) {
+                const obs::SlotVerdict* verdict,
+                const policy::SleepController* sleep) {
   obs::TraceRecord r;
   r.slot = t;
+  if (sleep != nullptr) {
+    r.has_policy = true;
+    r.awake_bs = sleep->awake_count();
+    r.asleep_bs = sleep->asleep_count();
+    r.waking_bs = sleep->waking_count();
+    r.policy_switches = static_cast<double>(sleep->switch_count());
+    r.switch_energy_j = sleep->switch_energy_j();
+  }
   if (audit != nullptr && verdict != nullptr) {
     r.has_stability = true;
     r.lyapunov = audit->lyapunov;
@@ -168,6 +178,15 @@ Metrics run_loop(const core::NetworkModel& model,
     audit_z.resize(static_cast<std::size_t>(model.num_nodes()));
   }
 
+  // Sleep-policy layer (src/policy). Built before the resume below so a
+  // v5 checkpoint can reinstate its mode state. An AlwaysOn (or absent)
+  // setup builds nothing: the overlay is never filled, the trace carries
+  // no policy group and checkpoints no policy section.
+  std::unique_ptr<policy::SleepController> sleep;
+  if (options.sleep != nullptr && options.sleep->active())
+    sleep = std::make_unique<policy::SleepController>(model, *options.sleep,
+                                                      controller.V());
+
   int start_slot = 0;
   if (!options.resume_path.empty()) {
     // Resolve what to resume from. With rotation, resume_path is the
@@ -224,7 +243,7 @@ Metrics run_loop(const core::NetworkModel& model,
                              "specs)");
       }
       restore_checkpoint(checkpoint, input_rng, controller, m, mobility,
-                         topology, auditor.get());
+                         topology, auditor.get(), sleep.get());
       start_slot = checkpoint.next_slot;
       GC_CHECK_MSG(start_slot <= slots,
                    "checkpoint at slot "
@@ -273,7 +292,8 @@ Metrics run_loop(const core::NetworkModel& model,
     // would leave a checkpoint ahead of its sinks.
     flush_sinks();
     Checkpoint c = make_checkpoint(next_slot, input_rng, controller, m,
-                                   mobility, topology, auditor.get());
+                                   mobility, topology, auditor.get(),
+                                   sleep.get());
     c.scenario_hash = options.scenario_hash;
     c.scenario_structural_hash = options.scenario_structural_hash;
     if (rotator) {
@@ -329,6 +349,17 @@ Metrics run_loop(const core::NetworkModel& model,
     snapshots->write(d);
   };
 
+  // Copy the policy counters into the Metrics on every exit path so the
+  // CLI summary (and sweep aggregation) sees them without reaching into
+  // the loop-private controller.
+  const auto fill_policy_stats = [&] {
+    if (!sleep) return;
+    m.policy_awake_bs = sleep->awake_count();
+    m.policy_switches = sleep->switch_count();
+    m.policy_switch_energy_j = sleep->switch_energy_j();
+    m.policy_sleep_slots = sleep->sleep_slots();
+  };
+
   for (int t = start_slot; t < slots; ++t) {
     if (shutdown_requested()) {
       // Signal-safe graceful stop (docs/ROBUSTNESS.md): the handler only
@@ -342,6 +373,7 @@ Metrics run_loop(const core::NetworkModel& model,
       if (snapshots) write_snapshot(t);
       robust_metrics().shutdowns.add();
       if (options.interrupted != nullptr) *options.interrupted = true;
+      fill_policy_stats();
       return m;
     }
     obs::Span slot_span("sim.slot", t, model.num_nodes());
@@ -360,6 +392,10 @@ Metrics run_loop(const core::NetworkModel& model,
       fault_events = faults.active_events;
       fault::apply_slot_faults(faults, inputs, controller.mutable_state());
     }
+    // Sleep policy runs after the fault overlay (a down BS is forced
+    // toward Awake so it wakes into the outage) and before the controller
+    // observes the inputs.
+    if (sleep) sleep->decide(t, controller.state(), inputs);
     core::SlotDecision decision;
     double drift_bound_rhs = std::numeric_limits<double>::quiet_NaN();
     double pre_lyapunov = std::numeric_limits<double>::quiet_NaN();
@@ -415,21 +451,34 @@ Metrics run_loop(const core::NetworkModel& model,
       audit.pre_lyapunov = pre_lyapunov;
       verdict = auditor->observe(audit);
       if (options.strict_bounds && verdict.any_violation()) {
+        // Annotate masked (sleeping/waking) base stations: their queues
+        // are frozen by the policy layer, so a bound violation there
+        // points at the policy interaction, not the controller.
+        const auto masked = [&](int node) {
+          return sleep && node < sleep->num_bs() &&
+                 sleep->mode(node) != policy::SleepController::Mode::Awake;
+        };
         GC_CHECK_MSG(
             false,
             auditor->describe_violation(
                 audit, verdict,
-                [S](int i) {
+                [S, &masked](int i) {
                   return "node " + std::to_string(i / S) + " session " +
-                         std::to_string(i % S);
+                         std::to_string(i % S) +
+                         (masked(i / S) ? " (BS masked by sleep policy)"
+                                        : "");
                 },
-                [](int i) { return "node " + std::to_string(i); }));
+                [&masked](int i) {
+                  return "node " + std::to_string(i) +
+                         (masked(i) ? " (BS masked by sleep policy)" : "");
+                }));
       }
     }
     if (trace)
       trace_slot(*trace, t, model, controller.state(), decision,
                  fault_events, options.trace_top_k,
-                 auditor ? &audit : nullptr, auditor ? &verdict : nullptr);
+                 auditor ? &audit : nullptr, auditor ? &verdict : nullptr,
+                 sleep.get());
     if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
         (t + 1) % options.checkpoint_every == 0 && t + 1 < slots)
       checkpoint_now(t + 1);
@@ -438,6 +487,7 @@ Metrics run_loop(const core::NetworkModel& model,
   }
   if (!options.checkpoint_path.empty()) checkpoint_now(slots);
   if (snapshots) write_snapshot(slots);
+  fill_policy_stats();
   return m;
 }
 

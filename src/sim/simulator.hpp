@@ -20,6 +20,10 @@ namespace gc::lp {
 class SolveStatsSink;
 }
 
+namespace gc::policy {
+struct SleepSetup;
+}
+
 namespace gc::sim {
 
 struct Metrics {
@@ -51,6 +55,16 @@ struct Metrics {
   // per-slot means (see bench::timing_columns).
   core::SlotTimings timing;
 
+  // Sleep-policy aggregates (src/policy), copied from the run's
+  // SleepController when it exits the loop. Correct across resume: the
+  // controller's cumulative counters ride in checkpoints, so a resumed
+  // run's totals match an uninterrupted one's. policy_awake_bs stays -1
+  // for policy-free runs — the CLI keys its summary line off it.
+  int policy_awake_bs = -1;          // awake BS count at the final slot
+  std::uint64_t policy_switches = 0;       // sleep/wake commands issued
+  double policy_switch_energy_j = 0.0;     // switching energy charged
+  std::uint64_t policy_sleep_slots = 0;    // BS-slots spent asleep
+
   // Little's-law estimate of the average end-to-end packet delay in slots:
   // W = L / lambda with L the time-averaged total network backlog and
   // lambda the delivered throughput. This is the queueing-delay face of
@@ -81,6 +95,15 @@ struct SimOptions {
   // and imposed on the sampled inputs / battery capacities before the
   // controller observes them. Not owned; may be null.
   const fault::FaultSchedule* faults = nullptr;
+
+  // Sleep-policy layer (src/policy): when non-null and active (policy !=
+  // AlwaysOn), run_loop builds a private policy::SleepController that
+  // decides the awake set each slot, after the fault overlay and before
+  // the controller observes the inputs. A null or AlwaysOn setup leaves
+  // the run bit-identical to a policy-free one (no trace group, no
+  // checkpoint section). Not owned; plain data, so sweeps, supervised
+  // restarts and resumes each construct their own controller.
+  const policy::SleepSetup* sleep = nullptr;
 
   // Checkpoint/resume (sim/checkpoint.hpp). When checkpoint_path is set, a
   // checkpoint is written after every `checkpoint_every` completed slots

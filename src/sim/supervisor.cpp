@@ -125,6 +125,13 @@ SupervisorOutcome RunSupervisor::run(
       _exit(code);
     }
     g_child_pid = static_cast<std::sig_atomic_t>(pid);
+    // A signal can land in the gap between fork() returning and the pid
+    // being published above: the handler then finds g_child_pid == 0,
+    // latches its flag without forwarding SIGTERM, and the request would
+    // deadlock — parent blocked in waitpid, child waiting for a SIGTERM
+    // that never comes. Re-check the latched flags now that the pid is
+    // visible; any signal arriving after this point forwards directly.
+    if (g_terminate || g_reload) kill(pid, SIGTERM);
 
     int status = 0;
     pid_t waited;

@@ -1,0 +1,312 @@
+// Sleep-policy layer (src/policy): tier expansion, the per-slot mode
+// machine (thresholds, hysteresis dwell, wake latency, switching energy),
+// the SlotInputs overlay contract with the core controller, fault
+// composition (a slept BS wakes into an outage), and checkpoint replay.
+#include "policy/sleep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/controller.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gc::policy {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+// A 2-BS paper-layout model (ScenarioConfig::tiny) with every BS allowed
+// to sleep instantly unless a test overrides the parameters.
+struct Rig {
+  explicit Rig(SleepPolicyConfig config, BsSleepParams params = {}) {
+    cfg = sim::ScenarioConfig::tiny();
+    model.emplace(cfg.build());
+    controller.emplace(*model, 3.0, cfg.controller_options());
+    setup.config = config;
+    setup.bs.assign(2, params);
+    sleep.emplace(*model, setup, 3.0);
+  }
+
+  core::SlotInputs decide(int slot) {
+    Rng rng(7);
+    core::SlotInputs inputs = model->sample_inputs(slot, rng);
+    sleep->decide(slot, controller->state(), inputs);
+    return inputs;
+  }
+
+  sim::ScenarioConfig cfg;
+  std::optional<core::NetworkModel> model;
+  std::optional<core::LyapunovController> controller;
+  SleepSetup setup;
+  std::optional<SleepController> sleep;
+};
+
+SleepPolicyConfig threshold_config() {
+  SleepPolicyConfig c;
+  c.policy = SleepPolicy::Threshold;
+  c.sleep_threshold = 5.0;
+  c.min_dwell_slots = 0;
+  c.min_awake_bs = 1;
+  return c;
+}
+
+TEST(SleepPolicy, NamesRoundTripAndBadNamesListTheSet) {
+  for (SleepPolicy p :
+       {SleepPolicy::AlwaysOn, SleepPolicy::Threshold, SleepPolicy::Hysteresis,
+        SleepPolicy::DriftPlusPenalty})
+    EXPECT_EQ(parse_sleep_policy(sleep_policy_name(p)), p);
+  try {
+    parse_sleep_policy("nap");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    for (const char* name :
+         {"always-on", "threshold", "hysteresis", "drift-plus-penalty"})
+      EXPECT_NE(msg.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(SleepPolicy, AlwaysOnSetupIsInactive) {
+  SleepSetup setup;
+  EXPECT_FALSE(setup.active());
+  setup.config.policy = SleepPolicy::Threshold;
+  EXPECT_TRUE(setup.active());
+}
+
+TEST(SleepPolicy, ThresholdSleepsIdleBsAndFillsOverlay) {
+  Rig rig(threshold_config());
+  // Fresh state: zero backlog everywhere, far below the threshold. BS
+  // index 1 (scanned high-to-low) sleeps; min_awake_bs keeps BS 0 up.
+  const core::SlotInputs inputs = rig.decide(0);
+  EXPECT_EQ(rig.sleep->mode(0), SleepController::Mode::Awake);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Sleeping);
+  EXPECT_EQ(rig.sleep->awake_count(), 1);
+  EXPECT_EQ(rig.sleep->asleep_count(), 1);
+  EXPECT_TRUE(inputs.node_is_asleep(1));
+  EXPECT_FALSE(inputs.node_is_asleep(0));
+  // The sleeping BS buys its sleep power through S4: 2 W over the 60 s
+  // slot, plus the (default 0) switch charge.
+  EXPECT_DOUBLE_EQ(inputs.policy_demand(1),
+                   2.0 * rig.model->slot_seconds());
+}
+
+TEST(SleepPolicy, MinAwakeFloorHoldsEvenWhenEveryoneIsIdle) {
+  SleepPolicyConfig c = threshold_config();
+  c.min_awake_bs = 2;
+  Rig rig(c);
+  rig.decide(0);
+  EXPECT_EQ(rig.sleep->awake_count(), 2);
+  EXPECT_EQ(rig.sleep->switch_count(), 0u);
+}
+
+TEST(SleepPolicy, CanSleepFalsePinsTheTierAwake) {
+  BsSleepParams params;
+  params.can_sleep = false;
+  Rig rig(threshold_config(), params);
+  rig.decide(0);
+  EXPECT_EQ(rig.sleep->awake_count(), 2);
+  EXPECT_EQ(rig.sleep->sleep_slots(), 0u);
+}
+
+TEST(SleepPolicy, ThresholdWakesOnBacklog) {
+  Rig rig(threshold_config());
+  rig.decide(0);
+  ASSERT_EQ(rig.sleep->mode(1), SleepController::Mode::Sleeping);
+  // Pile backlog onto the awake BS: mean awake backlog crosses the
+  // threshold and the sleeper is ordered up. With a 1-slot wake latency it
+  // passes through Waking (still masked) before serving again.
+  rig.controller->mutable_state().set_q(0, 0, 50.0);
+  core::SlotInputs inputs = rig.decide(1);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Waking);
+  EXPECT_TRUE(inputs.node_is_asleep(1));
+  inputs = rig.decide(2);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Awake);
+  EXPECT_FALSE(inputs.node_is_asleep(1));
+  EXPECT_EQ(rig.sleep->switch_count(), 2u);  // one sleep + one wake command
+}
+
+TEST(SleepPolicy, SwitchingEnergyIsChargedOnTheRightSlots) {
+  BsSleepParams params;
+  params.sleep_switch_j = 3.0;
+  params.wake_switch_j = 5.0;
+  params.wake_latency_slots = 2;
+  Rig rig(threshold_config(), params);
+  // Slot 0: BS 1 falls asleep and pays the sleep switch immediately.
+  core::SlotInputs inputs = rig.decide(0);
+  const double sleep_j = 2.0 * rig.model->slot_seconds();
+  EXPECT_DOUBLE_EQ(inputs.policy_demand(1), sleep_j + 3.0);
+  EXPECT_DOUBLE_EQ(rig.sleep->switch_energy_j(), 3.0);
+  // Wake order: two Waking slots at sleep power; the wake switch lands on
+  // the LAST waking slot (the power surge happens at actual turn-on).
+  rig.controller->mutable_state().set_q(0, 0, 50.0);
+  inputs = rig.decide(1);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Waking);
+  EXPECT_DOUBLE_EQ(inputs.policy_demand(1), sleep_j);
+  inputs = rig.decide(2);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Waking);
+  EXPECT_DOUBLE_EQ(inputs.policy_demand(1), sleep_j + 5.0);
+  EXPECT_DOUBLE_EQ(rig.sleep->switch_energy_j(), 8.0);
+  inputs = rig.decide(3);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Awake);
+  EXPECT_DOUBLE_EQ(inputs.policy_demand(1), 0.0);
+}
+
+TEST(SleepPolicy, HysteresisMinDwellSuppressesChatter) {
+  SleepPolicyConfig c;
+  c.policy = SleepPolicy::Hysteresis;
+  c.sleep_threshold = 5.0;
+  c.wake_threshold = 10.0;
+  c.min_dwell_slots = 3;
+  Rig rig(c);
+  // Initial dwell = min_dwell_slots, so the sleep command fires at slot 0.
+  rig.decide(0);
+  ASSERT_EQ(rig.sleep->mode(1), SleepController::Mode::Sleeping);
+  // Backlog above wake_threshold, but the sleeper has not dwelt 3 slots
+  // yet: slots 1 and 2 keep it down, slot 3 wakes it.
+  rig.controller->mutable_state().set_q(0, 0, 100.0);
+  rig.decide(1);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Sleeping);
+  rig.decide(2);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Sleeping);
+  rig.decide(3);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Waking);
+}
+
+TEST(SleepPolicy, HysteresisBandHoldsBetweenThresholds) {
+  SleepPolicyConfig c;
+  c.policy = SleepPolicy::Hysteresis;
+  c.sleep_threshold = 5.0;
+  c.wake_threshold = 10.0;
+  c.min_dwell_slots = 0;
+  Rig rig(c);
+  rig.decide(0);
+  ASSERT_EQ(rig.sleep->mode(1), SleepController::Mode::Sleeping);
+  // Mean awake backlog 7: inside the band — a Threshold policy would
+  // chatter here, Hysteresis holds the current mode.
+  rig.controller->mutable_state().set_q(0, 0, 7.0);
+  rig.decide(1);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Sleeping);
+}
+
+TEST(SleepPolicy, DownBsIsForcedToWakeIntoTheOutage) {
+  BsSleepParams params;
+  params.wake_latency_slots = 1;
+  Rig rig(threshold_config(), params);
+  rig.decide(0);
+  ASSERT_EQ(rig.sleep->mode(1), SleepController::Mode::Sleeping);
+  // Fault overlay marks BS 1 down before the policy runs: the sleeper is
+  // ordered up (it cannot ride out the outage asleep) and is still masked
+  // while down-and-waking.
+  Rng rng(7);
+  core::SlotInputs inputs = rig.model->sample_inputs(1, rng);
+  inputs.node_down.assign(static_cast<std::size_t>(rig.model->num_nodes()),
+                          0);
+  inputs.node_down[1] = 1;
+  rig.sleep->decide(1, rig.controller->state(), inputs);
+  EXPECT_EQ(rig.sleep->mode(1), SleepController::Mode::Waking);
+  // Down overrides asleep in S4: the demand is zeroed by the masking rule
+  // (node_is_inactive reports the union either way).
+  EXPECT_TRUE(inputs.node_is_inactive(1));
+}
+
+TEST(SleepPolicy, DriftPlusPenaltySleepsWhenSavingsDominate) {
+  SleepPolicyConfig c;
+  c.policy = SleepPolicy::DriftPlusPenalty;
+  c.min_dwell_slots = 1;
+  c.min_awake_bs = 1;
+  Rig rig(c);
+  // Zero backlog, positive baseline power: the score is pure savings and
+  // the spare BS sleeps.
+  rig.decide(0);
+  EXPECT_EQ(rig.sleep->asleep_count(), 1);
+  EXPECT_EQ(rig.sleep->mode(0), SleepController::Mode::Awake);
+}
+
+TEST(SleepPolicy, SnapshotRestoreRoundTripsTheModeMachine) {
+  BsSleepParams params;
+  params.sleep_switch_j = 3.0;
+  Rig rig(threshold_config(), params);
+  rig.decide(0);
+  rig.controller->mutable_state().set_q(0, 0, 50.0);
+  rig.decide(1);  // BS 1 mid-wake: countdown state is nontrivial
+  const SleepControllerState snap = rig.sleep->snapshot();
+  ASSERT_EQ(snap.mode.size(), 2u);
+  EXPECT_EQ(snap.mode[1],
+            static_cast<std::uint8_t>(SleepController::Mode::Waking));
+
+  Rig fresh(threshold_config(), params);
+  fresh.sleep->restore(snap);
+  EXPECT_EQ(fresh.sleep->mode(1), SleepController::Mode::Waking);
+  EXPECT_EQ(fresh.sleep->switch_count(), rig.sleep->switch_count());
+  EXPECT_EQ(bits(fresh.sleep->switch_energy_j()),
+            bits(rig.sleep->switch_energy_j()));
+  // The restored machine continues exactly where the donor would.
+  fresh.controller->mutable_state().set_q(0, 0, 50.0);
+  rig.decide(2);
+  fresh.decide(2);
+  EXPECT_EQ(fresh.sleep->mode(1), rig.sleep->mode(1));
+  EXPECT_EQ(fresh.sleep->sleep_slots(), rig.sleep->sleep_slots());
+}
+
+TEST(SleepPolicy, RestoreRejectsCorruptModeBytes) {
+  Rig rig(threshold_config());
+  SleepControllerState snap = rig.sleep->snapshot();
+  snap.mode[0] = 9;
+  EXPECT_THROW(rig.sleep->restore(snap), CheckError);
+}
+
+// ------------------------------------------------------- run_loop wiring --
+
+TEST(SleepPolicy, AlwaysOnRunIsBitIdenticalToPolicyFreeRun) {
+  const auto cfg = sim::ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  sim::Metrics plain, always_on;
+  {
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    plain = sim::run_simulation(model, ctrl, 40, {});
+  }
+  {
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    SleepSetup setup;  // AlwaysOn
+    sim::SimOptions opts;
+    opts.sleep = &setup;
+    always_on = sim::run_simulation(model, ctrl, 40, opts);
+  }
+  ASSERT_EQ(plain.slots, always_on.slots);
+  for (int t = 0; t < plain.slots; ++t) {
+    EXPECT_EQ(bits(plain.cost[t]), bits(always_on.cost[t])) << t;
+    EXPECT_EQ(bits(plain.q_bs[t]), bits(always_on.q_bs[t])) << t;
+    EXPECT_EQ(bits(plain.battery_bs_j[t]), bits(always_on.battery_bs_j[t]))
+        << t;
+  }
+  EXPECT_EQ(always_on.policy_awake_bs, -1);
+  EXPECT_EQ(always_on.policy_switches, 0u);
+}
+
+TEST(SleepPolicy, ActivePolicyRunReportsStatsAndStaysValid) {
+  const auto cfg = sim::ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  SleepSetup setup;
+  setup.config.policy = SleepPolicy::Hysteresis;
+  setup.config.sleep_threshold = 2.0;
+  setup.config.wake_threshold = 8.0;
+  setup.bs.assign(2, {});
+  sim::SimOptions opts;
+  opts.sleep = &setup;
+  opts.validate = true;  // P1 feasibility must hold with masked BS
+  const sim::Metrics m = sim::run_simulation(model, ctrl, 60, opts);
+  EXPECT_EQ(m.slots, 60);
+  EXPECT_GE(m.policy_awake_bs, setup.config.min_awake_bs);
+  EXPECT_GT(m.policy_sleep_slots, 0u);
+}
+
+}  // namespace
+}  // namespace gc::policy

@@ -68,10 +68,17 @@ TEST(ScenarioSpec, GoldenDiurnalSolarTouResolvedDump) {
   EXPECT_EQ(to_json(s), slurp(golden_path("golden_diurnal_solar_tou.json")));
 }
 
+TEST(ScenarioSpec, GoldenHetnetSleepTouResolvedDump) {
+  const ScenarioSpec s =
+      load_scenario_file(example_path("hetnet_sleep_tou.json"));
+  EXPECT_EQ(to_json(s), slurp(golden_path("golden_hetnet_sleep_tou.json")));
+}
+
 TEST(ScenarioSpec, RoundTripIsIdempotentForEveryExample) {
   for (const char* name :
        {"paper_baseline.json", "hex_16bs_500users.json",
-        "diurnal_solar_tou.json", "flash_crowd.json"}) {
+        "diurnal_solar_tou.json", "flash_crowd.json",
+        "hetnet_sleep_tou.json", "hex_16bs_500users_sleep.json"}) {
     const ScenarioSpec s = load_scenario_file(example_path(name));
     const std::string once = to_json(s);
     const ScenarioSpec reparsed = parse_scenario_json(once);
@@ -173,6 +180,73 @@ TEST(ScenarioSpec, FileErrorsNameTheFile) {
               std::string::npos);
   }
   std::remove(bad.c_str());
+}
+
+TEST(ScenarioSpec, BsTiersAndSleepParse) {
+  const ScenarioSpec s = parse_scenario_json(R"({
+    "topology": {"layout": "hex_grid",
+                 "cells": {"rows": 2, "cols": 2, "radius_m": 400}},
+    "bs": {
+      "tiers": [
+        {"name": "macro", "count": 1, "const_w": 80, "can_sleep": false},
+        {"name": "small", "count": 3, "const_w": 20, "sleep_power_w": 1.5,
+         "wake_latency_slots": 2}
+      ],
+      "sleep": {"policy": "hysteresis", "sleep_threshold": 2,
+                "wake_threshold": 8, "min_dwell_slots": 4}
+    }
+  })");
+  ASSERT_EQ(s.config.bs_tiers.size(), 2u);
+  EXPECT_EQ(s.config.bs_tiers[0].name, "macro");
+  EXPECT_FALSE(s.config.bs_tiers[0].can_sleep);
+  EXPECT_DOUBLE_EQ(s.config.bs_tiers[1].sleep_power_w, 1.5);
+  EXPECT_EQ(s.config.bs_tiers[1].wake_latency_slots, 2);
+  EXPECT_EQ(s.config.bs_sleep.policy, policy::SleepPolicy::Hysteresis);
+  EXPECT_EQ(s.config.bs_sleep.min_dwell_slots, 4);
+}
+
+TEST(ScenarioSpec, BsSectionErrorsNamePathAndDomain) {
+  // Element paths index into the tier array.
+  EXPECT_NE(parse_error(R"({"bs":{"tiers":[{"count":0}]}})")
+                .find("bs.tiers[0].count: expected int >= 1"),
+            std::string::npos);
+  EXPECT_NE(parse_error(R"({"bs":{"tiers":[{"watts":3}]}})")
+                .find("unknown key \"watts\""),
+            std::string::npos);
+  // An inverted hysteresis band is refused at parse time.
+  EXPECT_NE(parse_error(R"({"bs":{"sleep":{"sleep_threshold":9,
+                            "wake_threshold":1}}})")
+                .find("wake_threshold must be >= sleep_threshold"),
+            std::string::npos);
+  // Bad policy names list the accepted set.
+  const std::string e =
+      parse_error(R"({"bs":{"sleep":{"policy":"naps"}}})");
+  EXPECT_NE(e.find("bs.sleep.policy"), std::string::npos);
+  for (const char* choice :
+       {"always-on", "threshold", "hysteresis", "drift-plus-penalty"})
+    EXPECT_NE(e.find(choice), std::string::npos) << choice;
+}
+
+TEST(ScenarioSpec, SleepBlockIsBehavioralTiersAreStructural) {
+  const ScenarioSpec plain = parse_scenario_json("{}");
+  // An explicit all-default bs block serializes away: the dump (and hash)
+  // match a spec that never mentioned it.
+  const ScenarioSpec defaulted = parse_scenario_json(
+      R"({"bs":{"sleep":{"policy":"always-on"}}})");
+  EXPECT_EQ(to_json(defaulted), to_json(plain));
+  EXPECT_EQ(scenario_hash(defaulted), scenario_hash(plain));
+  // A live sleep block changes the full hash but not the structural one —
+  // it is hot-swappable like the tariff.
+  const ScenarioSpec sleeping = parse_scenario_json(
+      R"({"bs":{"sleep":{"policy":"threshold"}}})");
+  EXPECT_NE(scenario_hash(sleeping), scenario_hash(plain));
+  EXPECT_EQ(scenario_structural_hash(sleeping),
+            scenario_structural_hash(plain));
+  // Tiers rewrite the power model, so they are structural.
+  const ScenarioSpec tiered = parse_scenario_json(
+      R"({"bs":{"tiers":[{"count":1,"const_w":80}]}})");
+  EXPECT_NE(scenario_structural_hash(tiered),
+            scenario_structural_hash(plain));
 }
 
 TEST(ScenarioSpec, GeneratorBlocksParse) {

@@ -428,6 +428,156 @@ TEST(Checkpoint, RotatedResumeIsBitIdentical) {
   std::remove((base + ".manifest").c_str());
 }
 
+// The version gate must name BOTH the version it found and the one this
+// build supports, so an operator reading the refusal knows the file is
+// stale rather than corrupt. The version check runs before the CRC, so a
+// byte-patched header needs no re-checksum to reach it.
+TEST(Checkpoint, VersionRefusalNamesFoundAndSupportedVersions) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  const Metrics m = run_simulation(model, ctrl, 5, {});
+  Rng rng(7);
+  const std::string path = tmp_path("old_version.ckpt");
+  save_checkpoint(make_checkpoint(5, rng, ctrl, m, nullptr, nullptr), path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  // The u32 format version sits right after the 8-byte magic
+  // (little-endian); rewrite v5 -> v4 to fake a pre-policy checkpoint.
+  ASSERT_EQ(data[8], 5);
+  data[8] = 4;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  try {
+    load_checkpoint(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reads v5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  }
+  std::remove(path.c_str());
+}
+
+// v5: the sleep-policy section round trips bit-exactly, and a presence
+// mismatch (policy checkpoint into a policy-free run, or vice versa) is
+// refused instead of silently replaying a different network.
+TEST(Checkpoint, PolicySectionRoundTripsAndPresenceMismatchIsRefused) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  const Metrics m = run_simulation(model, ctrl, 6, {});
+
+  policy::SleepSetup setup;
+  setup.config.policy = policy::SleepPolicy::Threshold;
+  setup.config.sleep_threshold = 5.0;
+  setup.config.min_dwell_slots = 0;
+  setup.config.min_awake_bs = 1;
+  setup.bs.assign(2, {});
+  // A fresh controller (zero backlog) drives the mode machine — the
+  // 6-slot run above left ctrl's queues above the sleep threshold.
+  core::LyapunovController pctrl(model, 3.0, cfg.controller_options());
+  policy::SleepController sleep(model, setup, 3.0);
+  Rng rng(7);
+  {
+    core::SlotInputs inputs = model.sample_inputs(0, rng);
+    sleep.decide(0, pctrl.state(), inputs);  // idle network: BS 1 sleeps
+  }
+  ASSERT_EQ(sleep.mode(1), policy::SleepController::Mode::Sleeping);
+  pctrl.mutable_state().set_q(0, 0, 50.0);
+  {
+    core::SlotInputs inputs = model.sample_inputs(1, rng);
+    sleep.decide(1, pctrl.state(), inputs);  // backlog: BS 1 is mid-wake
+  }
+  ASSERT_EQ(sleep.mode(1), policy::SleepController::Mode::Waking);
+
+  const std::string path = tmp_path("policy.ckpt");
+  save_checkpoint(
+      make_checkpoint(2, rng, ctrl, m, nullptr, nullptr, nullptr, &sleep),
+      path);
+  const Checkpoint b = load_checkpoint(path);
+  ASSERT_TRUE(b.has_policy);
+  const policy::SleepControllerState snap = sleep.snapshot();
+  EXPECT_EQ(b.policy_state.mode, snap.mode);
+  EXPECT_EQ(b.policy_state.dwell, snap.dwell);
+  EXPECT_EQ(b.policy_state.wake_countdown, snap.wake_countdown);
+  EXPECT_EQ(b.policy_state.switches, snap.switches);
+  EXPECT_EQ(bits(b.policy_state.switch_energy_j),
+            bits(snap.switch_energy_j));
+  EXPECT_EQ(b.policy_state.sleep_slots, snap.sleep_slots);
+
+  core::LyapunovController ctrl2(model, 3.0, cfg.controller_options());
+  Metrics m2;
+  Rng rng2(1);
+  // Policy checkpoint into a policy-free resume: refused.
+  EXPECT_THROW(restore_checkpoint(b, rng2, ctrl2, m2, nullptr, nullptr,
+                                  nullptr, nullptr),
+               CheckError);
+  // Policy-free checkpoint into a policy-driven resume: refused too.
+  const Checkpoint plain =
+      make_checkpoint(2, rng, ctrl, m, nullptr, nullptr);
+  policy::SleepController sleep2(model, setup, 3.0);
+  EXPECT_THROW(restore_checkpoint(plain, rng2, ctrl2, m2, nullptr, nullptr,
+                                  nullptr, &sleep2),
+               CheckError);
+  // The matching pair restores and the machine continues mid-wake.
+  restore_checkpoint(b, rng2, ctrl2, m2, nullptr, nullptr, nullptr, &sleep2);
+  EXPECT_EQ(sleep2.mode(1), policy::SleepController::Mode::Waking);
+  EXPECT_EQ(sleep2.switch_count(), sleep.switch_count());
+  std::remove(path.c_str());
+}
+
+// Kill+resume through run_loop with an active sleep policy: the resumed
+// run's Metrics AND policy counters must match the uninterrupted run's.
+TEST(Checkpoint, KillAndResumePolicyRunIsBitIdentical) {
+  const auto cfg = ScenarioConfig::tiny();
+  policy::SleepSetup setup;
+  setup.config.policy = policy::SleepPolicy::Hysteresis;
+  setup.config.sleep_threshold = 2.0;
+  setup.config.wake_threshold = 8.0;
+  setup.bs.assign(2, {});
+  const int horizon = 80, kill_at = 33;
+  const std::string ckpt = tmp_path("policy_resume.ckpt");
+
+  const auto ref_model = cfg.build();
+  core::LyapunovController ref_ctrl(ref_model, 3.0,
+                                    cfg.controller_options());
+  SimOptions ref_opts;
+  ref_opts.sleep = &setup;
+  const Metrics ref = run_simulation(ref_model, ref_ctrl, horizon, ref_opts);
+
+  {
+    const auto model = cfg.build();
+    core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    SimOptions opts;
+    opts.sleep = &setup;
+    opts.checkpoint_path = ckpt;
+    run_simulation(model, ctrl, kill_at, opts);
+  }
+  const auto model = cfg.build();
+  core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  opts.sleep = &setup;
+  opts.resume_path = ckpt;
+  const Metrics resumed = run_simulation(model, ctrl, horizon, opts);
+
+  expect_metrics_bit_identical(resumed, ref);
+  // The policy aggregates are re-derived from the restored controller, so
+  // they only match if the v5 section actually carried the counters.
+  EXPECT_EQ(resumed.policy_awake_bs, ref.policy_awake_bs);
+  EXPECT_EQ(resumed.policy_switches, ref.policy_switches);
+  EXPECT_EQ(bits(resumed.policy_switch_energy_j),
+            bits(ref.policy_switch_energy_j));
+  EXPECT_EQ(resumed.policy_sleep_slots, ref.policy_sleep_slots);
+  std::remove(ckpt.c_str());
+}
+
 TEST(Checkpoint, ResumeBeyondHorizonIsRejected) {
   const auto cfg = ScenarioConfig::tiny();
   const std::string ckpt = tmp_path("beyond.ckpt");

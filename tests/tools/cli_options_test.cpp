@@ -6,6 +6,8 @@
 #include <fstream>
 #include <string>
 
+#include "policy/sleep.hpp"
+
 namespace gc::cli {
 namespace {
 
@@ -402,6 +404,14 @@ TEST(CliOptions, EveryFlagFailureNamesFlagAndDomain) {
       {"--spans", "", "non-empty file path"},
       {"--profile", "", "non-empty file path"},
       {"--lp-log", "", "non-empty file path"},
+      {"--policy", "naps",
+       "\"always-on\", \"threshold\", \"hysteresis\" or "
+       "\"drift-plus-penalty\""},
+      {"--sleep-threshold", "-1", "number >= 0"},
+      {"--wake-threshold", "x", "number >= 0"},
+      {"--sleep-dwell", "-1", "int >= 0"},
+      {"--min-awake-bs", "0", "int >= 1"},
+      {"--switch-cost-weight", "-2", "number >= 0"},
   };
   for (const auto& c : cases) {
     const auto r = parse({c.flag, c.bad});
@@ -473,6 +483,62 @@ TEST(CliOptions, UsageMentionsScenarioFlags) {
   EXPECT_NE(u.find("--scenario"), std::string::npos);
   EXPECT_NE(u.find("--print-scenario"), std::string::npos);
   EXPECT_NE(u.find("docs/SCENARIOS.md"), std::string::npos);
+}
+
+// src/policy sleep flags are run-level overrides (like --V): they merge
+// into scenario.bs_sleep after the parse loop, so they compose with
+// --scenario in either order instead of conflicting like shaping flags.
+TEST(CliOptions, ParsesSleepPolicyFlags) {
+  const auto r =
+      parse({"--policy", "hysteresis", "--sleep-threshold", "2",
+             "--wake-threshold", "8", "--sleep-dwell", "5", "--min-awake-bs",
+             "2", "--switch-cost-weight", "0.5"});
+  ASSERT_TRUE(r.options) << r.error;
+  const auto& s = r.options->scenario.bs_sleep;
+  EXPECT_EQ(s.policy, policy::SleepPolicy::Hysteresis);
+  EXPECT_DOUBLE_EQ(s.sleep_threshold, 2.0);
+  EXPECT_DOUBLE_EQ(s.wake_threshold, 8.0);
+  EXPECT_EQ(s.min_dwell_slots, 5);
+  EXPECT_EQ(s.min_awake_bs, 2);
+  EXPECT_DOUBLE_EQ(s.switch_cost_weight, 0.5);
+  const auto d = parse({});
+  ASSERT_TRUE(d.options);
+  EXPECT_EQ(d.options->scenario.bs_sleep.policy,
+            policy::SleepPolicy::AlwaysOn);
+}
+
+TEST(CliOptions, InvertedHysteresisBandIsRejected) {
+  // Raising only the sleep threshold above the default wake threshold (4)
+  // inverts the band; the rejection names both flags and the reason.
+  const auto r = parse({"--sleep-threshold", "9"});
+  EXPECT_FALSE(r.options);
+  EXPECT_NE(r.error.find("--wake-threshold"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("--sleep-threshold"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("inverted"), std::string::npos) << r.error;
+  EXPECT_TRUE(
+      parse({"--sleep-threshold", "9", "--wake-threshold", "9"}).options);
+}
+
+TEST(CliOptions, SleepFlagsComposeWithScenarioOrderIndependent) {
+  const std::string path = write_temp("sleep_over.json", "{}");
+  for (const auto& args : {std::vector<std::string>{"--scenario", path,
+                                                    "--policy", "threshold"},
+                           std::vector<std::string>{"--policy", "threshold",
+                                                    "--scenario", path}}) {
+    const auto r = parse_args(args);
+    ASSERT_TRUE(r.options) << r.error;
+    EXPECT_EQ(r.options->scenario.bs_sleep.policy,
+              policy::SleepPolicy::Threshold);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CliOptions, UsageMentionsSleepPolicyFlags) {
+  const std::string u = usage();
+  for (const char* flag :
+       {"--policy", "--sleep-threshold", "--wake-threshold", "--sleep-dwell",
+        "--min-awake-bs", "--switch-cost-weight"})
+    EXPECT_NE(u.find(flag), std::string::npos) << flag;
 }
 
 TEST(CliOptions, ParsedScenarioBuilds) {

@@ -30,6 +30,7 @@
 #include "core/controller.hpp"
 #include "fault/fault_schedule.hpp"
 #include "obs/registry.hpp"
+#include "policy/sleep.hpp"
 #include "scenario/spec.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/scenario.hpp"
@@ -50,6 +51,10 @@ struct Options {
   double V = 3.0;
   int checkpoint_every = 7;
   int checkpoint_rotate = 3;
+  // Sleep policy imposed on BOTH the clean and the chaos run (src/policy):
+  // empty keeps the scenario's own bs.sleep block. The referee then also
+  // proves the v5 policy checkpoint section resumes bit-identically.
+  std::string policy;
   bool keep = false;   // leave the work files behind for inspection
   bool quiet = false;  // silence the per-kill supervisor chatter
 };
@@ -59,7 +64,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--scenario FILE] [--slots N] [--kills K]\n"
       "          [--chaos-seed S] [--v V] [--checkpoint-every N]\n"
-      "          [--checkpoint-rotate N] [--keep] [--quiet]\n"
+      "          [--checkpoint-rotate N] [--policy NAME] [--keep] [--quiet]\n"
       "\n"
       "Kill-chaos referee: SIGKILLs a supervised run K times at seeded\n"
       "random slots and requires the auto-resumed result to be\n"
@@ -151,6 +156,21 @@ void check_audit(const Checkpoint& a, const Checkpoint& b) {
         "audit: carried accumulators");
 }
 
+void check_policy(const Checkpoint& a, const Checkpoint& b) {
+  check(a.has_policy == b.has_policy, "policy: presence");
+  if (!a.has_policy || !b.has_policy) return;
+  bool state_equal = a.policy_state.mode == b.policy_state.mode &&
+                     a.policy_state.dwell == b.policy_state.dwell &&
+                     a.policy_state.wake_countdown ==
+                         b.policy_state.wake_countdown;
+  check(state_equal, "policy: per-BS mode/dwell/countdown state");
+  check(a.policy_state.switches == b.policy_state.switches &&
+            bits(a.policy_state.switch_energy_j) ==
+                bits(b.policy_state.switch_energy_j) &&
+            a.policy_state.sleep_slots == b.policy_state.sleep_slots,
+        "policy: carried switch counters");
+}
+
 void remove_rotation(const std::string& base) {
   for (const auto& g : gc::sim::list_generations(base))
     std::remove(g.file.c_str());
@@ -162,8 +182,14 @@ int run(const Options& opt) {
   gc::scenario::ScenarioSpec spec;
   if (!opt.scenario_path.empty())
     spec = gc::scenario::load_scenario_file(opt.scenario_path);
-  const gc::sim::ScenarioConfig& cfg = spec.config;
   const std::uint64_t hash = gc::scenario::scenario_hash(spec);
+  // --policy overrides the scenario's sleep policy after hashing, exactly
+  // like the simulator CLI: the policy is a run parameter, not part of the
+  // scenario identity a resume is checked against.
+  gc::sim::ScenarioConfig cfg = spec.config;
+  if (!opt.policy.empty())
+    cfg.bs_sleep.policy = gc::policy::parse_sleep_policy(opt.policy);
+  const gc::policy::SleepSetup sleep_setup = cfg.sleep_setup();
 
   const char* tmpdir = std::getenv("TMPDIR");
   const std::string prefix = std::string(tmpdir ? tmpdir : "/tmp") +
@@ -192,6 +218,7 @@ int run(const Options& opt) {
     sopts.scenario_name = spec.name;
     sopts.scenario_hash = hash;
     sopts.audit = gc::obs::kCompiledIn;
+    sopts.sleep = &sleep_setup;
     gc::sim::run_simulation(model, ctrl, opt.slots, sopts);
   }
 
@@ -233,6 +260,7 @@ int run(const Options& opt) {
         sopts.scenario_name = spec.name;
         sopts.scenario_hash = hash;
         sopts.audit = gc::obs::kCompiledIn;
+        sopts.sleep = &sleep_setup;
         sopts.process_kill_skip = crash_restarts;
         sopts.faults = &faults;
         gc::sim::run_simulation(model, ctrl, opt.slots, sopts);
@@ -257,6 +285,7 @@ int run(const Options& opt) {
           "final checkpoint reached the horizon");
     check_metrics(sel->checkpoint.metrics, clean.metrics);
     check_audit(sel->checkpoint, clean);
+    check_policy(sel->checkpoint, clean);
     check(bits(sel->checkpoint.last_grid_j) == bits(clean.last_grid_j),
           "controller P(t-1) memory");
   }
@@ -327,6 +356,9 @@ int main(int argc, char** argv) {
         opt.checkpoint_rotate = std::atoi(value());
         GC_CHECK_MSG(opt.checkpoint_rotate >= 1,
                      "--checkpoint-rotate: expected int >= 1");
+      } else if (a == "--policy") {
+        opt.policy = value();
+        gc::policy::parse_sleep_policy(opt.policy);  // validate early
       } else if (a == "--keep") {
         opt.keep = true;
       } else if (a == "--quiet") {

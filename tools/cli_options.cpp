@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "energy/tariff.hpp"
+#include "policy/sleep.hpp"
 #include "scenario/spec.hpp"
 #include "util/check.hpp"
 
@@ -43,6 +44,25 @@ scenario flags (shorthand for the spec fields):
 algorithm:
   --V X                 drift-plus-penalty weight (default 3)
   --lambda X            admission threshold coefficient (default 10)
+
+sleep policy (src/policy, docs/SCENARIOS.md "bs" section):
+  --policy P            base-station sleep policy: always-on (default; the
+                        policy-free paper baseline, bit-identical to no
+                        policy at all), threshold, hysteresis, or
+                        drift-plus-penalty (folds switching energy into the
+                        Lemma-1 penalty term). Run-level like --V: combines
+                        with --scenario and overrides its bs.sleep.policy
+  --sleep-threshold X   mean awake-BS backlog (packets) below which sleep
+                        candidates doze (default 1; threshold/hysteresis)
+  --wake-threshold X    backlog at which sleeping BS are woken (default 4;
+                        hysteresis only; must be >= --sleep-threshold)
+  --sleep-dwell N       minimum slots a BS stays in a mode before the
+                        policy may switch it again (default 3)
+  --min-awake-bs N      never sleep the network below N awake BS (default 1)
+  --switch-cost-weight X
+                        drift-plus-penalty: weight on the switching-energy
+                        term amortized over the dwell (default 1; 0 ignores
+                        switching cost)
 
 run:
   --mobility S          users walk (random waypoint) at up to S m/s (default 0)
@@ -212,6 +232,12 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   // --scenario (the spec file is the single source of truth); the check
   // runs after the loop so rejection is order-independent.
   std::vector<std::string> shaping_seen;
+  // Sleep-policy overrides. Run-level like --V (they combine with
+  // --scenario), but --scenario replaces opt.scenario wholesale, so they
+  // are merged into scenario.bs_sleep after the loop, order-independently.
+  std::optional<policy::SleepPolicy> ov_policy;
+  std::optional<double> ov_sleep_thr, ov_wake_thr, ov_switch_w;
+  std::optional<int> ov_dwell, ov_min_awake;
 
   static const char* kValueFlags[] = {
       "--scenario", "--users",    "--sessions",         "--rate-kbps",
@@ -224,7 +250,9 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       "--spans",    "--profile",  "--lp-log",           "--checkpoint-rotate",
       "--max-restarts", "--restart-backoff-ms", "--reload-scenario",
       "--link-prune", "--lp-sparse", "--lp-warm-slots",
-      "--intra-slot-threads"};
+      "--intra-slot-threads",
+      "--policy", "--sleep-threshold", "--wake-threshold", "--sleep-dwell",
+      "--min-awake-bs", "--switch-cost-weight"};
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -438,6 +466,35 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       if (!parse_int(v, &iv) || iv < 0)
         return err(bad(flag, "int >= 0", v));
       opt.intra_slot_threads = iv;
+    } else if (flag == "--policy") {
+      try {
+        ov_policy = policy::parse_sleep_policy(v);
+      } catch (const CheckError&) {
+        return err(bad(flag,
+                       "\"always-on\", \"threshold\", \"hysteresis\" or "
+                       "\"drift-plus-penalty\"",
+                       v));
+      }
+    } else if (flag == "--sleep-threshold") {
+      if (!parse_double(v, &dv) || dv < 0)
+        return err(bad(flag, "number >= 0", v));
+      ov_sleep_thr = dv;
+    } else if (flag == "--wake-threshold") {
+      if (!parse_double(v, &dv) || dv < 0)
+        return err(bad(flag, "number >= 0", v));
+      ov_wake_thr = dv;
+    } else if (flag == "--sleep-dwell") {
+      if (!parse_int(v, &iv) || iv < 0)
+        return err(bad(flag, "int >= 0", v));
+      ov_dwell = iv;
+    } else if (flag == "--min-awake-bs") {
+      if (!parse_int(v, &iv) || iv < 1)
+        return err(bad(flag, "int >= 1", v));
+      ov_min_awake = iv;
+    } else if (flag == "--switch-cost-weight") {
+      if (!parse_double(v, &dv) || dv < 0)
+        return err(bad(flag, "number >= 0", v));
+      ov_switch_w = dv;
     } else if (flag == "--seeds") {
       if (!parse_int(v, &iv) || iv < 1)
         return err(bad(flag, "int >= 1", v));
@@ -448,6 +505,16 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       opt.threads = iv;
     }
   }
+  if (ov_policy) opt.scenario.bs_sleep.policy = *ov_policy;
+  if (ov_sleep_thr) opt.scenario.bs_sleep.sleep_threshold = *ov_sleep_thr;
+  if (ov_wake_thr) opt.scenario.bs_sleep.wake_threshold = *ov_wake_thr;
+  if (ov_dwell) opt.scenario.bs_sleep.min_dwell_slots = *ov_dwell;
+  if (ov_min_awake) opt.scenario.bs_sleep.min_awake_bs = *ov_min_awake;
+  if (ov_switch_w) opt.scenario.bs_sleep.switch_cost_weight = *ov_switch_w;
+  if (opt.scenario.bs_sleep.wake_threshold <
+      opt.scenario.bs_sleep.sleep_threshold)
+    return err("--wake-threshold must be >= --sleep-threshold (the "
+               "hysteresis band would be inverted)");
   if (!opt.scenario_path.empty() && !shaping_seen.empty()) {
     std::string list;
     for (const std::string& f : shaping_seen) {

@@ -16,6 +16,7 @@
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
+#include "policy/sleep.hpp"
 #include "scenario/spec.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/simulator.hpp"
@@ -139,6 +140,17 @@ double job_wall_s(const std::vector<gc::obs::SpanEvent>& events) {
   return 0.0;
 }
 
+// Stamps the run's sleep-policy identity and counters into a profile's
+// meta (no-op for policy-free runs, keeping the artifact byte-stable).
+void stamp_policy_meta(gc::obs::ProfileMeta& meta, const gc::cli::Options& opt,
+                       const gc::sim::Metrics& m) {
+  if (m.policy_awake_bs < 0) return;
+  meta.policy = gc::policy::sleep_policy_name(opt.scenario.bs_sleep.policy);
+  meta.policy_switches = static_cast<std::int64_t>(m.policy_switches);
+  meta.policy_switch_energy_j = m.policy_switch_energy_j;
+  meta.policy_sleep_slots = static_cast<std::int64_t>(m.policy_sleep_slots);
+}
+
 // --spans / --profile for a single run: drain the ring once, export the
 // Chrome trace and/or the attribution tree from the same event list.
 void export_single_run_obs(const gc::cli::Options& opt,
@@ -160,6 +172,7 @@ void export_single_run_obs(const gc::cli::Options& opt,
   if (!opt.profile_path.empty()) {
     gc::obs::Profile p = gc::obs::build_profile(events);
     p.meta = make_profile_meta(opt, model, m.slots, wall_s, dropped);
+    stamp_policy_meta(p.meta, opt, m);
     write_profile_files(opt.profile_path, p);
     if (!opt.quiet)
       std::printf("profile written to %s (+.collapsed)\n",
@@ -209,6 +222,8 @@ void export_sweep_obs(const gc::cli::Options& opt,
       // merged profile carries the total and the slices carry zero.
       p.meta =
           make_profile_meta(opt, model, slots, job_wall_s(it->second), 0);
+      if (k < static_cast<int>(runs.size()))
+        stamp_policy_meta(p.meta, opt, runs[k]);
       write_profile_files(seed_suffixed(opt.profile_path, k), p);
       merged.merge_from(p);
     }
@@ -227,6 +242,7 @@ void export_sweep_obs(const gc::cli::Options& opt,
 // --threads value (sim/sweep.hpp).
 int run_replicates(const gc::cli::Options& opt,
                    const gc::fault::FaultSchedule* faults,
+                   const gc::policy::SleepSetup* sleep,
                    const gc::core::NetworkModel& model, int crash_restarts,
                    bool supervised) {
   // Per-seed LP solve logs: each job gets its own sink and file (one
@@ -252,6 +268,7 @@ int run_replicates(const gc::cli::Options& opt,
     job.sim.scenario_hash = opt.scenario_hash;
     job.sim.scenario_structural_hash = opt.scenario_structural_hash;
     job.sim.faults = faults;
+    job.sim.sleep = sleep;
     // Per-seed checkpoints: each replicate rotates its own generations at
     // BASE.seed<k>. A supervised sweep attempt auto-resumes every seed
     // from its own base — seeds that already finished reload their final
@@ -340,6 +357,20 @@ int run_replicates(const gc::cli::Options& opt,
               delay.min(), delay.max());
   std::printf("aggregate backlog mean=%.1f min=%.0f max=%.0f\n",
               backlog.mean(), backlog.min(), backlog.max());
+  if (!runs.empty() && runs.front().policy_awake_bs >= 0) {
+    unsigned long long switches = 0, asleep = 0;
+    double switch_j = 0.0;
+    for (const auto& m : runs) {
+      switches += m.policy_switches;
+      asleep += m.policy_sleep_slots;
+      switch_j += m.policy_switch_energy_j;
+    }
+    std::printf(
+        "aggregate policy (%s): switches=%llu switch_energy_j=%.1f "
+        "sleep_bs_slots=%llu\n",
+        gc::policy::sleep_policy_name(opt.scenario.bs_sleep.policy), switches,
+        switch_j, asleep);
+  }
   if (!opt.quiet) {
     if (!opt.csv_path.empty())
       std::printf("per-seed CSVs written to %s.seed<k>\n",
@@ -465,6 +496,11 @@ int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
   active_scenario.link_prune = opt.link_prune;
 
   gc::core::NetworkModel model = active_scenario.build();
+  // Per-BS sleep parameters (src/policy), expanded from the scenario's
+  // bs.tiers / bs.sleep blocks plus any --policy overrides. Plain data; it
+  // must outlive the run (SimOptions holds a pointer) and is shared
+  // read-only across replicate jobs.
+  const gc::policy::SleepSetup sleep_setup = active_scenario.sleep_setup();
   gc::core::ControllerOptions controller_opts =
       active_scenario.controller_options();
   controller_opts.lp.sparse = opt.lp_sparse;
@@ -513,6 +549,7 @@ int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
   sim_opts.scenario_structural_hash = opt.scenario_structural_hash;
   sim_opts.allow_swapped_scenario = scenario_swapped;
   sim_opts.trace_top_k = opt.trace_top_k;
+  sim_opts.sleep = &sleep_setup;
   sim_opts.checkpoint_path = opt.checkpoint_path;
   sim_opts.checkpoint_every = opt.checkpoint_every;
   sim_opts.checkpoint_rotate = opt.checkpoint_rotate;
@@ -547,8 +584,8 @@ int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
   // Replicate sweep: fan the seeds out and aggregate (the FaultSchedule is
   // read-only during runs, so sharing it across jobs is safe).
   if (opt.seeds > 1)
-    return run_replicates(opt, sim_opts.faults, model, crash_restarts,
-                          supervised);
+    return run_replicates(opt, sim_opts.faults, &sleep_setup, model,
+                          crash_restarts, supervised);
 
   gc::sim::Metrics m;
   const gc::obs::StopWatch run_watch;
@@ -610,6 +647,15 @@ int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
                 final_battery_bs / 1e3, final_battery_users / 1e3);
     std::printf("curtailed / unserved: %.1f kJ / %.1f J\n",
                 m.total_curtailed_j / 1e3, m.total_unserved_energy_j);
+    if (m.policy_awake_bs >= 0)
+      std::printf("sleep policy:         %s — %d BS awake at end, %llu "
+                  "switch(es), %.1f J switching, %llu BS-slots asleep\n",
+                  gc::policy::sleep_policy_name(
+                      active_scenario.bs_sleep.policy),
+                  m.policy_awake_bs,
+                  static_cast<unsigned long long>(m.policy_switches),
+                  m.policy_switch_energy_j,
+                  static_cast<unsigned long long>(m.policy_sleep_slots));
     if (!opt.csv_path.empty())
       std::printf("CSV written to %s\n", opt.csv_path.c_str());
     if (!opt.trace_path.empty())

@@ -223,6 +223,12 @@ struct FlatProfile {
   double slots_per_s = 0.0;
   double spans_dropped = 0.0;
   double root_total_s = 0.0;
+  // Sleep-policy identity (the profile's "policy" object; empty name =
+  // policy-free run). A speedup under a sleep policy may come from masked
+  // base stations shrinking S1/S3, so the comparison surfaces it.
+  std::string policy;
+  double policy_switches = 0.0;
+  double policy_sleep_slots = 0.0;
   std::map<std::string, PathStats> paths;  // sorted — deterministic output
 };
 
@@ -256,6 +262,12 @@ FlatProfile flatten_profile(const gc::obs::JsonValue& profile,
   out.wall_s = profile.number_or("wall_s", 0.0);
   out.slots_per_s = profile.number_or("slots_per_s", 0.0);
   out.spans_dropped = profile.number_or("spans_dropped", 0.0);
+  if (profile.has("policy")) {
+    const gc::obs::JsonValue& pol = profile.at("policy");
+    if (pol.has("name")) out.policy = pol.at("name").as_string();
+    out.policy_switches = pol.number_or("switches", 0.0);
+    out.policy_sleep_slots = pol.number_or("sleep_slots", 0.0);
+  }
   const gc::obs::JsonValue& root = profile.at("root");
   out.root_total_s = root.number_or("total_s", 0.0);
   if (root.has("children"))
@@ -291,10 +303,18 @@ int run_profile_mode(const gc::obs::JsonValue& base_json,
                 p.slots_per_s);
     if (p.links_pruned > 0)
       std::printf("  (%.0f pairs range-pruned)", p.links_pruned);
+    if (!p.policy.empty())
+      std::printf("  [policy %s: %.0f switches, %.0f BS-slots asleep]",
+                  p.policy.c_str(), p.policy_switches, p.policy_sleep_slots);
     std::printf("\n");
   };
   print_side("baseline ", base);
   print_side("candidate", cand);
+  if (base.policy != cand.policy)
+    std::printf("note: sleep policies differ (baseline %s, candidate %s) — "
+                "per-slot deltas include the policy's masking effect\n",
+                base.policy.empty() ? "none" : base.policy.c_str(),
+                cand.policy.empty() ? "none" : cand.policy.c_str());
   if (base.spans_dropped > 0 || cand.spans_dropped > 0)
     std::printf("warning: span ring dropped events during capture "
                 "(baseline %.0f, candidate %.0f) — trees may be partial\n",

@@ -8,8 +8,10 @@
 // p50/p95/p99 quantiles, max, and share of the controller step), queue
 // stability (partial-average probe of Definition 2 over the traced backlog
 // series), the stability auditor's group when the trace carries one
-// (Lyapunov drift, bound margins, violation counts), energy totals, traffic
-// totals, and the nodes that dominated the per-slot top-backlog drill-down.
+// (Lyapunov drift, bound margins, violation counts), the sleep-policy group
+// when one is present (awake-set occupancy, switch totals), energy totals,
+// traffic totals, and the nodes that dominated the per-slot top-backlog
+// drill-down.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +85,9 @@ int main(int argc, char** argv) {
   // auditor on; docs/OBSERVABILITY.md).
   Series lyapunov, drift, dpp, q_margin, z_margin, violations,
       unstable_windows;
+  // Sleep-policy group (present when the producing run had an active
+  // --policy / bs.sleep block; src/policy).
+  Series awake_bs, asleep_bs, waking_bs, policy_switches, switch_energy;
   gc::StabilityTracker backlog_stability;
   // node -> (slots in the top-k drill-down, worst backlog seen there)
   std::map<int, std::pair<int, double>> hot_nodes;
@@ -145,6 +150,14 @@ int main(int argc, char** argv) {
         z_margin.add(st.number_or("worst_z_margin_j", 0.0));
         violations.add(st.number_or("violations", 0.0));
         unstable_windows.add(st.number_or("window_unstable", 0.0));
+      }
+      if (rec.has("policy")) {
+        const JsonValue& p = rec.at("policy");
+        awake_bs.add(p.number_or("awake_bs", 0.0));
+        asleep_bs.add(p.number_or("asleep_bs", 0.0));
+        waking_bs.add(p.number_or("waking_bs", 0.0));
+        policy_switches.add(p.number_or("switches", 0.0));
+        switch_energy.add(p.number_or("switch_energy_j", 0.0));
       }
       if (rec.has("robust")) {
         const JsonValue& r = rec.at("robust");
@@ -249,6 +262,22 @@ int main(int argc, char** argv) {
                 "%.0f unstable windows\n",
                 violations.total(), static_cast<int>(violations.v.size()),
                 unstable_windows.total());
+  }
+
+  if (!awake_bs.v.empty()) {
+    const double n_bs =
+        awake_bs.last() + asleep_bs.last() + waking_bs.last();
+    std::printf("\n-- sleep policy --\n");
+    std::printf("  awake BS:   mean %.2f of %.0f (%.1f%% awake), min %.0f\n",
+                awake_bs.mean(), n_bs,
+                100.0 * awake_bs.mean() / std::max(1.0, n_bs),
+                awake_bs.min());
+    std::printf("  asleep BS:  mean %.2f, max %.0f   waking BS: mean %.2f\n",
+                asleep_bs.mean(), asleep_bs.max(), waking_bs.mean());
+    // switches / switch_energy_j are run-cumulative in each record, so the
+    // final value is the run total.
+    std::printf("  switches:   %.0f total, %.1f J switching energy\n",
+                policy_switches.last(), switch_energy.last());
   }
 
   std::printf("\n-- energy --\n");
