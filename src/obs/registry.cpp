@@ -52,6 +52,20 @@ double Histogram::quantile(double q) const {
   return max_;
 }
 
+std::vector<std::pair<double, std::int64_t>> Histogram::cumulative_buckets()
+    const {
+  std::vector<std::pair<double, std::int64_t>> out;
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < static_cast<int>(buckets_.size()); ++i) {
+    if (buckets_[i] == 0) continue;
+    cumulative += buckets_[i];
+    const double upper =
+        kMin * std::exp2((i + 1) / kBucketsPerOctave);
+    out.emplace_back(upper, cumulative);
+  }
+  return out;
+}
+
 void Histogram::reset() {
   count_ = 0;
   sum_ = min_ = max_ = 0.0;

@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gc::obs {
@@ -74,6 +75,10 @@ class Gauge {
     }
   }
   double value() const { return value_; }
+  // Distinguishes "never set" (registration alone, or a GC_OBS_DISABLE
+  // build where set() is a no-op) from a genuine 0 — consumers that treat
+  // presence as meaning (the fleet snapshot's policy section) key on this.
+  bool was_set() const { return set_; }
   void reset() { value_ = 0.0; }
   // Merge semantics are deterministic last-writer-wins in MERGE order: the
   // merge takes the other's value whenever that registry ever set the
@@ -116,6 +121,14 @@ class Histogram {
   // q in [0, 1]; returns the geometric midpoint of the bucket holding the
   // rank-q sample, clamped to [min, max]. 0 when empty.
   double quantile(double q) const;
+
+  // Cumulative bucket view for Prometheus histogram exposition
+  // (obs/snapshot.cpp): (upper_bound, cumulative_count) pairs for every
+  // bucket that closes a non-empty prefix — i.e. only buckets whose own
+  // population is nonzero appear, each carrying the count of samples <= its
+  // upper bound. Empty when no samples were observed. The final entry's
+  // cumulative count equals count().
+  std::vector<std::pair<double, std::int64_t>> cumulative_buckets() const;
 
   void reset();
 

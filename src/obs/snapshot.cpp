@@ -81,6 +81,29 @@ void prom_line(std::string& s, const std::string& name, double v,
   s += '\n';
 }
 
+// Every Prometheus family is announced with # HELP and # TYPE before its
+// sample lines — strict scrapers (and promtool check metrics) reject
+// families without them.
+void prom_family(std::string& s, const std::string& name, const char* help,
+                 const char* type) {
+  s += "# HELP ";
+  s += name;
+  s += ' ';
+  s += help;
+  s += '\n';
+  s += "# TYPE ";
+  s += name;
+  s += ' ';
+  s += type;
+  s += '\n';
+}
+
+void prom_scalar(std::string& s, const std::string& name, const char* help,
+                 const char* type, double v) {
+  prom_family(s, name, help, type);
+  prom_line(s, name, v);
+}
+
 std::string render_json(const SnapshotData& d) {
   std::string s;
   s.reserve(4096);
@@ -122,6 +145,14 @@ std::string render_json(const SnapshotData& d) {
     append_field(s, "z_violations", d.z_violations);
     append_field(s, "drift_violations", d.drift_violations);
     append_field(s, "unstable_windows", d.unstable_windows);
+    s += "}";
+  }
+  if (d.policy_awake_bs >= 0) {
+    s += ",\"policy\":{";
+    append_field(s, "awake_bs", d.policy_awake_bs, /*first=*/true);
+    append_field(s, "switches", d.policy_switches);
+    append_field(s, "switch_energy_j", d.policy_switch_energy_j);
+    append_field(s, "sleep_slots", d.policy_sleep_slots);
     s += "}";
   }
   if (d.registry != nullptr) {
@@ -176,50 +207,88 @@ std::string render_prom(const SnapshotData& d) {
   std::string s;
   s.reserve(4096);
   s += "# greencell live snapshot (Prometheus text exposition format)\n";
-  s += "# TYPE gc_snapshot_slot gauge\n";
-  prom_line(s, "gc_snapshot_slot", d.slot);
-  prom_line(s, "gc_snapshot_total_slots", d.total_slots);
-  prom_line(s, "gc_snapshot_wall_seconds", d.wall_s);
-  prom_line(s, "gc_snapshot_slots_per_second", d.slots_per_s);
-  prom_line(s, "gc_snapshot_eta_seconds", d.eta_s);
+  prom_scalar(s, "gc_snapshot_slot", "completed slots", "gauge", d.slot);
+  prom_scalar(s, "gc_snapshot_total_slots", "run horizon in slots", "gauge",
+              d.total_slots);
+  prom_scalar(s, "gc_snapshot_wall_seconds", "wall time since run start",
+              "gauge", d.wall_s);
+  prom_scalar(s, "gc_snapshot_slots_per_second", "recent throughput",
+              "gauge", d.slots_per_s);
+  prom_scalar(s, "gc_snapshot_eta_seconds",
+              "remaining wall time at the current rate", "gauge", d.eta_s);
   if (d.jobs_total >= 0) {
-    prom_line(s, "gc_snapshot_jobs_done", d.jobs_done);
-    prom_line(s, "gc_snapshot_jobs_total", d.jobs_total);
+    prom_scalar(s, "gc_snapshot_jobs_done", "sweep jobs finished", "gauge",
+                d.jobs_done);
+    prom_scalar(s, "gc_snapshot_jobs_total", "sweep jobs in the fleet",
+                "gauge", d.jobs_total);
   }
   if (d.have_aggregates) {
-    prom_line(s, "gc_snapshot_backlog_packets", d.q_total_packets);
-    prom_line(s, "gc_snapshot_virtual_queue_sum", d.h_total);
-    prom_line(s, "gc_snapshot_battery_joules", d.battery_total_j);
-    prom_line(s, "gc_snapshot_cost_last", d.cost_last);
-    prom_line(s, "gc_snapshot_cost_time_avg", d.cost_time_avg);
-    prom_line(s, "gc_snapshot_grid_joules_total", d.grid_total_j);
+    prom_scalar(s, "gc_snapshot_backlog_packets",
+                "total data-queue backlog", "gauge", d.q_total_packets);
+    prom_scalar(s, "gc_snapshot_virtual_queue_sum",
+                "virtual (battery) queue sum", "gauge", d.h_total);
+    prom_scalar(s, "gc_snapshot_battery_joules", "total stored energy",
+                "gauge", d.battery_total_j);
+    prom_scalar(s, "gc_snapshot_cost_last", "grid cost of the last slot",
+                "gauge", d.cost_last);
+    prom_scalar(s, "gc_snapshot_cost_time_avg", "running time-average cost",
+                "gauge", d.cost_time_avg);
+    prom_scalar(s, "gc_snapshot_grid_joules_total",
+                "cumulative grid energy drawn", "counter", d.grid_total_j);
   }
   if (d.have_stability) {
-    prom_line(s, "gc_stability_worst_q_margin", d.worst_q_margin);
-    prom_line(s, "gc_stability_worst_z_margin_joules", d.worst_z_margin_j);
-    prom_line(s, "gc_stability_q_violations_total", d.q_violations);
-    prom_line(s, "gc_stability_z_violations_total", d.z_violations);
-    prom_line(s, "gc_stability_drift_violations_total", d.drift_violations);
-    prom_line(s, "gc_stability_unstable_windows_total", d.unstable_windows);
+    prom_scalar(s, "gc_stability_worst_q_margin",
+                "worst Lemma-1 data-queue bound margin", "gauge",
+                d.worst_q_margin);
+    prom_scalar(s, "gc_stability_worst_z_margin_joules",
+                "worst Lemma-1 virtual-queue bound margin", "gauge",
+                d.worst_z_margin_j);
+    prom_scalar(s, "gc_stability_q_violations_total",
+                "data-queue bound violations", "counter", d.q_violations);
+    prom_scalar(s, "gc_stability_z_violations_total",
+                "virtual-queue bound violations", "counter",
+                d.z_violations);
+    prom_scalar(s, "gc_stability_drift_violations_total",
+                "drift-plus-penalty bound violations", "counter",
+                d.drift_violations);
+    prom_scalar(s, "gc_stability_unstable_windows_total",
+                "audit windows flagged unstable", "counter",
+                d.unstable_windows);
+  }
+  if (d.policy_awake_bs >= 0) {
+    prom_scalar(s, "gc_policy_awake_bs", "base stations currently awake",
+                "gauge", d.policy_awake_bs);
+    prom_scalar(s, "gc_policy_switches_total",
+                "cumulative sleep/wake commands", "counter",
+                d.policy_switches);
+    prom_scalar(s, "gc_policy_switch_energy_joules_total",
+                "cumulative switching energy charged", "counter",
+                d.policy_switch_energy_j);
+    prom_scalar(s, "gc_policy_sleep_slots_total",
+                "cumulative BS-slots spent asleep", "counter",
+                d.policy_sleep_slots);
   }
   if (d.registry != nullptr) {
     for (const auto& [name, c] : d.registry->counters()) {
       const std::string n = prom_name(name) + "_total";
-      s += "# TYPE " + n + " counter\n";
+      prom_family(s, n, ("registry counter " + name).c_str(), "counter");
       prom_line(s, n, c->total());
     }
     for (const auto& [name, g] : d.registry->gauges()) {
       const std::string n = prom_name(name);
-      s += "# TYPE " + n + " gauge\n";
+      prom_family(s, n, ("registry gauge " + name).c_str(), "gauge");
       prom_line(s, n, g->value());
     }
     for (const auto& [name, h] : d.registry->histograms()) {
-      // Summary exposition: quantiles as labels plus _sum/_count.
       const std::string n = prom_name(name);
-      s += "# TYPE " + n + " summary\n";
-      prom_line(s, n, h->quantile(0.5), "{quantile=\"0.5\"}");
-      prom_line(s, n, h->quantile(0.95), "{quantile=\"0.95\"}");
-      prom_line(s, n, h->quantile(0.99), "{quantile=\"0.99\"}");
+      prom_family(s, n, ("registry histogram " + name).c_str(), "histogram");
+      for (const auto& [upper, cumulative] : h->cumulative_buckets()) {
+        char labels[48];
+        std::snprintf(labels, sizeof labels, "{le=\"%.9g\"}", upper);
+        prom_line(s, n + "_bucket", static_cast<double>(cumulative), labels);
+      }
+      prom_line(s, n + "_bucket", static_cast<double>(h->count()),
+                "{le=\"+Inf\"}");
       prom_line(s, n + "_sum", h->sum());
       prom_line(s, n + "_count", static_cast<double>(h->count()));
     }
@@ -228,6 +297,14 @@ std::string render_prom(const SnapshotData& d) {
 }
 
 }  // namespace
+
+std::string render_snapshot_json(const SnapshotData& data) {
+  return render_json(data);
+}
+
+std::string render_snapshot_prom(const SnapshotData& data) {
+  return render_prom(data);
+}
 
 SnapshotWriter::SnapshotWriter(std::string path, int every_slots)
     : path_(std::move(path)), every_(every_slots) {

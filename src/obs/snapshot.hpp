@@ -52,6 +52,16 @@ struct SnapshotData {
   double drift_violations = 0.0;
   double unstable_windows = 0.0;
 
+  // Sleep-policy aggregates (src/policy). awake_bs < 0 is the policy-free
+  // sentinel: no "policy" JSON section and no gc_policy_* Prometheus lines
+  // are emitted, so the -1 never leaks to scrapers. Single runs fill this
+  // from the live SleepController; fleet snapshots from the merged
+  // registry's policy.* instruments.
+  int policy_awake_bs = -1;
+  double policy_switches = 0.0;
+  double policy_switch_energy_j = 0.0;
+  double policy_sleep_slots = 0.0;
+
   // Sweep fleet progress (sim/sweep.hpp). jobs_total < 0 = not a fleet
   // snapshot.
   int jobs_done = 0;
@@ -61,6 +71,18 @@ struct SnapshotData {
   // worker registries are still being written).
   const Registry* registry = nullptr;
 };
+
+// The two renderings, exposed so the HTTP exporter (obs/http_exporter.hpp)
+// can serve byte-identical bodies on /snapshot.json and /metrics without a
+// disk round trip.
+//
+// render_snapshot_json: one JSON object terminated by a newline.
+// render_snapshot_prom: Prometheus text exposition, every family preceded
+// by its # HELP and # TYPE lines (counters as `counter`, gauges as `gauge`,
+// registry histograms as real `histogram` families with cumulative
+// _bucket{le="..."} lines, +Inf, _sum and _count).
+std::string render_snapshot_json(const SnapshotData& data);
+std::string render_snapshot_prom(const SnapshotData& data);
 
 class SnapshotWriter {
  public:

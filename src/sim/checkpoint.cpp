@@ -233,6 +233,20 @@ std::string serialize_payload(const Checkpoint& checkpoint) {
     put_f64(out, p.switch_energy_j);
     put_u64(out, p.sleep_slots);
   }
+
+  put_u32(out, checkpoint.has_alerts ? 1 : 0);
+  if (checkpoint.has_alerts) {
+    const obs::AlertEngineState& a = checkpoint.alert_state;
+    put_u64(out, a.rules_hash);
+    put_u64(out, a.total_fires);
+    put_u64(out, a.rules.size());
+    for (const auto& r : a.rules) {
+      put_f64(out, r.cum);
+      put_u32(out, r.hold);
+      put_u32(out, r.firing ? 1 : 0);
+      put_vec(out, r.window);
+    }
+  }
   return out.str();
 }
 
@@ -355,6 +369,22 @@ Checkpoint parse_payload(std::istream& in) {
     p.switch_energy_j = get_f64(in);
     p.sleep_slots = get_u64(in);
   }
+
+  c.has_alerts = get_u32(in) != 0;
+  if (c.has_alerts) {
+    obs::AlertEngineState& a = c.alert_state;
+    a.rules_hash = get_u64(in);
+    a.total_fires = get_u64(in);
+    const std::uint64_t n_rules = get_u64(in);
+    if (n_rules > (1ull << 16)) corrupt("checkpoint alert rule count implausible");
+    a.rules.resize(static_cast<std::size_t>(n_rules));
+    for (auto& r : a.rules) {
+      r.cum = get_f64(in);
+      r.hold = get_u32(in);
+      r.firing = get_u32(in) != 0;
+      r.window = get_vec(in);
+    }
+  }
   return c;
 }
 
@@ -366,7 +396,8 @@ Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
                            const RandomWaypoint* mobility,
                            const net::Topology* topology,
                            const obs::StabilityAuditor* auditor,
-                           const policy::SleepController* sleep) {
+                           const policy::SleepController* sleep,
+                           const obs::AlertEngine* alerts) {
   GC_CHECK(next_slot >= 0);
   GC_CHECK((mobility == nullptr) == (topology == nullptr));
   const core::NetworkState& state = controller.state();
@@ -411,6 +442,10 @@ Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
     c.has_policy = true;
     c.policy_state = sleep->snapshot();
   }
+  if (alerts != nullptr) {
+    c.has_alerts = true;
+    c.alert_state = alerts->state();
+  }
   return c;
 }
 
@@ -419,7 +454,8 @@ void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
                         Metrics& metrics, RandomWaypoint* mobility,
                         net::Topology* topology,
                         obs::StabilityAuditor* auditor,
-                        policy::SleepController* sleep) {
+                        policy::SleepController* sleep,
+                        obs::AlertEngine* alerts) {
   core::NetworkState& state = controller.mutable_state();
   const core::NetworkModel& model = state.model();
   const int n = model.num_nodes();
@@ -471,6 +507,8 @@ void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
   // checkpoint resumed by a warm-on run does not inherit stale hints.
   controller.restore_warm_carry(checkpoint.warm);
   if (sleep != nullptr) sleep->restore(checkpoint.policy_state);
+  if (alerts != nullptr && checkpoint.has_alerts)
+    alerts->restore(checkpoint.alert_state);
 }
 
 void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
@@ -512,8 +550,8 @@ Checkpoint load_checkpoint(const std::string& path) {
             " in " + path + " (this build reads v" +
             std::to_string(kCheckpointVersion) +
             " only; older checkpoints lack the CRC, structural-hash, "
-            "auditor, warm-start-carry and sleep-policy fields — re-run "
-            "from slot 0)");
+            "auditor, warm-start-carry, sleep-policy and alert-state "
+            "fields — re-run from slot 0)");
   const std::uint64_t payload_size = get_u64(hdr);
   const std::uint32_t stored_crc = get_u32(hdr);
   if (data.size() - kHeader != payload_size)

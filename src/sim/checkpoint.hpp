@@ -24,11 +24,13 @@
 //    so a killed + resumed run replays sleep/wake commands bit-identically.
 //
 // Serialization is a versioned binary format: the 8-byte magic "GCCKPT01",
-// a u32 format version (currently 5), a u64 payload size, a CRC-32 of the
+// a u32 format version (currently 6), a u64 payload size, a CRC-32 of the
 // payload, then the payload itself as fixed-width little-endian fields
 // (doubles as their IEEE-754 bit patterns, so the round trip is bit-exact).
 // v3 added the size + CRC header, the structural scenario hash, and the
-// auditor state; v4 the warm-start carry; v5 the sleep-policy state;
+// auditor state; v4 the warm-start carry; v5 the sleep-policy state; v6
+// the alert-engine state (obs/alerts.hpp), so a resumed run's debounce
+// counters and fire/clear edges replay exactly;
 // older files are refused loudly —
 // re-run from slot 0 rather than resuming with silently missing state. save_checkpoint writes to a
 // temp file, fsyncs it, and renames it into place, so neither a crash
@@ -53,6 +55,7 @@
 
 #include "core/controller.hpp"
 #include "net/topology.hpp"
+#include "obs/alerts.hpp"
 #include "obs/stability.hpp"
 #include "policy/sleep.hpp"
 #include "sim/mobility.hpp"
@@ -63,7 +66,7 @@
 namespace gc::sim {
 
 inline constexpr char kCheckpointMagic[9] = "GCCKPT01";
-inline constexpr std::uint32_t kCheckpointVersion = 5;
+inline constexpr std::uint32_t kCheckpointVersion = 6;
 
 // Load-time corruption (missing file, bad magic, unsupported version,
 // truncation, CRC mismatch, trailing bytes). A CheckError subtype so
@@ -113,6 +116,13 @@ struct Checkpoint {
   // policy::SleepController). v5.
   bool has_policy = false;
   policy::SleepControllerState policy_state;
+
+  // Alert-engine state (absent unless the run evaluates --alerts rules).
+  // v6. Unlike mobility/policy, a presence mismatch is tolerated: alert
+  // state never affects Metrics, so resuming an alert-free checkpoint with
+  // rules on (or vice versa) just restarts the engine's accumulators.
+  bool has_alerts = false;
+  obs::AlertEngineState alert_state;
 };
 
 // Captures the full loop state after slot `next_slot - 1` completed.
@@ -123,7 +133,8 @@ Checkpoint make_checkpoint(int next_slot, const Rng& input_rng,
                            const RandomWaypoint* mobility,
                            const net::Topology* topology,
                            const obs::StabilityAuditor* auditor = nullptr,
-                           const policy::SleepController* sleep = nullptr);
+                           const policy::SleepController* sleep = nullptr,
+                           const obs::AlertEngine* alerts = nullptr);
 
 // Reinstates a checkpoint into live objects. The controller must be built
 // on the same model/scenario the checkpoint came from (arity-checked).
@@ -140,7 +151,8 @@ void restore_checkpoint(const Checkpoint& checkpoint, Rng& input_rng,
                         Metrics& metrics, RandomWaypoint* mobility,
                         net::Topology* topology,
                         obs::StabilityAuditor* auditor = nullptr,
-                        policy::SleepController* sleep = nullptr);
+                        policy::SleepController* sleep = nullptr,
+                        obs::AlertEngine* alerts = nullptr);
 
 // Binary IO. save_checkpoint is atomic and durable (temp file + fsync +
 // rename + parent-dir fsync); load_checkpoint throws CheckpointError on a

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -13,6 +14,9 @@
 #include "core/validate.hpp"
 #include "fault/fault_schedule.hpp"
 #include "lp/simplex.hpp"
+#include "obs/alerts.hpp"
+#include "obs/events.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
@@ -196,12 +200,15 @@ Metrics run_loop(const core::NetworkModel& model,
     // crash may have landed before the first checkpoint was written.
     std::optional<Checkpoint> loaded;
     std::string source = options.resume_path;
+    int skipped_corrupt = 0;
     if (options.checkpoint_rotate > 0) {
       std::optional<ResumeSelection> sel =
           load_newest_valid(options.resume_path);
       if (sel.has_value()) {
-        if (sel->skipped_corrupt > 0)
+        if (sel->skipped_corrupt > 0) {
           robust_metrics().fallbacks.add(sel->skipped_corrupt);
+          skipped_corrupt = sel->skipped_corrupt;
+        }
         source = sel->source.file;
         loaded = std::move(sel->checkpoint);
       } else {
@@ -243,13 +250,20 @@ Metrics run_loop(const core::NetworkModel& model,
                              "specs)");
       }
       restore_checkpoint(checkpoint, input_rng, controller, m, mobility,
-                         topology, auditor.get(), sleep.get());
+                         topology, auditor.get(), sleep.get(),
+                         options.alerts);
       start_slot = checkpoint.next_slot;
       GC_CHECK_MSG(start_slot <= slots,
                    "checkpoint at slot "
                        << start_slot << " is beyond the horizon " << slots);
       robust_metrics().resumes.add();
       robust_metrics().resumed_slot.set(start_slot);
+      // Lifecycle event (no seq, so the slot-event stream stays
+      // byte-identical to an uninterrupted run's): a newer generation had
+      // to be skipped as corrupt to resume here.
+      if (skipped_corrupt > 0 && options.events != nullptr)
+        options.events->emit_lifecycle(obs::EventKind::kCheckpointFallback,
+                                       start_slot, skipped_corrupt, source);
     }
   }
   // Graceful degradation (docs/ROBUSTNESS.md): in validate mode every
@@ -285,15 +299,24 @@ Metrics run_loop(const core::NetworkModel& model,
   const auto flush_sinks = [&] {
     if (trace) trace->flush();
     if (options.lp_sink != nullptr) options.lp_sink->flush();
+    if (options.events != nullptr) options.events->flush();
   };
+  int last_checkpoint_slot = start_slot;
   const auto checkpoint_now = [&](int next_slot) {
+    // The checkpoint_write event precedes the flush on purpose: the event
+    // line is durable before the checkpoint file exists, and resume-side
+    // truncation (cut = the checkpoint's next_slot) keeps it because it is
+    // stamped with the last slot the checkpoint covers.
+    if (options.events != nullptr)
+      options.events->emit_slot(obs::EventKind::kCheckpointWrite,
+                                next_slot - 1, next_slot);
     // Flush sinks first: after the checkpoint lands, every record up to
     // its slot must already be durable, or a crash right after the write
     // would leave a checkpoint ahead of its sinks.
     flush_sinks();
     Checkpoint c = make_checkpoint(next_slot, input_rng, controller, m,
                                    mobility, topology, auditor.get(),
-                                   sleep.get());
+                                   sleep.get(), options.alerts);
     c.scenario_hash = options.scenario_hash;
     c.scenario_structural_hash = options.scenario_structural_hash;
     if (rotator) {
@@ -301,6 +324,7 @@ Metrics run_loop(const core::NetworkModel& model,
     } else {
       save_checkpoint(c, options.checkpoint_path);
     }
+    last_checkpoint_slot = next_slot;
   };
 
   // Live telemetry. Wall-clock rate covers only this process's slots (a
@@ -314,7 +338,7 @@ Metrics run_loop(const core::NetworkModel& model,
   double grid_total_j = 0.0;
   for (double g : m.grid_j) grid_total_j += g;
   double last_cost = m.cost.empty() ? 0.0 : m.cost.back();
-  const auto write_snapshot = [&](int completed_slots) {
+  const auto fill_snapshot_data = [&](int completed_slots) {
     obs::SnapshotData d;
     d.slot = completed_slots;
     d.total_slots = slots;
@@ -345,8 +369,64 @@ Metrics run_loop(const core::NetworkModel& model,
           static_cast<double>(auditor->total_drift_violations());
       d.unstable_windows = static_cast<double>(auditor->unstable_windows());
     }
+    if (sleep) {
+      d.policy_awake_bs = sleep->awake_count();
+      d.policy_switches = static_cast<double>(sleep->switch_count());
+      d.policy_switch_energy_j = sleep->switch_energy_j();
+      d.policy_sleep_slots = static_cast<double>(sleep->sleep_slots());
+    }
     d.registry = &obs::registry();
-    snapshots->write(d);
+    return d;
+  };
+  const auto write_snapshot = [&](int completed_slots) {
+    snapshots->write(fill_snapshot_data(completed_slots));
+  };
+
+  // HTTP exporter payload (obs/http_exporter.hpp), re-rendered and swapped
+  // in at every slot boundary. The slots/s EMA lives only here — wall
+  // clock never touches Metrics — and the /healthz flip to 503 keys off
+  // the alert engine's critical count.
+  double healthz_ema_slots_per_s = 0.0;
+  double last_publish_wall_s = 0.0;
+  const auto publish_ops = [&](int completed_slots) {
+    if (options.exporter == nullptr) return;
+    const double now_s = run_watch.elapsed_seconds();
+    if (completed_slots > start_slot && now_s > last_publish_wall_s) {
+      const double inst = 1.0 / (now_s - last_publish_wall_s);
+      healthz_ema_slots_per_s = healthz_ema_slots_per_s == 0.0
+                                    ? inst
+                                    : 0.2 * inst +
+                                          0.8 * healthz_ema_slots_per_s;
+    }
+    last_publish_wall_s = now_s;
+    const obs::SnapshotData d = fill_snapshot_data(completed_slots);
+    auto p = std::make_shared<obs::HttpExporter::Payload>();
+    p->metrics_text = obs::render_snapshot_prom(d);
+    p->snapshot_json = obs::render_snapshot_json(d);
+    const int firing =
+        options.alerts != nullptr ? options.alerts->firing() : 0;
+    const int critical =
+        options.alerts != nullptr ? options.alerts->critical_firing() : 0;
+    p->healthy = critical == 0;
+    const bool checkpointing = !options.checkpoint_path.empty();
+    char buf[64];
+    std::string h = "{\"status\":\"";
+    h += p->healthy ? "ok" : "alerting";
+    h += "\",\"slot\":" + std::to_string(completed_slots);
+    h += ",\"total_slots\":" + std::to_string(slots);
+    std::snprintf(buf, sizeof buf, ",\"slots_per_s\":%.6g",
+                  healthz_ema_slots_per_s);
+    h += buf;
+    h += ",\"checkpoint_age_slots\":" +
+         std::to_string(checkpointing
+                            ? completed_slots - last_checkpoint_slot
+                            : -1);
+    h += ",\"restarts\":" + std::to_string(options.restart_count);
+    h += ",\"alerts_firing\":" + std::to_string(firing);
+    h += ",\"critical_firing\":" + std::to_string(critical);
+    h += "}\n";
+    p->healthz_json = std::move(h);
+    options.exporter->publish(std::move(p));
   };
 
   // Copy the policy counters into the Metrics on every exit path so the
@@ -360,6 +440,14 @@ Metrics run_loop(const core::NetworkModel& model,
     m.policy_sleep_slots = sleep->sleep_slots();
   };
 
+  // Rebase the alert rules AFTER every resume-time counter bump
+  // (robust.resumes, truncation counters) so rules only ever observe
+  // in-loop deltas — the alert event stream then replays bit-identically
+  // across SIGKILL+resume.
+  if (options.alerts != nullptr) options.alerts->rebase(obs::registry());
+  std::uint64_t prev_policy_switches = sleep ? sleep->switch_count() : 0;
+  publish_ops(start_slot);
+
   for (int t = start_slot; t < slots; ++t) {
     if (shutdown_requested()) {
       // Signal-safe graceful stop (docs/ROBUSTNESS.md): the handler only
@@ -371,6 +459,7 @@ Metrics run_loop(const core::NetworkModel& model,
       else
         flush_sinks();
       if (snapshots) write_snapshot(t);
+      publish_ops(t);
       robust_metrics().shutdowns.add();
       if (options.interrupted != nullptr) *options.interrupted = true;
       fill_policy_stats();
@@ -395,7 +484,15 @@ Metrics run_loop(const core::NetworkModel& model,
     // Sleep policy runs after the fault overlay (a down BS is forced
     // toward Awake so it wakes into the outage) and before the controller
     // observes the inputs.
-    if (sleep) sleep->decide(t, controller.state(), inputs);
+    if (sleep) {
+      sleep->decide(t, controller.state(), inputs);
+      const std::uint64_t switches = sleep->switch_count();
+      if (switches != prev_policy_switches && options.events != nullptr)
+        options.events->emit_slot(
+            obs::EventKind::kPolicySwitch, t,
+            static_cast<double>(switches - prev_policy_switches));
+      prev_policy_switches = switches;
+    }
     core::SlotDecision decision;
     double drift_bound_rhs = std::numeric_limits<double>::quiet_NaN();
     double pre_lyapunov = std::numeric_limits<double>::quiet_NaN();
@@ -427,6 +524,10 @@ Metrics run_loop(const core::NetworkModel& model,
     record(m, model, controller.state(), inputs, decision);
     last_cost = decision.cost;
     grid_total_j += decision.grid_total_j;
+    if (decision.fallbacks > 0 && options.events != nullptr)
+      options.events->emit_slot(obs::EventKind::kLpFallback, t,
+                                decision.fallbacks,
+                                decision.degraded ? "degraded" : "recovered");
 
     obs::SlotAudit audit;
     obs::SlotVerdict verdict;
@@ -450,6 +551,12 @@ Metrics run_loop(const core::NetworkModel& model,
       audit.drift_bound_rhs = drift_bound_rhs;
       audit.pre_lyapunov = pre_lyapunov;
       verdict = auditor->observe(audit);
+      if (verdict.any_violation() && options.events != nullptr)
+        options.events->emit_slot(
+            obs::EventKind::kBoundViolation, t,
+            verdict.q_violations + verdict.z_violations +
+                verdict.drift_violations,
+            verdict.window_unstable ? "window_unstable" : "");
       if (options.strict_bounds && verdict.any_violation()) {
         // Annotate masked (sleeping/waking) base stations: their queues
         // are frozen by the policy layer, so a bound violation there
@@ -479,14 +586,21 @@ Metrics run_loop(const core::NetworkModel& model,
                  fault_events, options.trace_top_k,
                  auditor ? &audit : nullptr, auditor ? &verdict : nullptr,
                  sleep.get());
+    // Alert evaluation closes the slot BEFORE any checkpoint is cut, so
+    // the checkpointed engine state always reflects every completed slot
+    // and a resume replays the fire/clear edges exactly.
+    if (options.alerts != nullptr)
+      options.alerts->evaluate(obs::registry(), t, options.events);
     if (!options.checkpoint_path.empty() && options.checkpoint_every > 0 &&
         (t + 1) % options.checkpoint_every == 0 && t + 1 < slots)
       checkpoint_now(t + 1);
     if (snapshots && snapshots->due(t + 1) && t + 1 < slots)
       write_snapshot(t + 1);
+    publish_ops(t + 1);
   }
   if (!options.checkpoint_path.empty()) checkpoint_now(slots);
   if (snapshots) write_snapshot(slots);
+  publish_ops(slots);
   fill_policy_stats();
   return m;
 }

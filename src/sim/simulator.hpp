@@ -24,6 +24,12 @@ namespace gc::policy {
 struct SleepSetup;
 }
 
+namespace gc::obs {
+class AlertEngine;
+class EventJournal;
+class HttpExporter;
+}  // namespace gc::obs
+
 namespace gc::sim {
 
 struct Metrics {
@@ -185,6 +191,30 @@ struct SimOptions {
   // end of the run (0 = final only).
   std::string snapshot_path;
   int snapshot_every = 0;
+
+  // Live operations layer (docs/OBSERVABILITY.md "Operating live runs").
+  // None of these affect Metrics: a run with all three attached is
+  // metrics-bit-identical to the same run without them.
+  //
+  // Structured event journal (obs/events.hpp). Not owned; may be null. The
+  // caller opens the JSONL sink (with the resume-slot cut) before the run;
+  // run_loop emits lp_fallback / policy_switch / bound_violation /
+  // checkpoint_write / alert events into it and flushes it at every
+  // checkpoint boundary.
+  obs::EventJournal* events = nullptr;
+
+  // Alert rule engine (obs/alerts.hpp). Not owned; may be null. Rebased at
+  // loop start (rules see in-loop counter deltas only) and evaluated at
+  // every slot boundary; its debounce state rides checkpoint v6.
+  obs::AlertEngine* alerts = nullptr;
+
+  // HTTP exporter (obs/http_exporter.hpp). Not owned; may be null.
+  // run_loop publishes an immutable payload (metrics text, snapshot JSON,
+  // healthz) at every slot boundary; readers never block the loop.
+  obs::HttpExporter* exporter = nullptr;
+
+  // Supervised crash restarts before this attempt; surfaced in /healthz.
+  int restart_count = 0;
 };
 
 // The audit contract the paper's analysis implies for `model` at drift

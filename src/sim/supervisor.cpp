@@ -148,6 +148,7 @@ SupervisorOutcome RunSupervisor::run(
         g_reload = 0;
         ++outcome.reloads;
         metrics().reloads.add();
+        if (options_.on_reload) options_.on_reload();
         consecutive_crashes = 0;
         if (!options_.quiet)
           std::fprintf(stderr,
@@ -181,6 +182,8 @@ SupervisorOutcome RunSupervisor::run(
     }
     ++outcome.crash_restarts;
     metrics().restarts.add();
+    if (options_.on_crash_restart)
+      options_.on_crash_restart(outcome.crash_restarts);
     const int backoff =
         options_.backoff_ms << (consecutive_crashes < 16 ? consecutive_crashes
                                                          : 16);

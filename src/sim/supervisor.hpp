@@ -47,6 +47,15 @@ struct SupervisorOptions {
   int max_restarts = 5;       // crash restarts before giving up
   int backoff_ms = 500;       // first backoff; doubles per consecutive crash
   bool quiet = false;         // suppress progress lines on stderr
+
+  // Parent-side lifecycle hooks (docs/OBSERVABILITY.md "Operating live
+  // runs"). Both run in the PARENT — the only process that survives the
+  // crash — so the event journal's restart / hot_reload lines come from a
+  // process that actually witnessed the transition. on_crash_restart
+  // receives the new cumulative crash count and runs before the backoff
+  // sleep; on_reload runs before the reload restart. May be empty.
+  std::function<void(int crash_restarts)> on_crash_restart;
+  std::function<void()> on_reload;
 };
 
 struct SupervisorOutcome {

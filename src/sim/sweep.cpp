@@ -64,6 +64,25 @@ void SweepRunner::run_indexed(int n, const std::function<void(int)>& fn) {
     d.jobs_total = n;
     if (d.wall_s > 0.0 && done > 0 && done < n)
       d.eta_s = (n - done) * d.wall_s / done;
+    if (registry != nullptr) {
+      // Fleet policy aggregates (src/policy): the awake_bs gauge is only
+      // ever SET by an active SleepController, so a set gauge in the merged
+      // registry says a policy ran; the counters then carry the fleet-wide
+      // totals. Policy-free sweeps — and GC_OBS_DISABLE builds, where set()
+      // is a no-op and the gauge's 0 would masquerade as "every BS asleep"
+      // — keep the -1 sentinel and no policy section is rendered.
+      for (const auto& [name, g] : registry->gauges())
+        if (name == "policy.awake_bs" && g->was_set())
+          d.policy_awake_bs = static_cast<int>(g->value());
+      if (d.policy_awake_bs >= 0) {
+        for (const auto& [name, c] : registry->counters()) {
+          if (name == "policy.switches") d.policy_switches = c->total();
+          if (name == "policy.switch_energy_j")
+            d.policy_switch_energy_j = c->total();
+          if (name == "policy.sleep_slots") d.policy_sleep_slots = c->total();
+        }
+      }
+    }
     d.registry = registry;
     snapshots->write(d);
   };

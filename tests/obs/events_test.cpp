@@ -1,0 +1,231 @@
+// EventJournal (src/obs/events.hpp): render formats, the slot-event /
+// lifecycle-event split, sink resume truncation + sequence recovery, the
+// in-memory ring behind /events, and the parent-side lifecycle append.
+#include "obs/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gc::obs {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return testing::TempDir() + "gc_events_test_" + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Everything before the trailing ,"wall_s":...} is deterministic.
+std::string strip_wall(const std::string& line) {
+  const std::size_t at = line.find(",\"wall_s\":");
+  return at == std::string::npos ? line : line.substr(0, at) + "}";
+}
+
+TEST(EventJournal, SlotEventRenderFormat) {
+  EventJournal j;
+  j.emit_slot(EventKind::kLpFallback, 34, 2, "degraded");
+  std::uint64_t next = 0;
+  const auto lines = j.ring_since(0, &next);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(next, 1u);
+  EXPECT_EQ(strip_wall(lines[0]),
+            "{\"seq\":0,\"slot\":34,\"kind\":\"lp_fallback\",\"value\":2,"
+            "\"detail\":\"degraded\"}");
+  // wall_s is the LAST field (the byte-compare tooling strips from it on).
+  EXPECT_NE(lines[0].find(",\"wall_s\":"), std::string::npos);
+  EXPECT_EQ(lines[0].back(), '}');
+  EXPECT_EQ(j.next_seq(), 1u);
+}
+
+TEST(EventJournal, LifecycleEventHasNoSeqAndUsesAt) {
+  EventJournal j;
+  j.emit_lifecycle(EventKind::kRestart, 13, 2);
+  std::uint64_t next = 0;
+  const auto lines = j.ring_since(0, &next);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(strip_wall(lines[0]),
+            "{\"kind\":\"restart\",\"at\":13,\"value\":2}");
+  // Lifecycle lines never consume a sequence number.
+  EXPECT_EQ(j.next_seq(), 0u);
+  j.emit_slot(EventKind::kCheckpointWrite, 14, 15);
+  EXPECT_EQ(j.next_seq(), 1u);
+}
+
+TEST(EventJournal, ValueAndDetailFormatting) {
+  EventJournal j;
+  j.emit_slot(EventKind::kBoundViolation, 0, 3.0);        // integral
+  j.emit_slot(EventKind::kBoundViolation, 1, 0.5);        // fractional
+  j.emit_slot(EventKind::kAlertFire, 2, 1, "a\"b\\c");    // needs escaping
+  std::uint64_t next = 0;
+  const auto lines = j.ring_since(0, &next);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"value\":3,"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"value\":0.5,"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[2].find("\"detail\":\"a\\\"b\\\\c\""), std::string::npos)
+      << lines[2];
+}
+
+TEST(EventJournal, FreshSinkWipesAndResumeReopens) {
+  const std::string path = tmp_path("fresh.jsonl");
+  {
+    EventJournal j;
+    const EventSinkResume r = j.open_sink(path, -1);
+    EXPECT_FALSE(r.existed);
+    for (int t = 0; t < 3; ++t)
+      j.emit_slot(EventKind::kCheckpointWrite, t, t + 1);
+    j.flush();
+    EXPECT_EQ(read_lines(path).size(), 3u);
+    EXPECT_TRUE(j.has_sink());
+  }
+  // cut_slot < 0 = a fresh run: the old journal is wiped, seq restarts.
+  EventJournal j2;
+  const EventSinkResume r2 = j2.open_sink(path, -1);
+  EXPECT_TRUE(r2.existed);
+  EXPECT_EQ(r2.next_seq, 0u);
+  j2.flush();
+  EXPECT_TRUE(read_lines(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(EventJournal, ResumeTruncatesToSlotAndRecoversSeq) {
+  const std::string path = tmp_path("resume.jsonl");
+  {
+    EventJournal j;
+    j.open_sink(path, -1);
+    for (int t = 0; t < 10; ++t)
+      j.emit_slot(EventKind::kCheckpointWrite, t, t + 1);
+    j.flush();
+  }
+  EventJournal j2;
+  const EventSinkResume r = j2.open_sink(path, 5);
+  EXPECT_TRUE(r.existed);
+  EXPECT_EQ(r.kept_lines, 5);      // slots 0..4 survive
+  EXPECT_EQ(r.dropped_lines, 5);   // slots 5..9 cut
+  EXPECT_EQ(r.next_seq, 5u);       // recovered from the last kept line
+  j2.emit_slot(EventKind::kCheckpointWrite, 5, 6);
+  j2.flush();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[5].rfind("{\"seq\":5,\"slot\":5,", 0), 0u) << lines[5];
+  std::remove(path.c_str());
+}
+
+TEST(EventJournal, ResumeFromSlotZeroKeepsParentLifecycleLine) {
+  const std::string path = tmp_path("cut0.jsonl");
+  {
+    EventJournal j;
+    j.open_sink(path, -1);
+    for (int t = 0; t < 5; ++t)
+      j.emit_slot(EventKind::kLpFallback, t, 1);
+    j.flush();
+  }
+  // The parent notices the crash (before any checkpoint landed), truncates
+  // the dead tail back to slot 0 and appends its restart line.
+  append_lifecycle_event(path, 0, EventKind::kRestart, 0, 1);
+  ASSERT_EQ(read_lines(path).size(), 1u);
+
+  // The resumed child cuts at slot 0 too: every slot event is gone, but the
+  // restart line (no "slot" key) survives and the stream restarts at seq 0.
+  EventJournal j2;
+  const EventSinkResume r = j2.open_sink(path, 0);
+  EXPECT_EQ(r.kept_lines, 1);
+  EXPECT_EQ(r.next_seq, 0u);
+  j2.emit_slot(EventKind::kLpFallback, 0, 1);
+  j2.flush();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("{\"kind\":\"restart\",\"at\":0,", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("{\"seq\":0,", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EventJournal, AppendLifecycleTruncatesDeadTailFirst) {
+  const std::string path = tmp_path("parent.jsonl");
+  {
+    EventJournal j;
+    j.open_sink(path, -1);
+    for (int t = 0; t < 10; ++t)
+      j.emit_slot(EventKind::kCheckpointWrite, t, t + 1);
+    j.flush();
+  }
+  // Crash resumed from slot 5: the parent cuts slots >= 5, then appends.
+  append_lifecycle_event(path, 5, EventKind::kRestart, 5, 1);
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 6u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)].rfind(
+                  "{\"seq\":" + std::to_string(i) + ",", 0),
+              0u);
+  EXPECT_EQ(strip_wall(lines[5]), "{\"kind\":\"restart\",\"at\":5,\"value\":1}");
+  std::remove(path.c_str());
+}
+
+TEST(EventJournal, TornTailIsDroppedOnResume) {
+  const std::string path = tmp_path("torn.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"seq\":0,\"slot\":0,\"kind\":\"checkpoint_write\",\"value\":1}\n";
+    out << "{\"seq\":1,\"slot\":1,\"ki";  // no newline: torn by the kill
+  }
+  EventJournal j;
+  const EventSinkResume r = j.open_sink(path, 100);
+  EXPECT_EQ(r.kept_lines, 1);
+  EXPECT_TRUE(r.dropped_torn_tail);
+  EXPECT_EQ(r.next_seq, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EventJournal, RingEvictsOldestAndHonorsSince) {
+  EventJournal j(/*ring_capacity=*/4);
+  for (int t = 0; t < 10; ++t)
+    j.emit_slot(EventKind::kPolicySwitch, t, t);
+  std::uint64_t next = 0;
+  auto lines = j.ring_since(0, &next);  // too old: clamps to the window
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(next, 10u);
+  EXPECT_NE(lines[0].find("\"seq\":6,"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"seq\":9,"), std::string::npos);
+  lines = j.ring_since(8, &next);
+  ASSERT_EQ(lines.size(), 2u);
+  lines = j.ring_since(next, &next);  // caught up
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(next, 10u);
+}
+
+TEST(EventJournal, DoubleOpenIsRefused) {
+  const std::string path = tmp_path("double.jsonl");
+  EventJournal j;
+  j.open_sink(path, -1);
+  EXPECT_THROW(j.open_sink(path, -1), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(EventJournal, KindNamesAreStable) {
+  EXPECT_STREQ(event_kind_name(EventKind::kRestart), "restart");
+  EXPECT_STREQ(event_kind_name(EventKind::kLpFallback), "lp_fallback");
+  EXPECT_STREQ(event_kind_name(EventKind::kCheckpointWrite),
+               "checkpoint_write");
+  EXPECT_STREQ(event_kind_name(EventKind::kCheckpointFallback),
+               "checkpoint_fallback");
+  EXPECT_STREQ(event_kind_name(EventKind::kPolicySwitch), "policy_switch");
+  EXPECT_STREQ(event_kind_name(EventKind::kBoundViolation),
+               "bound_violation");
+  EXPECT_STREQ(event_kind_name(EventKind::kHotReload), "hot_reload");
+  EXPECT_STREQ(event_kind_name(EventKind::kAlertFire), "alert_fire");
+  EXPECT_STREQ(event_kind_name(EventKind::kAlertClear), "alert_clear");
+}
+
+}  // namespace
+}  // namespace gc::obs

@@ -123,6 +123,85 @@ TEST(SnapshotWriter, PromTwinExposesGcFamilies) {
   std::remove(w.prom_path().c_str());
 }
 
+// Registry histograms render as real Prometheus histogram families:
+// cumulative _bucket{le="..."} lines, the +Inf bucket, _sum and _count —
+// and every family is announced by # HELP / # TYPE.
+TEST(SnapshotRender, HistogramFamiliesExposeCumulativeBuckets) {
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out";
+  SnapshotData d;
+  Registry r;
+  Histogram& h = r.histogram("test.seconds");
+  h.observe(1e-3);
+  h.observe(1e-3);
+  h.observe(2.0);
+  d.registry = &r;
+  const std::string prom = render_snapshot_prom(d);
+  EXPECT_NE(prom.find("# HELP gc_test_seconds registry histogram "
+                      "test.seconds"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE gc_test_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gc_test_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gc_test_seconds_count 3"), std::string::npos);
+  EXPECT_NE(prom.find("gc_test_seconds_sum 2.00"), std::string::npos);
+  // The finite buckets are cumulative and end at the total count.
+  const std::size_t first = prom.find("gc_test_seconds_bucket{le=\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(prom.find(" 2\n", first), std::string::npos)
+      << "two 1ms samples must close the first bucket at 2: " << prom;
+  // Every sample line in the exposition belongs to an announced family.
+  std::istringstream lines(prom);
+  std::string line, announced;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      announced = line.substr(7, line.find(' ', 7) - 7);
+    } else if (line.rfind("#", 0) != 0 && !line.empty()) {
+      const std::string family = line.substr(0, line.find_first_of(" {"));
+      const bool matches =
+          family == announced || family == announced + "_bucket" ||
+          family == announced + "_sum" || family == announced + "_count";
+      EXPECT_TRUE(matches) << family << " rendered without # TYPE: " << line;
+    }
+  }
+}
+
+// policy_awake_bs = -1 is the policy-free sentinel: no "policy" JSON
+// section, no gc_policy_* Prometheus lines — the -1 must never reach a
+// scraper as a value.
+TEST(SnapshotRender, PolicySentinelNeverLeaks) {
+  SnapshotData d;
+  d.slot = 3;
+  ASSERT_EQ(d.policy_awake_bs, -1);  // the default IS the sentinel
+  EXPECT_EQ(render_snapshot_json(d).find("\"policy\""), std::string::npos);
+  EXPECT_EQ(render_snapshot_prom(d).find("gc_policy_"), std::string::npos);
+
+  d.policy_awake_bs = 3;
+  d.policy_switches = 14.0;
+  d.policy_switch_energy_j = 0.5;
+  d.policy_sleep_slots = 40.0;
+  const JsonValue v = json_parse(render_snapshot_json(d));
+  EXPECT_DOUBLE_EQ(v.at("policy").at("awake_bs").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(v.at("policy").at("switches").as_number(), 14.0);
+  EXPECT_DOUBLE_EQ(v.at("policy").at("sleep_slots").as_number(), 40.0);
+  const std::string prom = render_snapshot_prom(d);
+  EXPECT_NE(prom.find("# TYPE gc_policy_awake_bs gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gc_policy_awake_bs 3"), std::string::npos);
+  EXPECT_NE(prom.find("gc_policy_switches_total 14"), std::string::npos);
+  EXPECT_NE(prom.find("gc_policy_sleep_slots_total 40"), std::string::npos);
+}
+
+// An awake count of 0 (every BS asleep) is a real value, not the sentinel.
+TEST(SnapshotRender, PolicyAwakeZeroStillRenders) {
+  SnapshotData d;
+  d.policy_awake_bs = 0;
+  EXPECT_NE(render_snapshot_json(d).find("\"policy\""), std::string::npos);
+  EXPECT_NE(render_snapshot_prom(d).find("gc_policy_awake_bs 0"),
+            std::string::npos);
+}
+
 // The tmp+rename protocol means a polling reader only ever sees a complete
 // snapshot. Fork a child that rewrites the snapshot as fast as it can,
 // SIGKILL it at staggered offsets, and require whatever file is left behind

@@ -18,6 +18,7 @@
 #include "core/controller.hpp"
 #include "fault/fault_schedule.hpp"
 #include "lp/simplex.hpp"
+#include "obs/events.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/scenario.hpp"
 #include "sim/simulator.hpp"
@@ -78,6 +79,32 @@ void expect_audit_bit_identical(const Checkpoint& got,
             bits(want.audit.window_cost_delta));
 }
 
+// Event-journal lines with a sequence number, wall-clock stripped — the
+// deterministic slot-event stream; lifecycle lines (restart, reload) are
+// by-design unique to the supervised run and excluded from the compare.
+std::vector<std::string> read_slot_events(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"seq\":", 0) != 0) continue;
+    const std::size_t at = line.find(",\"wall_s\":");
+    lines.push_back(at == std::string::npos ? line
+                                            : line.substr(0, at) + "}");
+  }
+  return lines;
+}
+
+int count_lifecycle(const std::string& path, const char* kind) {
+  std::ifstream in(path);
+  const std::string prefix = std::string("{\"kind\":\"") + kind + "\",";
+  int n = 0;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(prefix, 0) == 0) ++n;
+  return n;
+}
+
 // The referee: schedule kills (including a double kill at one slot), run
 // under the supervisor, and require bit-identical convergence. Everything
 // the parent checks comes out of the final checkpoint — the attempts ran
@@ -89,16 +116,25 @@ TEST(ChaosResume, SupervisedKillChaosConvergesBitIdentically) {
   const std::string base = tmp_path("chaos.ckpt");
   const std::string clean_trace = tmp_path("clean_trace.jsonl");
   const std::string chaos_trace = tmp_path("chaos_trace.jsonl");
+  const std::string clean_events = tmp_path("clean_events.jsonl");
+  const std::string chaos_events = tmp_path("chaos_events.jsonl");
   remove_rotation(base);
   std::remove(chaos_trace.c_str());
+  std::remove(chaos_events.c_str());
 
-  // Uninterrupted reference run, final checkpoint + trace kept.
+  // Uninterrupted reference run, final checkpoint + trace + journal kept.
+  // The checkpoint cadence must match the chaos run's: checkpoint_write
+  // slot events are part of the stream being compared.
   {
     const auto model = cfg.build();
     core::LyapunovController ctrl(model, 3.0, cfg.controller_options());
+    obs::EventJournal journal;
+    journal.open_sink(clean_events, -1);
     SimOptions opts;
     opts.checkpoint_path = clean_ckpt;
+    opts.checkpoint_every = 5;
     opts.trace_path = clean_trace;
+    opts.events = &journal;
     run_simulation(model, ctrl, horizon, opts);
   }
 
@@ -112,16 +148,32 @@ TEST(ChaosResume, SupervisedKillChaosConvergesBitIdentically) {
     faults.add(e);
   }
 
+  // The slot the next attempt will resume from — what the parent's
+  // restart line and the child's journal cut must both use.
+  const auto resume_slot = [&]() -> int {
+    const auto sel = load_newest_valid(base);
+    return sel ? sel->checkpoint.next_slot : 0;
+  };
+
   SupervisorOptions sup_opts;
   sup_opts.max_restarts = 5;
   sup_opts.backoff_ms = 1;  // keep the test fast
   sup_opts.quiet = true;
+  sup_opts.on_crash_restart = [&](int crash_restarts) {
+    // The parent appends the restart lifecycle line, exactly like the CLI.
+    const int cut = resume_slot();
+    obs::append_lifecycle_event(chaos_events, cut, obs::EventKind::kRestart,
+                                cut, crash_restarts);
+  };
   RunSupervisor supervisor(sup_opts);
   const SupervisorOutcome outcome =
       supervisor.run([&](int crash_restarts) {
         const auto model = cfg.build();
         core::LyapunovController ctrl(model, 3.0,
                                       cfg.controller_options());
+        obs::EventJournal journal;
+        journal.open_sink(chaos_events,
+                          crash_restarts > 0 ? resume_slot() : -1);
         SimOptions opts;
         opts.checkpoint_path = base;
         opts.checkpoint_every = 5;
@@ -130,6 +182,7 @@ TEST(ChaosResume, SupervisedKillChaosConvergesBitIdentically) {
         opts.resume_auto = true;
         opts.sink_resume = true;
         opts.trace_path = chaos_trace;
+        opts.events = &journal;
         opts.process_kill_skip = crash_restarts;
         opts.faults = &faults;
         run_simulation(model, ctrl, horizon, opts);
@@ -156,9 +209,26 @@ TEST(ChaosResume, SupervisedKillChaosConvergesBitIdentically) {
   for (std::size_t i = 0; i < clean_lines.size(); ++i)
     EXPECT_EQ(chaos_lines[i], clean_lines[i]) << "line " << i;
 
+  // So must the event journal's slot-event stream (modulo wall_s): the
+  // resume-side truncation + seq recovery make the killed run re-emit
+  // exactly the lines the uninterrupted run wrote.
+  const auto clean_events_lines = read_slot_events(clean_events);
+  const auto chaos_events_lines = read_slot_events(chaos_events);
+  ASSERT_FALSE(clean_events_lines.empty());
+  ASSERT_EQ(chaos_events_lines.size(), clean_events_lines.size());
+  for (std::size_t i = 0; i < clean_events_lines.size(); ++i)
+    EXPECT_EQ(chaos_events_lines[i], clean_events_lines[i])
+        << "event " << i;
+  // The lifecycle layer is the by-design difference: one restart line per
+  // survived kill, none in the clean journal.
+  EXPECT_EQ(count_lifecycle(chaos_events, "restart"), 3);
+  EXPECT_EQ(count_lifecycle(clean_events, "restart"), 0);
+
   std::remove(clean_ckpt.c_str());
   std::remove(clean_trace.c_str());
   std::remove(chaos_trace.c_str());
+  std::remove(clean_events.c_str());
+  std::remove(chaos_events.c_str());
   remove_rotation(base);
 }
 

@@ -446,9 +446,9 @@ TEST(Checkpoint, VersionRefusalNamesFoundAndSupportedVersions) {
                    std::istreambuf_iterator<char>());
   in.close();
   // The u32 format version sits right after the 8-byte magic
-  // (little-endian); rewrite v5 -> v4 to fake a pre-policy checkpoint.
-  ASSERT_EQ(data[8], 5);
-  data[8] = 4;
+  // (little-endian); rewrite v6 -> v5 to fake a pre-alerts checkpoint.
+  ASSERT_EQ(data[8], 6);
+  data[8] = 5;
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
@@ -458,8 +458,8 @@ TEST(Checkpoint, VersionRefusalNamesFoundAndSupportedVersions) {
     FAIL() << "expected CheckpointError";
   } catch (const CheckpointError& e) {
     const std::string msg = e.what();
-    EXPECT_NE(msg.find("version 4"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("reads v5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("version 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reads v6"), std::string::npos) << msg;
     EXPECT_NE(msg.find(path), std::string::npos) << msg;
   }
   std::remove(path.c_str());
@@ -576,6 +576,133 @@ TEST(Checkpoint, KillAndResumePolicyRunIsBitIdentical) {
             bits(ref.policy_switch_energy_j));
   EXPECT_EQ(resumed.policy_sleep_slots, ref.policy_sleep_slots);
   std::remove(ckpt.c_str());
+}
+
+// v6: the alert-engine state rides the checkpoint, so a resumed run's
+// debounce counters and fire/clear edges replay exactly.
+TEST(Checkpoint, AlertStateRoundTripsThroughV6) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  Metrics m = run_simulation(model, controller, 10, opts);
+  Rng rng(opts.input_seed);
+
+  // Rules that hold without any registry instrument (an absent metric
+  // reads 0, and 0 < 1 holds), so the state is deterministic in both the
+  // default and the GC_OBS_DISABLE build.
+  obs::AlertRule fires;
+  fires.name = "fires";
+  fires.metric = "no.such.metric";
+  fires.op = obs::AlertRule::Op::kLess;
+  fires.threshold = 1.0;
+  obs::AlertRule slow = fires;
+  slow.name = "slow";
+  slow.for_slots = 7;
+  obs::AlertEngine engine({fires, slow});
+  const obs::Registry reg;
+  engine.rebase(reg);
+  for (int t = 0; t < 3; ++t) engine.evaluate(reg, t, nullptr);
+  ASSERT_EQ(engine.firing(), 1);  // "slow" held only 3/7 slots
+
+  const Checkpoint a = make_checkpoint(10, rng, controller, m, nullptr,
+                                       nullptr, nullptr, nullptr, &engine);
+  EXPECT_TRUE(a.has_alerts);
+  const std::string path = tmp_path("alerts.ckpt");
+  save_checkpoint(a, path);
+  const Checkpoint b = load_checkpoint(path);
+  ASSERT_TRUE(b.has_alerts);
+  EXPECT_EQ(b.alert_state.rules_hash, engine.rules_hash());
+  EXPECT_EQ(b.alert_state.total_fires, 1u);
+  ASSERT_EQ(b.alert_state.rules.size(), 2u);
+  EXPECT_TRUE(b.alert_state.rules[0].firing);
+  EXPECT_EQ(b.alert_state.rules[1].hold, 3u);
+
+  // Restored into a fresh engine, the debounce picks up mid-count: four
+  // more holding slots fire the second rule exactly on schedule.
+  obs::AlertEngine resumed({fires, slow});
+  Rng rng2(opts.input_seed);
+  Metrics m2;
+  core::LyapunovController ctrl2(model, 3.0, cfg.controller_options());
+  restore_checkpoint(b, rng2, ctrl2, m2, nullptr, nullptr, nullptr,
+                     nullptr, &resumed);
+  resumed.rebase(reg);
+  EXPECT_EQ(resumed.firing(), 1);
+  EXPECT_EQ(resumed.total_fires(), 1u);
+  for (int t = 3; t < 6; ++t) resumed.evaluate(reg, t, nullptr);
+  EXPECT_EQ(resumed.firing(), 1);
+  resumed.evaluate(reg, 6, nullptr);
+  EXPECT_EQ(resumed.firing(), 2);
+  std::remove(path.c_str());
+}
+
+// Resuming under an edited rule set is refused: silently replaying
+// different alerts from old debounce state would be worse than restarting
+// the engine.
+TEST(Checkpoint, AlertRulesHashMismatchIsRefused) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  Metrics m = run_simulation(model, controller, 5, opts);
+  Rng rng(opts.input_seed);
+
+  obs::AlertRule r;
+  r.name = "r";
+  r.metric = "m";
+  r.threshold = 1.0;
+  obs::AlertEngine engine({r});
+  const Checkpoint c = make_checkpoint(5, rng, controller, m, nullptr,
+                                       nullptr, nullptr, nullptr, &engine);
+
+  obs::AlertRule edited = r;
+  edited.threshold = 2.0;
+  obs::AlertEngine other({edited});
+  Rng rng2(opts.input_seed);
+  Metrics m2;
+  core::LyapunovController ctrl2(model, 3.0, cfg.controller_options());
+  EXPECT_THROW(restore_checkpoint(c, rng2, ctrl2, m2, nullptr, nullptr,
+                                  nullptr, nullptr, &other),
+               CheckError);
+}
+
+// Unlike mobility/policy, an alert-section presence mismatch is tolerated:
+// alert state never affects Metrics, so turning rules on (or off) across a
+// restart just restarts the engine's accumulators.
+TEST(Checkpoint, AlertPresenceMismatchIsTolerated) {
+  const auto cfg = ScenarioConfig::tiny();
+  const auto model = cfg.build();
+  core::LyapunovController controller(model, 3.0, cfg.controller_options());
+  SimOptions opts;
+  Metrics m = run_simulation(model, controller, 5, opts);
+  Rng rng(opts.input_seed);
+
+  // Alert-free checkpoint resumed by an alerting run: engine untouched.
+  const Checkpoint plain =
+      make_checkpoint(5, rng, controller, m, nullptr, nullptr);
+  EXPECT_FALSE(plain.has_alerts);
+  obs::AlertRule r;
+  r.name = "r";
+  r.metric = "m";
+  obs::AlertEngine engine({r});
+  {
+    Rng rng2(opts.input_seed);
+    Metrics m2;
+    core::LyapunovController ctrl2(model, 3.0, cfg.controller_options());
+    restore_checkpoint(plain, rng2, ctrl2, m2, nullptr, nullptr, nullptr,
+                       nullptr, &engine);
+    EXPECT_EQ(engine.total_fires(), 0u);
+  }
+  // Alerting checkpoint resumed by an alert-free run: section ignored.
+  const Checkpoint alerting = make_checkpoint(
+      5, rng, controller, m, nullptr, nullptr, nullptr, nullptr, &engine);
+  EXPECT_TRUE(alerting.has_alerts);
+  {
+    Rng rng2(opts.input_seed);
+    Metrics m2;
+    core::LyapunovController ctrl2(model, 3.0, cfg.controller_options());
+    restore_checkpoint(alerting, rng2, ctrl2, m2, nullptr, nullptr);
+  }
 }
 
 TEST(Checkpoint, ResumeBeyondHorizonIsRejected) {

@@ -15,6 +15,7 @@
 #include "metrics_testutil.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "policy/sleep.hpp"
 #include "sim/checkpoint.hpp"
 #include "util/check.hpp"
 
@@ -195,6 +196,92 @@ TEST(Sweep, SnapshotsAreMetricsNeutralAndFleetTotalsMatchMergedRegistry) {
     std::remove(job.sim.snapshot_path.c_str());
     std::remove((job.sim.snapshot_path + ".prom").c_str());
   }
+  std::remove(fleet_path.c_str());
+  std::remove((fleet_path + ".prom").c_str());
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Fleet snapshots derive their policy section from the merged registry's
+// policy.* instruments (no live SleepController exists at the fleet level):
+// the section appears iff some job ran a policy, and its aggregates must
+// equal the merged totals exactly. A policy-free fleet must not leak the
+// awake_bs = -1 sentinel.
+TEST(Sweep, FleetSnapshotPolicyAggregatesMatchMergedRegistry) {
+  // Policy-free fleet: no "policy" section, no gc_policy_* lines.
+  const std::string plain_path =
+      ::testing::TempDir() + "gc_sweep_fleet_plain.json";
+  {
+    SweepOptions opt;
+    opt.threads = 2;
+    obs::Registry sink;
+    opt.merge_into = &sink;
+    opt.snapshot_path = plain_path;
+    SweepRunner(opt).run(grid_jobs());
+    const obs::JsonValue v = obs::json_parse(read_whole_file(plain_path));
+    EXPECT_FALSE(v.has("policy"));
+    EXPECT_EQ(read_whole_file(plain_path + ".prom").find("gc_policy_"),
+              std::string::npos);
+    std::remove(plain_path.c_str());
+    std::remove((plain_path + ".prom").c_str());
+  }
+
+  // Fleet with a sleep policy on every job.
+  policy::SleepSetup setup;
+  setup.config.policy = policy::SleepPolicy::Hysteresis;
+  setup.config.sleep_threshold = 50.0;  // mean backlog stays below: sleeps
+  setup.config.wake_threshold = 200.0;
+  setup.config.min_dwell_slots = 2;
+  auto jobs = grid_jobs(8);
+  for (auto& job : jobs) job.sim.sleep = &setup;
+  const std::string fleet_path =
+      ::testing::TempDir() + "gc_sweep_fleet_policy.json";
+  SweepOptions opt;
+  opt.threads = 2;
+  obs::Registry merged;
+  opt.merge_into = &merged;
+  opt.snapshot_path = fleet_path;
+  const auto metrics = SweepRunner(opt).run(jobs);
+  const obs::JsonValue v = obs::json_parse(read_whole_file(fleet_path));
+
+  if (!obs::kCompiledIn) {
+    // Without instruments the fleet writer cannot see that a policy ran;
+    // the section is (correctly) absent rather than full of zeros.
+    EXPECT_FALSE(v.has("policy"));
+    std::remove(fleet_path.c_str());
+    std::remove((fleet_path + ".prom").c_str());
+    return;
+  }
+
+  ASSERT_TRUE(v.has("policy")) << read_whole_file(fleet_path);
+  const obs::JsonValue& p = v.at("policy");
+  EXPECT_DOUBLE_EQ(p.at("awake_bs").as_number(),
+                   merged.gauge("policy.awake_bs").value());
+  EXPECT_DOUBLE_EQ(p.at("switches").as_number(),
+                   merged.counter("policy.switches").total());
+  EXPECT_DOUBLE_EQ(p.at("switch_energy_j").as_number(),
+                   merged.counter("policy.switch_energy_j").total());
+  EXPECT_DOUBLE_EQ(p.at("sleep_slots").as_number(),
+                   merged.counter("policy.sleep_slots").total());
+  // The registry totals themselves must agree with the per-job Metrics
+  // aggregates — the same counters, summed two independent ways.
+  double switches = 0.0, sleep_slots = 0.0;
+  for (const Metrics& m : metrics) {
+    switches += static_cast<double>(m.policy_switches);
+    sleep_slots += static_cast<double>(m.policy_sleep_slots);
+  }
+  EXPECT_DOUBLE_EQ(merged.counter("policy.switches").total(), switches);
+  EXPECT_DOUBLE_EQ(merged.counter("policy.sleep_slots").total(),
+                   sleep_slots);
+  EXPECT_GT(sleep_slots, 0.0) << "the hysteresis policy never slept a BS";
+  const std::string prom = read_whole_file(fleet_path + ".prom");
+  EXPECT_NE(prom.find("# TYPE gc_policy_awake_bs gauge"),
+            std::string::npos);
   std::remove(fleet_path.c_str());
   std::remove((fleet_path + ".prom").c_str());
 }

@@ -7,7 +7,12 @@
 //
 //   * Metrics — every per-slot series and accumulator by IEEE-754 bits,
 //   * the stability auditor's carried state,
-//   * the JSONL trace, byte for byte modulo per-record wall-clock.
+//   * the JSONL trace, byte for byte modulo per-record wall-clock,
+//   * the structured event journal's slot-event stream ({"seq":... lines),
+//     byte for byte modulo the trailing wall_s field. Lifecycle lines
+//     (restart, checkpoint_fallback) are by-design the DIFFERENCE between
+//     the two journals — the referee instead asserts the chaos journal
+//     carries exactly one restart line per survived kill.
 //
 // Exit code 0 means every check passed AND every scheduled kill actually
 // fired. CI runs this against the paper scenario and
@@ -29,6 +34,7 @@
 
 #include "core/controller.hpp"
 #include "fault/fault_schedule.hpp"
+#include "obs/events.hpp"
 #include "obs/registry.hpp"
 #include "policy/sleep.hpp"
 #include "scenario/spec.hpp"
@@ -99,6 +105,34 @@ std::vector<std::string> read_stripped_lines(const std::string& path) {
   std::string line;
   while (std::getline(in, line)) lines.push_back(strip_time(line));
   return lines;
+}
+
+// Event-journal comparison (obs/events.hpp): slot events are replay state
+// and must match byte for byte once the trailing wall_s field is stripped;
+// lifecycle lines (no "seq") tell the recovery story and differ by design.
+std::string strip_wall(const std::string& line) {
+  const std::size_t at = line.find(",\"wall_s\":");
+  if (at == std::string::npos) return line;
+  return line.substr(0, at) + "}";
+}
+
+std::vector<std::string> read_slot_events(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind("{\"seq\":", 0) == 0) out.push_back(strip_wall(line));
+  return out;
+}
+
+int count_lifecycle(const std::string& path, const char* kind) {
+  std::ifstream in(path);
+  const std::string needle = std::string("{\"kind\":\"") + kind + "\",";
+  int n = 0;
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(needle, 0) == 0) ++n;
+  return n;
 }
 
 // PASS/FAIL ledger: every referee check prints one line and the process
@@ -196,10 +230,13 @@ int run(const Options& opt) {
                              "/gc_chaos_" + std::to_string(getpid()) + "_";
   const std::string clean_ckpt = prefix + "clean.ckpt";
   const std::string clean_trace = prefix + "clean.jsonl";
+  const std::string clean_events = prefix + "clean.events.jsonl";
   const std::string base = prefix + "chaos.ckpt";
   const std::string chaos_trace = prefix + "chaos.jsonl";
+  const std::string chaos_events = prefix + "chaos.events.jsonl";
   remove_rotation(base);
   std::remove(chaos_trace.c_str());
+  std::remove(chaos_events.c_str());
 
   std::printf("chaos_runner: scenario %s (hash 0x%016llx), %d slots, "
               "%d kill(s), chaos seed %llu\n",
@@ -214,11 +251,17 @@ int run(const Options& opt) {
                                       cfg.controller_options());
     gc::sim::SimOptions sopts;
     sopts.checkpoint_path = clean_ckpt;
+    // Same cadence as the chaos run (single-file, no rotation): the
+    // checkpoint_write slot events must line up for the journal compare.
+    sopts.checkpoint_every = opt.checkpoint_every;
     sopts.trace_path = clean_trace;
     sopts.scenario_name = spec.name;
     sopts.scenario_hash = hash;
     sopts.audit = gc::obs::kCompiledIn;
     sopts.sleep = &sleep_setup;
+    gc::obs::EventJournal journal;
+    journal.open_sink(clean_events, /*cut_slot=*/-1);
+    sopts.events = &journal;
     gc::sim::run_simulation(model, ctrl, opt.slots, sopts);
   }
 
@@ -241,6 +284,19 @@ int run(const Options& opt) {
   sup.max_restarts = opt.kills + 2;
   sup.backoff_ms = 1;
   sup.quiet = opt.quiet;
+  // Restart lifecycle lines come from the parent, with the journal first
+  // truncated to the slot the next attempt resumes from — the same
+  // contract greencell_sim --supervise uses.
+  const auto chaos_resume_slot = [&base]() {
+    const auto s = gc::sim::load_newest_valid(base);
+    return s.has_value() ? s->checkpoint.next_slot : 0;
+  };
+  sup.on_crash_restart = [&](int restarts) {
+    const int cut = chaos_resume_slot();
+    gc::obs::append_lifecycle_event(chaos_events, cut,
+                                    gc::obs::EventKind::kRestart, cut,
+                                    restarts);
+  };
   // Children inherit the pre-fork stdio buffer and flush it on exit;
   // drain it now so the banner prints exactly once.
   std::fflush(nullptr);
@@ -263,6 +319,9 @@ int run(const Options& opt) {
         sopts.sleep = &sleep_setup;
         sopts.process_kill_skip = crash_restarts;
         sopts.faults = &faults;
+        gc::obs::EventJournal journal;
+        journal.open_sink(chaos_events, chaos_resume_slot());
+        sopts.events = &journal;
         gc::sim::run_simulation(model, ctrl, opt.slots, sopts);
         return 0;
       });
@@ -306,12 +365,34 @@ int run(const Options& opt) {
     std::printf("       (lines %zu vs %zu, first divergence at line %zu)\n",
                 clean_lines.size(), chaos_lines.size(), first_diff);
 
+  // Event journals: the slot-event stream must replay bit-identically;
+  // lifecycle lines are the recovery story — exactly one restart per
+  // survived kill.
+  const auto clean_ev = read_slot_events(clean_events);
+  const auto chaos_ev = read_slot_events(chaos_events);
+  bool events_equal = clean_ev.size() == chaos_ev.size();
+  std::size_t ev_diff = 0;
+  for (std::size_t i = 0; events_equal && i < clean_ev.size(); ++i)
+    if (clean_ev[i] != chaos_ev[i]) {
+      events_equal = false;
+      ev_diff = i;
+    }
+  check(events_equal,
+        "event journal slot-event stream byte-identical modulo wall-clock");
+  if (!events_equal)
+    std::printf("       (slot events %zu vs %zu, first divergence at %zu)\n",
+                clean_ev.size(), chaos_ev.size(), ev_diff);
+  check(count_lifecycle(chaos_events, "restart") == outcome.crash_restarts,
+        "event journal carries one restart line per survived kill");
+
   if (opt.keep) {
     std::printf("work files kept under %s*\n", prefix.c_str());
   } else {
     std::remove(clean_ckpt.c_str());
     std::remove(clean_trace.c_str());
+    std::remove(clean_events.c_str());
     std::remove(chaos_trace.c_str());
+    std::remove(chaos_events.c_str());
     remove_rotation(base);
   }
 

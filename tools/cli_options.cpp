@@ -111,6 +111,30 @@ observability (docs/OBSERVABILITY.md):
                         numeric repairs, status, wall time); with
                         --seeds > 1 each replicate writes PATH.seed<k>
 
+live operations (docs/OBSERVABILITY.md "Operating live runs"):
+  --metrics-port N      serve /metrics (Prometheus text), /snapshot.json,
+                        /healthz and /events on 127.0.0.1:N from a
+                        dedicated thread; N = 0 binds an ephemeral port
+                        (requires --metrics-port-file). Reads never block
+                        the slot loop. Not combinable with --seeds > 1
+  --metrics-port-file PATH
+                        write the bound port as one decimal line once the
+                        listener is up (service discovery for ephemeral
+                        ports); requires --metrics-port
+  --events PATH         append a structured event journal (JSONL: restarts,
+                        LP fallbacks, checkpoint writes, policy switches,
+                        bound violations, alerts) to PATH; resumed runs
+                        truncate it to the checkpoint slot first, exactly
+                        like --trace. Tail it live with tools/ops_tail; not
+                        combinable with --seeds > 1
+  --alerts PATH         evaluate the JSON alert rules in PATH at every slot
+                        boundary against the live registry; fires show up
+                        as alert_fire/alert_clear events and flip /healthz
+                        to 503 while a critical rule is firing. Not
+                        combinable with --seeds > 1
+  --alerts-fatal        exit with code 3 after an otherwise-clean run
+                        during which any alert fired; requires --alerts
+
 robustness (docs/ROBUSTNESS.md):
   --faults PATH         inject faults from a JSON spec (node outages,
                         renewable blackouts, grid outages, price spikes,
@@ -252,7 +276,8 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       "--link-prune", "--lp-sparse", "--lp-warm-slots",
       "--intra-slot-threads",
       "--policy", "--sleep-threshold", "--wake-threshold", "--sleep-dwell",
-      "--min-awake-bs", "--switch-cost-weight"};
+      "--min-awake-bs", "--switch-cost-weight",
+      "--metrics-port", "--metrics-port-file", "--events", "--alerts"};
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
@@ -283,6 +308,10 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     }
     if (flag == "--supervise") {
       opt.supervise = true;
+      continue;
+    }
+    if (flag == "--alerts-fatal") {
+      opt.alerts_fatal = true;
       continue;
     }
     bool known = false;
@@ -495,6 +524,19 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       if (!parse_double(v, &dv) || dv < 0)
         return err(bad(flag, "number >= 0", v));
       ov_switch_w = dv;
+    } else if (flag == "--metrics-port") {
+      if (!parse_int(v, &iv) || iv < 0 || iv > 65535)
+        return err(bad(flag, "int in [0, 65535] (0 = ephemeral)", v));
+      opt.metrics_port = iv;
+    } else if (flag == "--metrics-port-file") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      opt.metrics_port_file = v;
+    } else if (flag == "--events") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      opt.events_path = v;
+    } else if (flag == "--alerts") {
+      if (v.empty()) return err(bad(flag, "a non-empty file path", v));
+      opt.alerts_path = v;
     } else if (flag == "--seeds") {
       if (!parse_int(v, &iv) || iv < 1)
         return err(bad(flag, "int >= 1", v));
@@ -554,6 +596,26 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   if (opt.snapshot_every > 0 && opt.snapshot_path.empty())
     return err("--snapshot-every requires --snapshot (it sets the cadence "
                "of the snapshot file)");
+  if (opt.metrics_port == 0 && opt.metrics_port_file.empty())
+    return err("--metrics-port 0 requires --metrics-port-file (an ephemeral "
+               "port is useless if nothing records where it landed)");
+  if (!opt.metrics_port_file.empty() && opt.metrics_port < 0)
+    return err("--metrics-port-file requires --metrics-port (there is no "
+               "port to record without an exporter)");
+  if (opt.alerts_fatal && opt.alerts_path.empty())
+    return err("--alerts-fatal requires --alerts (there are no rules to "
+               "fire without a rule file)");
+  if (opt.seeds > 1) {
+    if (opt.metrics_port >= 0)
+      return err("--metrics-port cannot be combined with --seeds > 1 (the "
+               "exporter serves one run's registry, not a fleet's)");
+    if (!opt.events_path.empty())
+      return err("--events cannot be combined with --seeds > 1 (concurrent "
+               "replicates would interleave one journal)");
+    if (!opt.alerts_path.empty())
+      return err("--alerts cannot be combined with --seeds > 1 (rules read "
+               "the thread-current registry of a single run)");
+  }
   // Output paths must be pairwise distinct, checked up front: two flags
   // aimed at one file would silently clobber each other (and under
   // --seeds > 1 the shared ring's per-seed slices would interleave).
@@ -566,6 +628,8 @@ ParseResult parse_args(const std::vector<std::string>& args) {
         {"--profile", &opt.profile_path},
         {"--lp-log", &opt.lp_log_path},
         {"--checkpoint", &opt.checkpoint_path},
+        {"--events", &opt.events_path},
+        {"--metrics-port-file", &opt.metrics_port_file},
     };
     for (std::size_t a = 0; a < std::size(outputs); ++a) {
       if (outputs[a].second->empty()) continue;

@@ -61,6 +61,20 @@ struct Options {
   // solve with context, dimensions, phase split and warm-start accounting.
   std::string lp_log_path;
 
+  // Live operations layer (docs/OBSERVABILITY.md "Operating live runs").
+  // metrics_port: -1 = no HTTP exporter; 0 = bind an ephemeral loopback
+  // port (requires --metrics-port-file so the chosen port is
+  // discoverable); >= 1 = bind that port. metrics_port_file, when set,
+  // receives the bound port as a single decimal line after the listener
+  // is up. All three single-run features are rejected with --seeds > 1.
+  int metrics_port = -1;
+  std::string metrics_port_file;
+  std::string events_path;  // structured event journal JSONL; empty = off
+  std::string alerts_path;  // alert rule file (JSON); empty = no engine
+  // Exit nonzero (code 3) after an otherwise-clean run during which any
+  // alert fired. Requires --alerts.
+  bool alerts_fatal = false;
+
   // Robustness (docs/ROBUSTNESS.md).
   std::string faults_path;      // JSON fault spec; empty = no fault injection
   std::string checkpoint_path;  // empty = no checkpoints

@@ -13,6 +13,9 @@
 #include "core/controller.hpp"
 #include "fault/fault_schedule.hpp"
 #include "lp/solve_log.hpp"
+#include "obs/alerts.hpp"
+#include "obs/events.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/timer.hpp"
@@ -415,6 +418,39 @@ int run(const gc::cli::Options& opt) {
   sup_opts.max_restarts = opt.max_restarts;
   sup_opts.backoff_ms = opt.restart_backoff_ms;
   sup_opts.quiet = opt.quiet;
+  // Event-journal lifecycle hooks: restart / hot_reload lines come from
+  // the PARENT (the process that survives the crash). Each hook first
+  // resolves the slot the next attempt will resume from — the same cut the
+  // child will make — so the crashed attempt's dead journal tail never
+  // buries the lifecycle line.
+  int reloads_seen = 0;
+  if (!opt.events_path.empty()) {
+    const auto parent_resume_slot = [&opt]() {
+      try {
+        if (opt.checkpoint_rotate > 0) {
+          const auto sel = gc::sim::load_newest_valid(opt.checkpoint_path);
+          return sel.has_value() ? sel->checkpoint.next_slot : 0;
+        }
+        if (std::ifstream(opt.checkpoint_path).good())
+          return gc::sim::load_checkpoint(opt.checkpoint_path).next_slot;
+      } catch (const gc::CheckError&) {
+        // An unreadable checkpoint means the child starts over from 0.
+      }
+      return 0;
+    };
+    sup_opts.on_crash_restart = [&opt, parent_resume_slot](int restarts) {
+      const int cut = parent_resume_slot();
+      gc::obs::append_lifecycle_event(opt.events_path, cut,
+                                      gc::obs::EventKind::kRestart, cut,
+                                      restarts);
+    };
+    sup_opts.on_reload = [&opt, &reloads_seen, parent_resume_slot]() {
+      const int cut = parent_resume_slot();
+      gc::obs::append_lifecycle_event(opt.events_path, cut,
+                                      gc::obs::EventKind::kHotReload, cut,
+                                      ++reloads_seen);
+    };
+  }
   gc::sim::RunSupervisor supervisor(sup_opts);
   const gc::sim::SupervisorOutcome outcome =
       supervisor.run([&](int crash_restarts) {
@@ -587,6 +623,50 @@ int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
     return run_replicates(opt, sim_opts.faults, &sleep_setup, model,
                           crash_restarts, supervised);
 
+  // Live operations trio (docs/OBSERVABILITY.md "Operating live runs").
+  // All single-run-only (rejected with --seeds > 1 at parse) and
+  // Metrics-neutral: a run with all three attached is bit-identical to
+  // the same run without them. The journal's sink opens under the same
+  // resume-slot contract as the lp-log above; a non-supervised run (cut
+  // 0) starts it fresh, exactly like the trace.
+  gc::obs::EventJournal events;
+  if (!opt.events_path.empty()) {
+    const gc::obs::EventSinkResume er =
+        events.open_sink(opt.events_path, supervised ? resume_slot : -1);
+    if (!opt.quiet && er.existed && er.kept_lines > 0)
+      std::printf("event journal resumed: kept %lld line(s), dropped %lld, "
+                  "next seq %llu\n",
+                  static_cast<long long>(er.kept_lines),
+                  static_cast<long long>(er.dropped_lines),
+                  static_cast<unsigned long long>(er.next_seq));
+    sim_opts.events = &events;
+  }
+
+  std::unique_ptr<gc::obs::AlertEngine> alerts;
+  if (!opt.alerts_path.empty()) {
+    alerts = std::make_unique<gc::obs::AlertEngine>(
+        gc::obs::AlertEngine::from_json_file(opt.alerts_path));
+    sim_opts.alerts = alerts.get();
+  }
+
+  // The exporter runs in THIS process — under --supervise that is the
+  // child, which owns the registry the endpoints serve; each restarted
+  // attempt re-binds (and, for --metrics-port 0, re-publishes) its port.
+  std::unique_ptr<gc::obs::HttpExporter> exporter;
+  if (opt.metrics_port >= 0) {
+    exporter = std::make_unique<gc::obs::HttpExporter>(opt.metrics_port,
+                                                       sim_opts.events);
+    if (!opt.metrics_port_file.empty())
+      gc::obs::write_text_atomic(opt.metrics_port_file,
+                                 std::to_string(exporter->port()) + "\n",
+                                 "metrics port file");
+    if (!opt.quiet)
+      std::printf("metrics exporter listening on http://127.0.0.1:%d\n",
+                  exporter->port());
+    sim_opts.exporter = exporter.get();
+  }
+  sim_opts.restart_count = crash_restarts;
+
   gc::sim::Metrics m;
   const gc::obs::StopWatch run_watch;
   if (opt.mobility_mps > 0.0) {
@@ -669,6 +749,15 @@ int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
       std::printf("LP solve log written to %s (%lld solves)\n",
                   opt.lp_log_path.c_str(),
                   static_cast<long long>(lp_log->lines_written()));
+    if (!opt.events_path.empty())
+      std::printf("event journal written to %s (%llu slot events)\n",
+                  opt.events_path.c_str(),
+                  static_cast<unsigned long long>(events.next_seq()));
+    if (alerts)
+      std::printf("alerts: %llu fire(s) over the run, %d rule(s) firing at "
+                  "the end (%d critical)\n",
+                  static_cast<unsigned long long>(alerts->total_fires()),
+                  alerts->firing(), alerts->critical_firing());
   } else {
     std::printf("avg_cost=%.6g delivered=%.0f delay=%.2f backlog=%.0f\n",
                 m.cost_avg.average(), m.total_delivered_packets,
@@ -676,6 +765,16 @@ int run_attempt(const gc::cli::Options& opt_in, int crash_restarts,
   }
   if (opt.report) print_report(m);
   export_single_run_obs(opt, model, m, run_wall_s);
+  // --alerts-fatal: a completed run during which any rule fired exits 3,
+  // distinct from usage errors (2) and deterministic failures (1). The
+  // graceful-interrupt path above stays exit 0 so a SIGHUP hot-reload is
+  // never mistaken for a deterministic failure.
+  if (alerts != nullptr && opt.alerts_fatal && alerts->total_fires() > 0) {
+    std::fprintf(stderr,
+                 "error: --alerts-fatal: %llu alert fire(s) during the run\n",
+                 static_cast<unsigned long long>(alerts->total_fires()));
+    return 3;
+  }
   return 0;
 }
 

@@ -12,6 +12,11 @@
 // when one is present (awake-set occupancy, switch totals), energy totals,
 // traffic totals, and the nodes that dominated the per-slot top-backlog
 // drill-down.
+//
+// --strict turns the malformed-line warnings into a failure: any skipped
+// record (torn tail included) exits 1, so CI can assert a trace is whole.
+// --events FILE adds a section over a --events journal: per-kind counts,
+// restart/reload lifecycle lines, and the slot-event sequence range.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -68,13 +73,35 @@ void time_row(const char* name, const Series& s, double step_total) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace_summarize TRACE.jsonl\n");
+  bool strict = false;
+  std::string events_path;
+  const char* trace_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--strict") {
+      strict = true;
+    } else if (a == "--events") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --events: missing value\n");
+        return 2;
+      }
+      events_path = argv[++i];
+    } else if (trace_arg == nullptr) {
+      trace_arg = argv[i];
+    } else {
+      trace_arg = nullptr;  // a second positional: fall through to usage
+      break;
+    }
+  }
+  if (trace_arg == nullptr) {
+    std::fprintf(stderr,
+                 "usage: trace_summarize [--strict] [--events FILE] "
+                 "TRACE.jsonl\n");
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(trace_arg);
   if (!in.good()) {
-    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "error: cannot open %s\n", trace_arg);
     return 1;
   }
 
@@ -175,7 +202,7 @@ int main(int argc, char** argv) {
       }
     } catch (const gc::CheckError& e) {
       std::fprintf(stderr, "warning: %s:%d: skipping malformed record: %s\n",
-                   argv[1], lineno, e.what());
+                   trace_arg, lineno, e.what());
       ++skipped;
       last_line_malformed = true;
       torn_lineno = lineno;
@@ -195,25 +222,33 @@ int main(int argc, char** argv) {
                    "warning: %s:%d is a torn tail for slot %d (crash "
                    "mid-write); a --supervise resume truncates and rewrites "
                    "it (docs/ROBUSTNESS.md)\n",
-                   argv[1], torn_lineno, torn_slot);
+                   trace_arg, torn_lineno, torn_slot);
     else
       std::fprintf(stderr,
                    "warning: %s:%d is a torn tail (crash mid-write, slot "
                    "unrecoverable); a --supervise resume truncates and "
                    "rewrites it (docs/ROBUSTNESS.md)\n",
-                   argv[1], torn_lineno);
+                   trace_arg, torn_lineno);
   }
   if (skipped > 0)
     std::fprintf(stderr, "warning: skipped %d malformed record%s in %s\n",
-                 skipped, skipped == 1 ? "" : "s", argv[1]);
-
-  const int slots = static_cast<int>(step.v.size());
-  if (slots == 0) {
-    std::fprintf(stderr, "error: %s holds no trace records\n", argv[1]);
+                 skipped, skipped == 1 ? "" : "s", trace_arg);
+  if (strict && skipped > 0) {
+    std::fprintf(stderr,
+                 "error: --strict: %d malformed record%s%s in %s\n", skipped,
+                 skipped == 1 ? "" : "s",
+                 last_line_malformed ? " (including a torn tail)" : "",
+                 trace_arg);
     return 1;
   }
 
-  std::printf("trace: %s — %d slots\n", argv[1], slots);
+  const int slots = static_cast<int>(step.v.size());
+  if (slots == 0) {
+    std::fprintf(stderr, "error: %s holds no trace records\n", trace_arg);
+    return 1;
+  }
+
+  std::printf("trace: %s — %d slots\n", trace_arg, slots);
   if (!scenario_name.empty())
     std::printf("scenario: %s (hash %s)\n", scenario_name.c_str(),
                 scenario_hash.c_str());
@@ -318,6 +353,66 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < std::min<std::size_t>(hot.size(), 5); ++i)
       std::printf("  %-8d%14.1f%18d\n", hot[i].first, hot[i].second.second,
                   hot[i].second.first);
+  }
+
+  // --events: per-kind counts over a structured event journal, the
+  // restart/reload lifecycle lines spelled out (they tell the recovery
+  // story), and the slot-event sequence range (docs/OBSERVABILITY.md
+  // "Operating live runs").
+  if (!events_path.empty()) {
+    std::ifstream ev(events_path);
+    if (!ev.good()) {
+      std::fprintf(stderr, "error: cannot open %s\n", events_path.c_str());
+      return 1;
+    }
+    std::map<std::string, int> kind_counts;
+    long long seq_min = -1, seq_max = -1;
+    int ev_skipped = 0, ev_lineno = 0;
+    struct Lifecycle {
+      std::string kind;
+      int at = 0;
+      double value = 0.0;
+    };
+    std::vector<Lifecycle> lifecycle;
+    while (std::getline(ev, line)) {
+      ++ev_lineno;
+      if (line.empty()) continue;
+      try {
+        const JsonValue rec = gc::obs::json_parse(line);
+        const std::string kind = rec.at("kind").as_string();
+        ++kind_counts[kind];
+        if (rec.has("seq")) {
+          const long long seq =
+              static_cast<long long>(rec.at("seq").as_number());
+          if (seq_min < 0 || seq < seq_min) seq_min = seq;
+          if (seq > seq_max) seq_max = seq;
+        } else {
+          lifecycle.push_back({kind,
+                               static_cast<int>(rec.number_or("at", 0.0)),
+                               rec.number_or("value", 0.0)});
+        }
+      } catch (const gc::CheckError& e) {
+        std::fprintf(stderr,
+                     "warning: %s:%d: skipping malformed event: %s\n",
+                     events_path.c_str(), ev_lineno, e.what());
+        ++ev_skipped;
+      }
+    }
+    std::printf("\n-- events (%s) --\n", events_path.c_str());
+    for (const auto& [kind, count] : kind_counts)
+      std::printf("  %-20s%8d\n", kind.c_str(), count);
+    if (seq_min >= 0)
+      std::printf("  slot-event seq range: %lld..%lld\n", seq_min, seq_max);
+    for (const Lifecycle& l : lifecycle)
+      std::printf("  lifecycle: %s at slot %d (value %g)\n", l.kind.c_str(),
+                  l.at, l.value);
+    if (strict && ev_skipped > 0) {
+      std::fprintf(stderr,
+                   "error: --strict: %d malformed event line%s in %s\n",
+                   ev_skipped, ev_skipped == 1 ? "" : "s",
+                   events_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }
